@@ -1,0 +1,93 @@
+// E12 — generic-pipeline overhead: the certified lockstep barrier.
+//
+// The second instantiation of the transformation (bft/lockstep.hpp) is the
+// minimal regular round-based protocol, so its cost isolates the price of
+// the *pipeline itself*: signatures, witness certificates and per-peer
+// monitoring, with no consensus logic on top.  Expected shape: time per
+// barrier is flat in the round index (witness pruning keeps votes small);
+// disabling pruning makes votes grow with the witness chain.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bft/lockstep.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace modubft;
+
+void run_case(benchmark::State& state, std::uint32_t n, std::uint32_t rounds,
+              bool prune) {
+  double barrier_ms = 0, msgs = 0, kbytes = 0;
+  std::uint64_t finished_all = 0, total = 0, seed = 1;
+
+  for (auto _ : state) {
+    crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(n, seed);
+    sim::SimConfig sim_cfg;
+    sim_cfg.n = n;
+    sim_cfg.seed = seed++;
+    sim::Simulation world(sim_cfg);
+
+    bft::LockstepConfig cfg;
+    cfg.n = n;
+    cfg.f = bft::max_tolerated_faults(n);
+    cfg.rounds = rounds;
+    cfg.prune_witness = prune;
+
+    std::map<std::uint32_t, SimTime> finish;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      world.set_actor(ProcessId{i},
+                      bft::make_lockstep_actor(
+                          cfg, keys.signers[i].get(), keys.verifier,
+                          [&finish, i](ProcessId, Round, SimTime t) {
+                            finish.emplace(i, t);
+                          }));
+    }
+    world.run();
+
+    total += 1;
+    finished_all += finish.size() == n;
+    SimTime last = 0;
+    for (auto& [i, t] : finish) last = std::max(last, t);
+    barrier_ms += static_cast<double>(last) / 1000.0 / rounds;
+    msgs += static_cast<double>(world.stats().messages_sent) / rounds;
+    kbytes +=
+        static_cast<double>(world.stats().bytes_sent) / 1024.0 / rounds;
+  }
+
+  const double k = static_cast<double>(total);
+  state.counters["barrier_ms"] = barrier_ms / k;
+  state.counters["msgs_per_round"] = msgs / k;
+  state.counters["kb_per_round"] = kbytes / k;
+  state.counters["ok_pct"] = 100.0 * static_cast<double>(finished_all) / k;
+}
+
+void register_all() {
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    for (bool prune : {true, false}) {
+      // Without pruning a vote embeds its full witness chain, whose size
+      // grows like quorum^round — 4 rounds already makes the point; with
+      // pruning, 20 rounds stay flat.
+      const std::uint32_t rounds = prune ? 20u : 4u;
+      std::string name = "E12/lockstep/n:" + std::to_string(n) +
+                         "/rounds:" + std::to_string(rounds) +
+                         "/witness_pruning:" + (prune ? "on" : "off");
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [n, prune, rounds](benchmark::State& st) {
+                                     run_case(st, n, rounds, prune);
+                                   });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E4 — detection coverage and latency per failure class (paper Figure 4).
+//
+// Injects one failure class per run (audit mode) and measures:
+//   * detect_pct — share of runs in which the culprit was convicted by at
+//     least one correct process (expected 100 for every non-muteness
+//     class; 0 for lie-init, which is undetectable by design);
+//   * detect_ms — simulated time of the first conviction;
+//   * false_pct — share of runs where a correct process was accused
+//     (reliability of the non-muteness detector; expected 0 everywhere).
+#include <benchmark/benchmark.h>
+
+#include "faults/scenario.hpp"
+
+namespace {
+
+using namespace modubft;
+using faults::Behavior;
+
+struct Case {
+  Behavior behavior;
+  std::uint32_t culprit;
+  bool needs_next_traffic;
+};
+
+void run_case(benchmark::State& state, const Case& c) {
+  std::uint64_t seed = 1;
+  std::uint64_t detected = 0, falsely = 0, total = 0, ok = 0;
+  double detect_ms = 0;
+
+  for (auto _ : state) {
+    faults::BftScenarioConfig cfg;
+    cfg.n = c.needs_next_traffic ? 7 : 4;
+    cfg.f = c.needs_next_traffic ? 2 : 1;
+    cfg.seed = seed++;
+    cfg.stop_on_decide = false;  // audit mode
+    faults::FaultSpec spec;
+    spec.who = ProcessId{c.culprit};
+    spec.behavior = c.behavior;
+    cfg.faults = {spec};
+    if (c.needs_next_traffic) {
+      faults::FaultSpec mute;
+      mute.who = ProcessId{0};
+      mute.behavior = Behavior::kMute;
+      cfg.faults.push_back(mute);
+    }
+
+    faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+    total += 1;
+    ok += r.termination && r.agreement && r.vector_validity;
+    falsely += !r.detectors_reliable;
+    if (r.declared_faulty.count(c.culprit) > 0) {
+      detected += 1;
+      SimTime first = ~SimTime{0};
+      for (const auto& rec : r.records) {
+        if (rec.culprit.value == c.culprit) first = std::min(first, rec.time);
+      }
+      detect_ms += static_cast<double>(first) / 1000.0;
+    }
+  }
+
+  const double k = static_cast<double>(total);
+  state.counters["detect_pct"] = 100.0 * static_cast<double>(detected) / k;
+  state.counters["detect_ms"] =
+      detected > 0 ? detect_ms / static_cast<double>(detected) : 0.0;
+  state.counters["false_pct"] = 100.0 * static_cast<double>(falsely) / k;
+  state.counters["ok_pct"] = 100.0 * static_cast<double>(ok) / k;
+}
+
+void register_all() {
+  const Case cases[] = {
+      {Behavior::kCorruptVector, 0, false},
+      {Behavior::kCorruptVector, 2, false},
+      {Behavior::kWrongRound, 2, false},
+      {Behavior::kDuplicateCurrent, 0, false},
+      {Behavior::kDuplicateNext, 2, true},
+      {Behavior::kBadSignature, 2, false},
+      {Behavior::kStripCertificate, 0, false},
+      {Behavior::kSubstituteNext, 0, false},
+      {Behavior::kPrematureDecide, 2, false},
+      {Behavior::kEquivocate, 0, false},
+      {Behavior::kSpuriousCurrent, 2, true},
+      {Behavior::kLieInit, 1, false},  // expected: 0% detection
+  };
+  for (const Case& c : cases) {
+    std::string name = std::string("E4/detect/") + behavior_name(c.behavior) +
+                       "/culprit:p" + std::to_string(c.culprit + 1);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [c](benchmark::State& st) { run_case(st, c); });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

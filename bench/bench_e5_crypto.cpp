@@ -1,0 +1,147 @@
+// E5 — cryptographic substrate micro-benchmarks.
+//
+// The paper assumes RSA signatures [13] and uncorruptible certificates;
+// this bench quantifies what those assumptions cost per message in the
+// implementation: hashing, MAC tags, toy-RSA sign/verify, certificate
+// digesting and full signed-message encode/decode.
+#include <benchmark/benchmark.h>
+
+#include "bft/message.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "crypto/rsa64.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace modubft;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Rsa64Sign(benchmark::State& state) {
+  crypto::SignatureSystem sys = crypto::Rsa64Scheme{}.make_system(1, 7);
+  Bytes msg(256, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.signers[0]->sign(msg));
+  }
+}
+BENCHMARK(BM_Rsa64Sign);
+
+void BM_Rsa64Verify(benchmark::State& state) {
+  crypto::SignatureSystem sys = crypto::Rsa64Scheme{}.make_system(1, 7);
+  Bytes msg(256, 0x42);
+  crypto::Signature sig = sys.signers[0]->sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.verifier->verify(ProcessId{0}, msg, sig));
+  }
+}
+BENCHMARK(BM_Rsa64Verify);
+
+void BM_HmacSchemeSign(benchmark::State& state) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(1, 7);
+  Bytes msg(256, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.signers[0]->sign(msg));
+  }
+}
+BENCHMARK(BM_HmacSchemeSign);
+
+void BM_HmacSchemeVerify(benchmark::State& state) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(1, 7);
+  Bytes msg(256, 0x42);
+  crypto::Signature sig = sys.signers[0]->sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.verifier->verify(ProcessId{0}, msg, sig));
+  }
+}
+BENCHMARK(BM_HmacSchemeVerify);
+
+void BM_Rsa64KeyGen(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa64_generate(seed++));
+  }
+}
+BENCHMARK(BM_Rsa64KeyGen);
+
+// Builds the INIT-quorum certificate of a CURRENT message for n processes.
+bft::SignedMessage sample_current(std::uint32_t n,
+                                  const crypto::SignatureSystem& sys) {
+  bft::Certificate cert;
+  bft::VectorValue vect(n, std::nullopt);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    bft::MessageCore core;
+    core.kind = bft::BftKind::kInit;
+    core.sender = ProcessId{i};
+    core.round = Round{0};
+    core.init_value = 100 + i;
+    bft::SignedMessage m;
+    m.core = core;
+    m.sig = sys.signers[i]->sign(bft::signing_bytes(m.core, m.cert));
+    cert.members.push_back(std::move(m));
+    vect[i] = 100 + i;
+  }
+  bft::SignedMessage cur;
+  cur.core.kind = bft::BftKind::kCurrent;
+  cur.core.sender = ProcessId{0};
+  cur.core.round = Round{1};
+  cur.core.est = vect;
+  cur.cert = std::move(cert);
+  cur.sig = sys.signers[0]->sign(bft::signing_bytes(cur.core, cur.cert));
+  return cur;
+}
+
+void BM_CertDigest(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(n, 7);
+  bft::SignedMessage cur = sample_current(n, sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bft::cert_digest(cur.cert));
+  }
+}
+BENCHMARK(BM_CertDigest)->Arg(4)->Arg(10)->Arg(25);
+
+void BM_MessageEncode(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(n, 7);
+  bft::SignedMessage cur = sample_current(n, sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bft::encode_message(cur));
+  }
+  state.counters["wire_bytes"] =
+      static_cast<double>(bft::encoded_size(cur));
+}
+BENCHMARK(BM_MessageEncode)->Arg(4)->Arg(10)->Arg(25);
+
+void BM_MessageDecode(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(n, 7);
+  Bytes wire = bft::encode_message(sample_current(n, sys));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bft::decode_message(wire));
+  }
+}
+BENCHMARK(BM_MessageDecode)->Arg(4)->Arg(10)->Arg(25);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E6 — certificate mechanics (§5.1): size growth across rounds and the
+// digest-pruning ablation.
+//
+// Rounds are forced by muting the first k coordinators (k ≤ F), so the
+// protocol decides in round k+1; we record the largest wire message and
+// total protocol bytes.  Expected shape: with pruning disabled, message
+// size grows super-linearly in the round number (NEXT certificates nest
+// recursively); with the digest-pruning policy the growth flattens to
+// roughly linear.  This is the ablation DESIGN.md calls out for the
+// "certificates cannot be corrupted" machinery.
+#include <benchmark/benchmark.h>
+
+#include "faults/scenario.hpp"
+
+namespace {
+
+using namespace modubft;
+
+void run_case(benchmark::State& state, std::uint32_t mute_coords, bool prune) {
+  const std::uint32_t n = 10;  // F = 3 allows forcing up to round 4
+  double rounds = 0, max_kb = 0, total_kb = 0, sim_ms = 0;
+  std::uint64_t ok = 0, total = 0, seed = 1;
+
+  for (auto _ : state) {
+    faults::BftScenarioConfig cfg;
+    cfg.n = n;
+    cfg.f = bft::max_tolerated_faults(n);
+    cfg.seed = seed++;
+    cfg.prune = prune;
+    for (std::uint32_t i = 0; i < mute_coords; ++i) {
+      faults::FaultSpec spec;
+      spec.who = ProcessId{i};  // coordinators of rounds 1..k
+      spec.behavior = faults::Behavior::kMute;
+      cfg.faults.push_back(spec);
+    }
+    faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+    total += 1;
+    ok += r.termination && r.agreement && r.vector_validity;
+    rounds += r.max_decision_round.value;
+    max_kb += static_cast<double>(r.max_message_bytes) / 1024.0;
+    total_kb += static_cast<double>(r.protocol_bytes) / 1024.0;
+    sim_ms += static_cast<double>(r.last_decision_time) / 1000.0;
+  }
+
+  const double k = static_cast<double>(total);
+  state.counters["rounds"] = rounds / k;
+  state.counters["max_msg_kb"] = max_kb / k;
+  state.counters["total_kb"] = total_kb / k;
+  state.counters["sim_ms"] = sim_ms / k;
+  state.counters["ok_pct"] = 100.0 * static_cast<double>(ok) / k;
+}
+
+void register_all() {
+  for (bool prune : {true, false}) {
+    for (std::uint32_t mute : {0u, 1u, 2u, 3u}) {
+      std::string name = std::string("E6/certs/pruning:") +
+                         (prune ? "on" : "off") +
+                         "/forced_rounds:" + std::to_string(mute + 1);
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [mute, prune](benchmark::State& st) {
+                                     run_case(st, mute, prune);
+                                   });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

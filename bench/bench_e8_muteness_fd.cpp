@@ -1,0 +1,89 @@
+// E8 — ◇M muteness-detector quality of service [6].
+//
+// The muteness timeout trades detection speed against false suspicions:
+// a mute coordinator stalls the round until ◇M fires, so decision latency
+// tracks the initial timeout almost linearly (expected shape); overly
+// aggressive timeouts on a turbulent network cause spurious round changes
+// (extra rounds) but never violate safety.
+#include <benchmark/benchmark.h>
+
+#include "faults/scenario.hpp"
+
+namespace {
+
+using namespace modubft;
+
+void run_mute_detection(benchmark::State& state, SimTime timeout_us) {
+  double rounds = 0, sim_ms = 0;
+  std::uint64_t ok = 0, total = 0, seed = 1;
+  for (auto _ : state) {
+    faults::BftScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.seed = seed++;
+    cfg.muteness.initial_timeout = timeout_us;
+    faults::FaultSpec spec;
+    spec.who = ProcessId{0};  // mute round-1 coordinator
+    spec.behavior = faults::Behavior::kMute;
+    cfg.faults = {spec};
+    faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+    total += 1;
+    ok += r.termination && r.agreement;
+    rounds += r.max_decision_round.value;
+    sim_ms += static_cast<double>(r.last_decision_time) / 1000.0;
+  }
+  const double k = static_cast<double>(total);
+  state.counters["rounds"] = rounds / k;
+  state.counters["decide_ms"] = sim_ms / k;
+  state.counters["ok_pct"] = 100.0 * static_cast<double>(ok) / k;
+}
+
+void run_turbulence(benchmark::State& state, SimTime timeout_us) {
+  double rounds = 0, sim_ms = 0;
+  std::uint64_t ok = 0, total = 0, seed = 1;
+  for (auto _ : state) {
+    faults::BftScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.seed = seed++;
+    cfg.muteness.initial_timeout = timeout_us;
+    cfg.latency = sim::turbulent_until(150'000);
+    faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+    total += 1;
+    ok += r.termination && r.agreement;
+    rounds += r.max_decision_round.value;
+    sim_ms += static_cast<double>(r.last_decision_time) / 1000.0;
+  }
+  const double k = static_cast<double>(total);
+  state.counters["rounds"] = rounds / k;  // >1 ⇒ spurious suspicions
+  state.counters["decide_ms"] = sim_ms / k;
+  state.counters["ok_pct"] = 100.0 * static_cast<double>(ok) / k;
+}
+
+void register_all() {
+  for (SimTime timeout : {10'000u, 40'000u, 160'000u, 640'000u}) {
+    std::string name =
+        "E8/mute_coordinator/timeout_ms:" + std::to_string(timeout / 1000);
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [timeout](benchmark::State& st) {
+                                   run_mute_detection(st, timeout);
+                                 });
+  }
+  for (SimTime timeout : {10'000u, 40'000u, 160'000u}) {
+    std::string name =
+        "E8/turbulent_no_fault/timeout_ms:" + std::to_string(timeout / 1000);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [timeout](benchmark::State& st) { run_turbulence(st, timeout); });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

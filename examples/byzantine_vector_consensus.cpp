@@ -1,0 +1,71 @@
+// Byzantine vector consensus: the paper's transformed protocol (Figure 3).
+//
+// Seven processes run the five-module transformed protocol; two are
+// Byzantine (the round-1 coordinator corrupts its estimate vector, another
+// process forges signatures).  The detection modules convict both, the
+// survivors agree on a certified vector, and Vector Validity guarantees at
+// least n − 2F = 3 entries from correct processes.
+//
+//   ./examples/byzantine_vector_consensus [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "bft/config.hpp"
+#include "faults/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace modubft;
+
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  faults::BftScenarioConfig cfg;
+  cfg.n = 7;
+  cfg.f = 2;
+  cfg.seed = seed;
+  cfg.stop_on_decide = false;  // audit mode: keep monitoring after deciding
+
+  faults::FaultSpec corrupt;
+  corrupt.who = ProcessId{0};  // round-1 coordinator
+  corrupt.behavior = faults::Behavior::kCorruptVector;
+  faults::FaultSpec forger;
+  forger.who = ProcessId{4};
+  forger.behavior = faults::Behavior::kBadSignature;
+  cfg.faults = {corrupt, forger};
+
+  std::cout << "Byzantine vector consensus: n=7, F=2 "
+            << "(p1 corrupts vectors, p5 forges signatures), seed=" << seed
+            << "\n"
+            << "resilience bound: F <= min((n-1)/2, C) = "
+            << bft::max_tolerated_faults(7) << "\n\n";
+
+  faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+
+  for (const auto& [i, d] : r.decisions) {
+    std::cout << "  p" << (i + 1) << " decided in round " << d.round.value
+              << " at t=" << d.time / 1000.0 << "ms  vector = [";
+    for (std::size_t j = 0; j < d.entries.size(); ++j) {
+      if (j) std::cout << ", ";
+      if (d.entries[j].has_value()) {
+        std::cout << *d.entries[j];
+      } else {
+        std::cout << "null";
+      }
+    }
+    std::cout << "]\n";
+  }
+
+  std::cout << "\n  detections by correct processes:\n";
+  for (const auto& rec : r.records) {
+    std::cout << "    " << rec.culprit << " convicted: "
+              << bft::fault_kind_name(rec.kind) << " — " << rec.detail << "\n";
+  }
+
+  std::cout << "\n  agreement:          " << (r.agreement ? "yes" : "NO")
+            << "\n  termination:        " << (r.termination ? "yes" : "NO")
+            << "\n  vector validity:    " << (r.vector_validity ? "yes" : "NO")
+            << "\n  correct entries:    >= " << r.min_correct_entries
+            << " (bound: n-2F = " << 7 - 2 * 2 << ")"
+            << "\n  detectors reliable: "
+            << (r.detectors_reliable ? "yes" : "NO") << "\n";
+  return r.agreement && r.termination && r.vector_validity ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Walks the paper's failure taxonomy (§2): injects every failure class in
+// isolation and reports which module caught it and how it was classified —
+// an executable rendering of Figure 4's automaton transitions.
+//
+//   ./examples/failure_detection_demo
+#include <iomanip>
+#include <iostream>
+
+#include "faults/scenario.hpp"
+
+int main() {
+  using namespace modubft;
+  using faults::Behavior;
+
+  struct Case {
+    Behavior behavior;
+    const char* module;  // which module the methodology assigns
+    bool needs_next_traffic;
+  };
+  const Case cases[] = {
+      {Behavior::kMute, "muteness FD (suspicion, not conviction)", false},
+      {Behavior::kCorruptVector, "non-muteness FD / certification", false},
+      {Behavior::kWrongRound, "non-muteness FD (state machine)", false},
+      {Behavior::kDuplicateCurrent, "non-muteness FD (state machine)", false},
+      {Behavior::kDuplicateNext, "non-muteness FD (state machine)", true},
+      {Behavior::kBadSignature, "signature module", false},
+      {Behavior::kStripCertificate, "certification module", false},
+      {Behavior::kSubstituteNext, "non-muteness FD (program text)", false},
+      {Behavior::kPrematureDecide, "certification module", false},
+      {Behavior::kEquivocate, "certification module (equivocation)", false},
+      {Behavior::kSpuriousCurrent, "non-muteness FD (state machine)", true},
+      {Behavior::kLieInit, "— undetectable by design (paper §1)", false},
+  };
+
+  std::cout << "Injecting each failure class into one process and running the\n"
+               "transformed protocol (audit mode).  F within bounds, so all\n"
+               "runs must agree and terminate regardless of detection.\n\n";
+  std::cout << std::left << std::setw(20) << "behaviour" << std::setw(44)
+            << "responsible module" << std::setw(12) << "convicted"
+            << "classification(s)\n"
+            << std::string(100, '-') << "\n";
+
+  bool all_good = true;
+  for (const Case& c : cases) {
+    faults::BftScenarioConfig cfg;
+    cfg.n = c.needs_next_traffic ? 7 : 4;
+    cfg.f = c.needs_next_traffic ? 2 : 1;
+    cfg.seed = 1000 + static_cast<int>(c.behavior);
+    cfg.stop_on_decide = false;
+
+    faults::FaultSpec spec;
+    spec.who = ProcessId{c.behavior == Behavior::kCorruptVector ||
+                                 c.behavior == Behavior::kEquivocate ||
+                                 c.behavior == Behavior::kSubstituteNext ||
+                                 c.behavior == Behavior::kStripCertificate
+                             ? 0u   // coordinator-manifested faults
+                             : 2u};
+    spec.behavior = c.behavior;
+    cfg.faults = {spec};
+    if (c.needs_next_traffic) {
+      faults::FaultSpec mute;
+      mute.who = ProcessId{0};
+      mute.behavior = Behavior::kMute;
+      cfg.faults.push_back(mute);
+    }
+
+    faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+    all_good = all_good && r.agreement && r.termination;
+
+    std::string kinds;
+    for (const auto& rec : r.records) {
+      if (rec.culprit != spec.who) continue;
+      std::string k = bft::fault_kind_name(rec.kind);
+      if (kinds.find(k) == std::string::npos) {
+        if (!kinds.empty()) kinds += ", ";
+        kinds += k;
+      }
+    }
+    const bool convicted = r.declared_faulty.count(spec.who.value) > 0;
+    std::cout << std::left << std::setw(20) << behavior_name(c.behavior)
+              << std::setw(44) << c.module << std::setw(12)
+              << (convicted ? "yes" : "no")
+              << (kinds.empty() ? "-" : kinds) << "\n";
+  }
+
+  std::cout << "\nall runs agreed and terminated: " << (all_good ? "yes" : "NO")
+            << "\n";
+  return all_good ? 0 : 1;
+}

@@ -1,0 +1,242 @@
+// scenario_cli — run any consensus scenario from the command line.
+//
+// The adoptable front door: pick a protocol, group size, fault assignment,
+// network model and seed; get the paper's correctness properties and cost
+// metrics back, without writing C++.
+//
+// Usage:
+//   scenario_cli bft   --n 7 --f 2 --seed 3 --fault 1:corrupt-vector
+//                      --fault 4:mute [--rsa] [--no-prune] [--turbulent]
+//                      [--audit]
+//   scenario_cli crash --n 5 --seed 1 --protocol hr|ct --crash 1:0
+//                      [--mistakes 0.2]
+//
+// Faults take `<process>:<behavior>` with 1-based process ids; behaviours:
+//   crash mute corrupt-vector wrong-round duplicate-current duplicate-next
+//   bad-signature strip-certificate substitute-next premature-decide
+//   equivocate lie-init spurious-current
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <fstream>
+
+#include "bft/config.hpp"
+#include "faults/scenario.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace modubft;
+
+[[noreturn]] void usage(const char* why) {
+  std::cerr << "error: " << why << "\n\n"
+            << "usage: scenario_cli bft   --n N --f F [--seed S] "
+               "[--fault P:BEHAVIOR]... [--rsa] [--no-prune] [--turbulent] "
+               "[--audit] [--trace FILE]\n"
+            << "       scenario_cli crash --n N [--seed S] [--protocol hr|ct] "
+               "[--crash P:TIME_US]... [--mistakes PROB]\n";
+  std::exit(2);
+}
+
+std::optional<faults::Behavior> parse_behavior(const std::string& name) {
+  using faults::Behavior;
+  const std::pair<const char*, Behavior> table[] = {
+      {"crash", Behavior::kCrash},
+      {"mute", Behavior::kMute},
+      {"corrupt-vector", Behavior::kCorruptVector},
+      {"wrong-round", Behavior::kWrongRound},
+      {"duplicate-current", Behavior::kDuplicateCurrent},
+      {"duplicate-next", Behavior::kDuplicateNext},
+      {"bad-signature", Behavior::kBadSignature},
+      {"strip-certificate", Behavior::kStripCertificate},
+      {"substitute-next", Behavior::kSubstituteNext},
+      {"premature-decide", Behavior::kPrematureDecide},
+      {"equivocate", Behavior::kEquivocate},
+      {"lie-init", Behavior::kLieInit},
+      {"spurious-current", Behavior::kSpuriousCurrent},
+  };
+  for (auto& [n, b] : table) {
+    if (name == n) return b;
+  }
+  return std::nullopt;
+}
+
+int run_bft(int argc, char** argv) {
+  faults::BftScenarioConfig cfg;
+  cfg.n = 0;
+  std::string trace_path;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--f") {
+      cfg.f = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--rsa") {
+      cfg.scheme = faults::Scheme::kRsa64;
+    } else if (arg == "--no-prune") {
+      cfg.prune = false;
+    } else if (arg == "--turbulent") {
+      cfg.latency = sim::turbulent_until(200'000);
+    } else if (arg == "--audit") {
+      cfg.stop_on_decide = false;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--fault") {
+      std::string spec = next();
+      auto colon = spec.find(':');
+      if (colon == std::string::npos) usage("fault must be P:BEHAVIOR");
+      const auto pid = std::stoul(spec.substr(0, colon));
+      auto behavior = parse_behavior(spec.substr(colon + 1));
+      if (!behavior || pid < 1) usage("unknown fault behaviour or process");
+      faults::FaultSpec f;
+      f.who = ProcessId{static_cast<std::uint32_t>(pid - 1)};
+      f.behavior = *behavior;
+      cfg.faults.push_back(f);
+    } else {
+      usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (cfg.n == 0) usage("--n is required");
+  if (cfg.f > bft::max_tolerated_faults(cfg.n)) {
+    std::cerr << "note: F=" << cfg.f << " exceeds min((n-1)/2, (n-1)/3) = "
+              << bft::max_tolerated_faults(cfg.n)
+              << "; overriding the certification bound (guarantees void — "
+                 "see bench_e9)\n";
+    cfg.certification_bound = cfg.f;
+  }
+
+  sim::TraceRecorder trace;
+  if (!trace_path.empty()) {
+    cfg.delivery_tap = [&trace](const sim::Delivery& d) { trace.record(d); };
+  }
+
+  faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    trace.write_jsonl(out);
+    std::cerr << "trace: " << trace.events().size() << " deliveries -> "
+              << trace_path << " (fingerprint " << std::hex
+              << trace.fingerprint() << std::dec << ")\n";
+  }
+
+  std::size_t correct_decided = 0;
+  for (std::uint32_t i : r.correct) correct_decided += r.decisions.count(i);
+
+  std::cout << "protocol:            transformed BFT vector consensus\n"
+            << "n / F / quorum:      " << cfg.n << " / " << cfg.f << " / "
+            << cfg.n - cfg.f << "\n"
+            << "decided:             " << correct_decided << "/"
+            << r.correct.size() << " correct processes\n"
+            << "termination:         " << (r.termination ? "yes" : "NO") << "\n"
+            << "agreement:           " << (r.agreement ? "yes" : "NO") << "\n"
+            << "vector validity:     " << (r.vector_validity ? "yes" : "NO")
+            << " (correct entries >= " << r.min_correct_entries << ")\n"
+            << "detectors reliable:  " << (r.detectors_reliable ? "yes" : "NO")
+            << "\n"
+            << "decision round:      " << r.max_decision_round.value << "\n"
+            << "decision time:       " << r.last_decision_time / 1000.0
+            << " sim ms\n"
+            << "messages / bytes:    " << r.net.messages_sent << " / "
+            << r.net.bytes_sent << "\n"
+            << "largest message:     " << r.max_message_bytes << " bytes\n";
+  if (!r.declared_faulty.empty()) {
+    std::cout << "convicted processes:";
+    for (std::uint32_t p : r.declared_faulty) std::cout << " p" << p + 1;
+    std::cout << "\n";
+  }
+  std::map<std::string, int> grouped;
+  for (const auto& rec : r.records) {
+    std::ostringstream os;
+    os << rec.culprit << ": " << bft::fault_kind_name(rec.kind) << " — "
+       << rec.detail;
+    grouped[os.str()] += 1;
+  }
+  for (const auto& [what, count] : grouped) {
+    std::cout << "  detection ×" << count << "  " << what << "\n";
+  }
+  return r.termination && r.agreement && r.vector_validity ? 0 : 1;
+}
+
+int run_crash(int argc, char** argv) {
+  faults::CrashScenarioConfig cfg;
+  cfg.n = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--protocol") {
+      std::string p = next();
+      if (p == "hr") {
+        cfg.protocol = faults::CrashProtocol::kHurfinRaynal;
+      } else if (p == "ct") {
+        cfg.protocol = faults::CrashProtocol::kChandraToueg;
+      } else {
+        usage("protocol must be hr or ct");
+      }
+    } else if (arg == "--crash") {
+      std::string spec = next();
+      auto colon = spec.find(':');
+      if (colon == std::string::npos) usage("crash must be P:TIME_US");
+      const auto pid = std::stoul(spec.substr(0, colon));
+      const auto at = std::stoull(spec.substr(colon + 1));
+      if (pid < 1) usage("process ids are 1-based");
+      if (cfg.crash_times.size() < pid) cfg.crash_times.resize(pid);
+      cfg.crash_times[pid - 1] = SimTime{at};
+    } else if (arg == "--mistakes") {
+      cfg.oracle.false_suspicion_prob = std::stod(next());
+      cfg.oracle.stabilization_time = 300'000;
+    } else {
+      usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (cfg.n == 0) usage("--n is required");
+  cfg.crash_times.resize(cfg.n);
+
+  faults::CrashScenarioResult r = faults::run_crash_scenario(cfg);
+
+  std::cout << "protocol:        "
+            << (cfg.protocol == faults::CrashProtocol::kHurfinRaynal
+                    ? "Hurfin-Raynal"
+                    : "Chandra-Toueg")
+            << " (crash model, oracle ◇S)\n"
+            << "n:               " << cfg.n << "\n"
+            << "decided:         " << r.decisions.size() << "/"
+            << r.correct.size() << " correct processes\n"
+            << "termination:     " << (r.termination ? "yes" : "NO") << "\n"
+            << "agreement:       " << (r.agreement ? "yes" : "NO") << "\n"
+            << "validity:        " << (r.validity ? "yes" : "NO") << "\n"
+            << "decision round:  " << r.max_decision_round.value << "\n"
+            << "decision time:   " << r.last_decision_time / 1000.0
+            << " sim ms\n"
+            << "messages/bytes:  " << r.net.messages_sent << " / "
+            << r.net.bytes_sent << "\n";
+  return r.termination && r.agreement && r.validity ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing mode");
+  if (std::strcmp(argv[1], "bft") == 0) return run_bft(argc, argv);
+  if (std::strcmp(argv[1], "crash") == 0) return run_crash(argc, argv);
+  usage("mode must be 'bft' or 'crash'");
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every artifact recorded in EXPERIMENTS.md:
+#   build → full test suite → every benchmark binary, with outputs captured
+#   at the repository root (test_output.txt, bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+(for b in build/bench/bench_*; do echo "===== $b ====="; "$b"; done) 2>&1 \
+  | tee bench_output.txt

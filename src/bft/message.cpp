@@ -1,0 +1,156 @@
+#include "bft/message.hpp"
+
+#include "common/serial.hpp"
+
+namespace modubft::bft {
+
+const char* kind_name(BftKind k) {
+  switch (k) {
+    case BftKind::kInit: return "INIT";
+    case BftKind::kCurrent: return "CURRENT";
+    case BftKind::kNext: return "NEXT";
+    case BftKind::kDecide: return "DECIDE";
+  }
+  return "?";
+}
+
+bool MessageCore::operator==(const MessageCore& other) const {
+  return kind == other.kind && sender == other.sender &&
+         round == other.round && init_value == other.init_value &&
+         est == other.est;
+}
+
+Bytes encode_core(const MessageCore& core) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(core.kind));
+  w.u32(core.sender.value);
+  w.u32(core.round.value);
+  w.u64(core.init_value);
+  w.u32(static_cast<std::uint32_t>(core.est.size()));
+  for (const std::optional<Value>& entry : core.est) {
+    w.boolean(entry.has_value());
+    w.u64(entry.value_or(0));
+  }
+  return std::move(w).take();
+}
+
+crypto::Digest cert_digest(const Certificate& cert) {
+  if (cert.pruned) return cert.digest;
+  crypto::Sha256 h;
+  for (const SignedMessage& m : cert.members) {
+    Bytes core = encode_core(m.core);
+    Writer frame;
+    frame.bytes(core);
+    frame.raw(crypto::digest_bytes(cert_digest(m.cert)));
+    frame.bytes(m.sig);
+    h.update(frame.data());
+  }
+  return h.finish();
+}
+
+Bytes signing_bytes(const MessageCore& core, const Certificate& cert) {
+  Bytes out = encode_core(core);
+  crypto::Digest d = cert_digest(cert);
+  out.insert(out.end(), d.begin(), d.end());
+  return out;
+}
+
+Certificate prune(const Certificate& cert) {
+  Certificate out;
+  out.pruned = true;
+  out.digest = cert_digest(cert);
+  return out;
+}
+
+namespace {
+
+void encode_message_into(Writer& w, const SignedMessage& msg);
+
+void encode_cert_into(Writer& w, const Certificate& cert) {
+  w.boolean(cert.pruned);
+  if (cert.pruned) {
+    w.raw(crypto::digest_bytes(cert.digest));
+    return;
+  }
+  w.u32(static_cast<std::uint32_t>(cert.members.size()));
+  for (const SignedMessage& m : cert.members) encode_message_into(w, m);
+}
+
+void encode_message_into(Writer& w, const SignedMessage& msg) {
+  w.bytes(encode_core(msg.core));
+  encode_cert_into(w, msg.cert);
+  w.bytes(msg.sig);
+}
+
+MessageCore decode_core(const Bytes& buf, const DecodeLimits& limits) {
+  Reader r(buf);
+  MessageCore core;
+  const std::uint8_t kind = r.u8();
+  if (kind < 1 || kind > 4) throw SerialError("unknown message kind");
+  core.kind = static_cast<BftKind>(kind);
+  core.sender = ProcessId{r.u32()};
+  core.round = Round{r.u32()};
+  core.init_value = r.u64();
+  const std::uint32_t len = r.seq_len(limits.max_vector);
+  core.est.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const bool present = r.boolean();
+    const Value v = r.u64();
+    core.est.push_back(present ? std::optional<Value>(v) : std::nullopt);
+  }
+  r.expect_end();
+  return core;
+}
+
+SignedMessage decode_message_from(Reader& r, const DecodeLimits& limits,
+                                  std::uint32_t depth);
+
+Certificate decode_cert_from(Reader& r, const DecodeLimits& limits,
+                             std::uint32_t depth) {
+  if (depth > limits.max_depth) throw SerialError("certificate too deep");
+  Certificate cert;
+  cert.pruned = r.boolean();
+  if (cert.pruned) {
+    for (std::size_t i = 0; i < cert.digest.size(); ++i) cert.digest[i] = r.u8();
+    return cert;
+  }
+  const std::uint32_t count = r.seq_len(limits.max_members);
+  cert.members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cert.members.push_back(decode_message_from(r, limits, depth + 1));
+  }
+  return cert;
+}
+
+SignedMessage decode_message_from(Reader& r, const DecodeLimits& limits,
+                                  std::uint32_t depth) {
+  SignedMessage msg;
+  Bytes core_bytes = r.bytes();
+  msg.core = decode_core(core_bytes, limits);
+  msg.cert = decode_cert_from(r, limits, depth);
+  msg.sig = r.bytes();
+  if (msg.sig.size() > limits.max_sig_bytes)
+    throw SerialError("oversized signature");
+  return msg;
+}
+
+}  // namespace
+
+Bytes encode_message(const SignedMessage& msg) {
+  Writer w;
+  encode_message_into(w, msg);
+  return std::move(w).take();
+}
+
+SignedMessage decode_message(const Bytes& buf, const DecodeLimits& limits) {
+  Reader r(buf);
+  SignedMessage msg = decode_message_from(r, limits, 0);
+  r.expect_end();
+  return msg;
+}
+
+std::size_t encoded_size(const SignedMessage& msg) {
+  return encode_message(msg).size();
+}
+
+}  // namespace modubft::bft

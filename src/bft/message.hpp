@@ -1,0 +1,126 @@
+// Certified, signed protocol messages (paper §3 and §5.1).
+//
+// Every message of the transformed protocol is a SignedMessage:
+//
+//   core  — kind, sender, round, and value payload (an INIT's proposed
+//           value, or a CURRENT/DECIDE's estimate *vector*);
+//   cert  — a Certificate: a set of signed messages witnessing the core's
+//           values and the correctness of the decision to send it;
+//   sig   — the sender's signature.
+//
+// Certificates nest (a CURRENT's certificate contains NEXT messages whose
+// certificates contain earlier NEXTs, ...).  Two engineering decisions make
+// this sound and tractable:
+//
+//  1. Digest-chained signatures.  The signature covers
+//     encode(core) ‖ cert_digest(cert), where cert_digest reduces a
+//     certificate to a SHA-256 over its members' (core, cert_digest, sig)
+//     triples.  The digest of a certificate is therefore independent of
+//     whether nested certificates are carried inline or pruned to their
+//     digest, so deep certificate bodies can be dropped from the wire
+//     without breaking any signature, while collision resistance pins
+//     their contents.  This implements the paper's "certificates cannot be
+//     corrupted" assumption.
+//
+//  2. Pruning policy.  The §5.1 well-formedness checks never look inside
+//     the certificate of a NEXT that appears *within* another certificate
+//     (only its core — sender and round — matters).  The certification
+//     module may therefore replace those nested NEXT certificates with
+//     digests, turning exponential growth into linear (experiment E6
+//     measures both modes).
+//
+// Decoding is fully defensive: Byzantine senders control these bytes, so
+// depth and cardinality are capped and every failure throws SerialError,
+// which the non-muteness module converts into a "faulty sender" verdict.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "consensus/value.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+
+namespace modubft::bft {
+
+using consensus::Value;
+
+/// The estimate vector (paper: est_vect, one entry per process; nullopt is
+/// the paper's "null").
+using VectorValue = std::vector<std::optional<Value>>;
+
+enum class BftKind : std::uint8_t {
+  kInit = 1,     // preliminary phase: proposed value
+  kCurrent = 2,  // vote to decide on the carried estimate vector
+  kNext = 3,     // vote to move to the next round
+  kDecide = 4,   // decision announcement
+};
+
+const char* kind_name(BftKind k);
+
+struct SignedMessage;
+
+/// A certificate: either an inline set of signed messages, or (pruned) just
+/// the SHA-256 digest of that set's canonical form.
+struct Certificate {
+  bool pruned = false;
+  crypto::Digest digest{};             // meaningful iff pruned
+  std::vector<SignedMessage> members;  // meaningful iff !pruned
+
+  bool empty() const { return !pruned && members.empty(); }
+  static Certificate empty_cert() { return Certificate{}; }
+};
+
+/// The signed part of a message, minus certificate and signature.
+struct MessageCore {
+  BftKind kind = BftKind::kInit;
+  ProcessId sender;
+  Round round;          // INIT uses round 0
+  Value init_value = 0; // kInit only
+  VectorValue est;      // kCurrent / kDecide only
+
+  bool operator==(const MessageCore& other) const;
+};
+
+/// A complete wire message: core + certificate + signature over
+/// encode_core(core) ‖ cert_digest(cert).
+struct SignedMessage {
+  MessageCore core;
+  Certificate cert;
+  crypto::Signature sig;
+};
+
+/// Canonical encoding of a core (the first half of the signing preimage).
+Bytes encode_core(const MessageCore& core);
+
+/// Canonical digest of a certificate.  Invariant under pruning of nested
+/// certificates: a pruned certificate and the inline certificate it was
+/// pruned from have equal digests.
+crypto::Digest cert_digest(const Certificate& cert);
+
+/// The exact byte string a signature covers.
+Bytes signing_bytes(const MessageCore& core, const Certificate& cert);
+
+/// Returns a pruned copy of `cert` (digest only).
+Certificate prune(const Certificate& cert);
+
+/// Full wire encoding of a SignedMessage.
+Bytes encode_message(const SignedMessage& msg);
+
+/// Limits applied while decoding adversarial input.
+struct DecodeLimits {
+  std::uint32_t max_depth = 32;          // certificate nesting
+  std::uint32_t max_members = 4096;      // per certificate
+  std::uint32_t max_vector = 4096;       // estimate-vector length
+  std::uint32_t max_sig_bytes = 1024;
+};
+
+/// Decodes a SignedMessage; throws SerialError on any malformed input.
+SignedMessage decode_message(const Bytes& buf, const DecodeLimits& limits = {});
+
+/// Byte size of the encoded form (for the E6 size experiments).
+std::size_t encoded_size(const SignedMessage& msg);
+
+}  // namespace modubft::bft

@@ -1,0 +1,203 @@
+#include "bft/modules.hpp"
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::bft {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kBadSignature: return "bad-signature";
+    case FaultKind::kMalformed: return "malformed";
+    case FaultKind::kIdentityMismatch: return "identity-mismatch";
+    case FaultKind::kOutOfOrder: return "out-of-order";
+    case FaultKind::kWrongExpected: return "wrong-expected";
+    case FaultKind::kBadCertificate: return "bad-certificate";
+    case FaultKind::kEquivocation: return "equivocation";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- signature
+
+SignatureModule::SignatureModule(
+    const crypto::Signer* signer,
+    std::shared_ptr<const crypto::Verifier> verifier)
+    : signer_(signer), verifier_(std::move(verifier)) {
+  MODUBFT_EXPECTS(signer_ != nullptr);
+  MODUBFT_EXPECTS(verifier_ != nullptr);
+}
+
+SignatureModule::Inbound SignatureModule::authenticate(
+    ProcessId channel_from, const Bytes& frame) const {
+  Inbound in;
+  try {
+    in.msg = decode_message(frame);
+  } catch (const SerialError& e) {
+    in.verdict = Verdict::fail(FaultKind::kMalformed,
+                               std::string("undecodable frame: ") + e.what());
+    return in;
+  }
+  // Canonical-form check: exactly one byte string encodes each message.
+  // Without it, semantically-ignored bytes (e.g. the value slot of a null
+  // vector entry) could carry covert variation through the signature
+  // check, since signatures cover the re-encoded canonical form.
+  if (encode_message(in.msg) != frame) {
+    in.verdict = Verdict::fail(FaultKind::kMalformed,
+                               "non-canonical message encoding");
+    return in;
+  }
+  // The identity field must match the channel the message arrived on:
+  // channels are point-to-point, so the transport sender is known.
+  if (in.msg.core.sender != channel_from) {
+    in.verdict = Verdict::fail(FaultKind::kIdentityMismatch,
+                               "identity field does not match the channel");
+    return in;
+  }
+  if (!verifier_->verify(in.msg.core.sender,
+                         signing_bytes(in.msg.core, in.msg.cert),
+                         in.msg.sig)) {
+    in.verdict =
+        Verdict::fail(FaultKind::kBadSignature, "signature verification failed");
+    return in;
+  }
+  in.ok = true;
+  return in;
+}
+
+SignedMessage SignatureModule::sign(MessageCore core, Certificate cert) const {
+  SignedMessage msg;
+  msg.core = std::move(core);
+  msg.cert = std::move(cert);
+  msg.sig = signer_->sign(signing_bytes(msg.core, msg.cert));
+  return msg;
+}
+
+// ------------------------------------------------------------------ muteness
+
+MutenessModule::MutenessModule(std::uint32_t n, ProcessId self,
+                               fd::MutenessConfig config)
+    : detector_(n, self, config) {}
+
+void MutenessModule::on_protocol_message(ProcessId from, SimTime now) {
+  detector_.on_protocol_message(from, now);
+}
+
+void MutenessModule::on_new_round(SimTime now) { detector_.on_new_round(now); }
+
+bool MutenessModule::suspects(ProcessId q, SimTime now) {
+  return detector_.suspects(q, now);
+}
+
+// -------------------------------------------------------------- non-muteness
+
+NonMutenessModule::NonMutenessModule(
+    std::uint32_t n, ProcessId self,
+    std::shared_ptr<const CertAnalyzer> analyzer)
+    : analyzer_(std::move(analyzer)) {
+  MODUBFT_EXPECTS(analyzer_ != nullptr);
+  (void)self;
+  monitors_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    monitors_.emplace_back(ProcessId{i}, *analyzer_);
+  }
+}
+
+Verdict NonMutenessModule::observe(ProcessId from, const SignedMessage& msg,
+                                   SimTime now) {
+  MODUBFT_EXPECTS(from.value < monitors_.size());
+  Verdict v = monitors_[from.value].observe(msg);
+  if (!v && v.kind != FaultKind::kNone) {
+    declare_faulty(from, v.kind, v.detail, now);
+  }
+  return v;
+}
+
+void NonMutenessModule::declare_faulty(ProcessId culprit, FaultKind kind,
+                                       std::string detail, SimTime now) {
+  records_.push_back(FaultRecord{culprit, kind, detail, now});
+  faulty_.insert(culprit);
+}
+
+// ------------------------------------------------------------- certification
+
+CertificationModule::CertificationModule(const BftConfig& config)
+    : config_(config) {}
+
+void CertificationModule::add_init(const SignedMessage& m) {
+  est_cert_.members.push_back(m);
+}
+
+void CertificationModule::adopt_est(const Certificate& cert) {
+  est_cert_ = cert;
+}
+
+void CertificationModule::add_current(const SignedMessage& m) {
+  current_cert_.members.push_back(m);
+}
+
+void CertificationModule::add_next(const SignedMessage& m) {
+  next_cert_.members.push_back(m);
+}
+
+void CertificationModule::add_conflicting_current(const SignedMessage& m) {
+  conflict_cert_.members.push_back(m);
+}
+
+void CertificationModule::reset_round() {
+  next_cert_ = Certificate{};
+  current_cert_ = Certificate{};
+  conflict_cert_ = Certificate{};
+}
+
+std::size_t CertificationModule::init_count() const {
+  std::set<ProcessId> senders;
+  for (const SignedMessage& m : est_cert_.members) {
+    if (m.core.kind == BftKind::kInit) senders.insert(m.core.sender);
+  }
+  return senders.size();
+}
+
+std::set<ProcessId> CertificationModule::rec_from() const {
+  std::set<ProcessId> out;
+  for (const SignedMessage& m : current_cert_.members) out.insert(m.core.sender);
+  for (const SignedMessage& m : next_cert_.members) out.insert(m.core.sender);
+  for (const SignedMessage& m : conflict_cert_.members) out.insert(m.core.sender);
+  return out;
+}
+
+SignedMessage CertificationModule::policy_copy(const SignedMessage& m) const {
+  // Pruning policy: the §5.1 checks only read the *cores* of NEXT messages
+  // found inside certificates, so their own certificates can travel as
+  // digests.  INITs have empty certificates and CURRENT bodies are needed
+  // for adoption/relay chains, so both stay inline.
+  if (config_.prune_nested_next && m.core.kind == BftKind::kNext &&
+      !m.cert.empty() && !m.cert.pruned) {
+    SignedMessage copy = m;
+    copy.cert = prune(m.cert);
+    return copy;
+  }
+  return m;
+}
+
+Certificate CertificationModule::build(
+    std::initializer_list<const Certificate*> parts) const {
+  Certificate out;
+  for (const Certificate* part : parts) {
+    MODUBFT_EXPECTS(part != nullptr);
+    MODUBFT_EXPECTS(!part->pruned);
+    for (const SignedMessage& m : part->members) {
+      out.members.push_back(policy_copy(m));
+    }
+  }
+  return out;
+}
+
+Certificate CertificationModule::relay_of(const SignedMessage& adopted) const {
+  Certificate out;
+  out.members.push_back(adopted);  // the full adopted CURRENT, never pruned
+  return out;
+}
+
+}  // namespace modubft::bft

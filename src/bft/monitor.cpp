@@ -1,0 +1,114 @@
+#include "bft/monitor.hpp"
+
+namespace modubft::bft {
+
+PeerMonitor::PeerMonitor(ProcessId peer, const CertAnalyzer& analyzer)
+    : peer_(peer), analyzer_(analyzer) {}
+
+Verdict PeerMonitor::fault(FaultKind kind, std::string detail) {
+  state_ = State::kFaulty;
+  return Verdict::fail(kind, std::move(detail));
+}
+
+Verdict PeerMonitor::observe(const SignedMessage& msg) {
+  if (state_ == State::kFaulty) {
+    // Already declared faulty; discard silently (no new accusation needed).
+    return Verdict::fail(FaultKind::kNone, "peer already faulty");
+  }
+  if (state_ == State::kFinal) {
+    return fault(FaultKind::kOutOfOrder, "message after DECIDE");
+  }
+
+  switch (msg.core.kind) {
+    case BftKind::kInit:
+      return observe_init(msg);
+    case BftKind::kDecide:
+      return observe_decide(msg);
+    case BftKind::kCurrent:
+    case BftKind::kNext:
+      return observe_round_message(msg);
+  }
+  return fault(FaultKind::kMalformed, "unknown message kind");
+}
+
+Verdict PeerMonitor::observe_init(const SignedMessage& msg) {
+  if (state_ != State::kStart) {
+    return fault(FaultKind::kOutOfOrder, "duplicate INIT");
+  }
+  if (Verdict v = analyzer_.init_wf(msg); !v) {
+    state_ = State::kFaulty;
+    return v;
+  }
+  state_ = State::kInRound;
+  round_ = Round{1};
+  phase_ = PeerPhase::kQ0;
+  return Verdict::ok();
+}
+
+Verdict PeerMonitor::observe_decide(const SignedMessage& msg) {
+  // The DECIDE-relay task runs concurrently with the round task (Fig 3
+  // line 2), so a DECIDE is enabled in every non-terminal state, including
+  // start.  Its certificate carries the full justification.
+  if (Verdict v = analyzer_.decide_wf(msg); !v) {
+    state_ = State::kFaulty;
+    return v;
+  }
+  state_ = State::kFinal;
+  return Verdict::ok();
+}
+
+Verdict PeerMonitor::observe_round_message(const SignedMessage& msg) {
+  if (state_ == State::kStart) {
+    return fault(FaultKind::kOutOfOrder,
+                 "round message before INIT (FIFO violation)");
+  }
+  const Round r = msg.core.round;
+
+  if (r < round_) {
+    return fault(FaultKind::kOutOfOrder, "message for an already-left round");
+  }
+  if (r > round_) {
+    // A correct process leaves round round_ only after voting NEXT (q2) and
+    // advances one round at a time; its broadcasts reach us in FIFO order.
+    if (phase_ != PeerPhase::kQ2) {
+      return fault(FaultKind::kOutOfOrder,
+                   "entered a new round without voting NEXT");
+    }
+    if (r.value != round_.value + 1) {
+      return fault(FaultKind::kOutOfOrder, "skipped a round");
+    }
+    round_ = r;
+    phase_ = PeerPhase::kQ0;
+  }
+
+  if (msg.core.kind == BftKind::kCurrent) {
+    if (phase_ != PeerPhase::kQ0) {
+      return fault(FaultKind::kOutOfOrder,
+                   phase_ == PeerPhase::kQ1 ? "duplicate CURRENT in one round"
+                                            : "CURRENT after NEXT");
+    }
+    if (Verdict v = analyzer_.current_wf(msg); !v) {
+      state_ = State::kFaulty;
+      return v;
+    }
+    phase_ = PeerPhase::kQ1;
+    return Verdict::ok();
+  }
+
+  // NEXT.  The program text (Fig 3 line 12) makes the coordinator open its
+  // own round with a CURRENT unconditionally, so a coordinator whose first
+  // vote of its round is NEXT substituted a message.
+  if (phase_ == PeerPhase::kQ0 &&
+      bft_coordinator_of(r, analyzer_.n()) == peer_) {
+    return fault(FaultKind::kWrongExpected,
+                 "coordinator's first vote in its round must be CURRENT");
+  }
+  if (Verdict v = analyzer_.next_wf(msg, phase_); !v) {
+    state_ = State::kFaulty;
+    return v;
+  }
+  phase_ = PeerPhase::kQ2;
+  return Verdict::ok();
+}
+
+}  // namespace modubft::bft

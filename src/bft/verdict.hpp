@@ -1,0 +1,52 @@
+// Classification of detected arbitrary failures (paper §2/§3 taxonomy).
+//
+// Every rejection by the detection modules carries the failure class that
+// produced it; experiment E4 asserts each injected fault class is caught by
+// the intended module, and the reliability property ("if p_i is correct and
+// p_j ∈ faulty_i then p_j misbehaved") is tested by checking that correct
+// processes never accumulate verdicts against correct peers.
+#pragma once
+
+#include <string>
+
+namespace modubft::bft {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// Signature module: the signature does not match the claimed sender.
+  kBadSignature,
+  /// Message bytes do not decode / violate the wire grammar.
+  kMalformed,
+  /// The identity field inside the message differs from the channel's
+  /// actual sender.
+  kIdentityMismatch,
+  /// "Wrong time": the receipt event is not enabled in the sender's state
+  /// machine (duplicates, skipped rounds, messages after DECIDE, ...).
+  kOutOfOrder,
+  /// "Right time, wrong message/content": enabled receipt event whose
+  /// content is inconsistent (wrong vector, substituted message, ...).
+  kWrongExpected,
+  /// The attached certificate is not well-formed w.r.t. the message.
+  kBadCertificate,
+  /// Two conflicting signed messages from the same process for the same
+  /// step (e.g. a coordinator signing two different vectors in one round).
+  kEquivocation,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Result of one validation step.
+struct Verdict {
+  bool valid = true;
+  FaultKind kind = FaultKind::kNone;
+  std::string detail;
+
+  static Verdict ok() { return Verdict{}; }
+  static Verdict fail(FaultKind kind, std::string detail) {
+    return Verdict{false, kind, std::move(detail)};
+  }
+
+  explicit operator bool() const { return valid; }
+};
+
+}  // namespace modubft::bft

@@ -1,0 +1,44 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace modubft {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("invalid hex character: ") + c);
+}
+}  // namespace
+
+std::string to_hex(const Bytes& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("hex string has odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) * 16 +
+                                            hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string string_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+}  // namespace modubft

@@ -1,0 +1,27 @@
+// Byte-buffer alias and hex helpers used across all wire formats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace modubft {
+
+/// The universal octet buffer type for wire payloads, digests and keys.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Encodes `data` as lowercase hexadecimal (two characters per octet).
+std::string to_hex(const Bytes& data);
+
+/// Decodes a hex string produced by to_hex (case-insensitive).
+/// Throws std::invalid_argument on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Builds a Bytes buffer from a string's octets (no encoding applied).
+Bytes bytes_of(std::string_view s);
+
+/// Interprets a Bytes buffer as a std::string (no encoding applied).
+std::string string_of(const Bytes& b);
+
+}  // namespace modubft

@@ -1,0 +1,55 @@
+// Lightweight precondition / postcondition / invariant checking.
+//
+// Following the C++ Core Guidelines (I.5/I.7), interfaces state their
+// contracts explicitly.  Violations indicate programmer error and throw
+// ContractViolation so tests can assert on them; they are never used for
+// recoverable runtime conditions (use error returns / domain exceptions for
+// those).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace modubft {
+
+/// Thrown when a stated contract (precondition, postcondition, invariant)
+/// is violated.  Indicates a bug in the caller or callee, not an
+/// environmental failure.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace modubft
+
+/// Precondition check: caller must guarantee `cond`.
+#define MODUBFT_EXPECTS(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::modubft::detail::contract_failed("precondition", #cond, __FILE__,  \
+                                         __LINE__);                        \
+  } while (false)
+
+/// Postcondition check: callee guarantees `cond` on normal return.
+#define MODUBFT_ENSURES(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::modubft::detail::contract_failed("postcondition", #cond, __FILE__, \
+                                         __LINE__);                        \
+  } while (false)
+
+/// Internal invariant check.
+#define MODUBFT_ASSERT(cond)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::modubft::detail::contract_failed("invariant", #cond, __FILE__,     \
+                                         __LINE__);                        \
+  } while (false)

@@ -1,0 +1,73 @@
+// Strong identifier and quantity types shared by all protocol layers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace modubft {
+
+/// Identifies a process p_1..p_n.  Zero-based internally (0..n-1); the
+/// paper's 1-based names appear only in logs.
+struct ProcessId {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const ProcessId&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, ProcessId id) {
+  return os << 'p' << (id.value + 1);
+}
+
+/// Asynchronous round number.  Rounds start at 1; 0 means "before the first
+/// round" (used by certificates that certify entry into round 1).
+struct Round {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const Round&) const = default;
+
+  Round next() const { return Round{value + 1}; }
+  Round prev() const { return Round{value == 0 ? 0 : value - 1}; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Round r) {
+  return os << 'r' << r.value;
+}
+
+/// Simulated time in abstract microseconds.
+using SimTime = std::uint64_t;
+
+/// Consensus instance number (used by the replicated state machine).
+struct InstanceId {
+  std::uint64_t value = 0;
+
+  auto operator<=>(const InstanceId&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, InstanceId id) {
+  return os << "inst" << id.value;
+}
+
+}  // namespace modubft
+
+template <>
+struct std::hash<modubft::ProcessId> {
+  std::size_t operator()(modubft::ProcessId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<modubft::Round> {
+  std::size_t operator()(modubft::Round r) const noexcept {
+    return std::hash<std::uint32_t>{}(r.value);
+  }
+};
+
+template <>
+struct std::hash<modubft::InstanceId> {
+  std::size_t operator()(modubft::InstanceId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

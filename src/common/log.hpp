@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The protocols log through this instead of std::cerr directly so tests can
+// silence output and examples can turn on tracing.  A single global level
+// keeps the interface small; per-run sinks were not needed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace modubft {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the global threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  if (log_level() <= LogLevel::kTrace)
+    log_line(LogLevel::kTrace, detail::format_parts(args...));
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::format_parts(args...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::format_parts(args...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::format_parts(args...));
+}
+
+}  // namespace modubft

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// Every run of the simulator is driven by a single seed; all stochastic
+// choices (latencies, adversary schedules, workload values) derive from Rng
+// instances split off that seed, so a failing run can be replayed exactly.
+// Implementation: xoshiro256** seeded via SplitMix64 (Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+namespace modubft {
+
+/// Small, fast, deterministic PRNG (xoshiro256**).
+/// Not cryptographic — used only for simulation and workload generation.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds produce equal streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using rejection sampling (unbiased).
+  /// Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derives an independent child generator; children with distinct labels
+  /// produce independent streams.
+  Rng split(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace modubft

@@ -1,0 +1,31 @@
+#include "consensus/messages.hpp"
+
+#include "common/serial.hpp"
+
+namespace modubft::consensus {
+
+Bytes encode_vote(const Vote& v) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.u32(v.sender.value);
+  w.u32(v.round.value);
+  w.u64(v.value);
+  w.u32(v.value_ts.value);
+  return std::move(w).take();
+}
+
+Vote decode_vote(const Bytes& buf) {
+  Reader r(buf);
+  Vote v;
+  const std::uint8_t kind = r.u8();
+  if (kind < 1 || kind > 7) throw SerialError("unknown vote kind");
+  v.kind = static_cast<VoteKind>(kind);
+  v.sender = ProcessId{r.u32()};
+  v.round = Round{r.u32()};
+  v.value = r.u64();
+  v.value_ts = Round{r.u32()};
+  r.expect_end();
+  return v;
+}
+
+}  // namespace modubft::consensus

@@ -1,0 +1,46 @@
+// Wire format of the crash-model consensus protocols.
+//
+// One codec covers both Hurfin–Raynal (CURRENT/NEXT/DECIDE) and the
+// Chandra–Toueg baseline (ESTIMATE/PROPOSE/ACK/NACK + DECIDE); each actor
+// simply ignores kinds it never sends.  Decoding is defensive (SerialError
+// on malformed buffers) even though the crash model assumes honest senders:
+// the same codec is reused by fault-injection tests that deliberately break
+// frames.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "consensus/value.hpp"
+
+namespace modubft::consensus {
+
+enum class VoteKind : std::uint8_t {
+  kCurrent = 1,  // HR: vote to decide on the coordinator's estimate
+  kNext = 2,     // HR: vote to move to the next round
+  kDecide = 3,   // both: decision announcement
+  kEstimate = 4, // CT phase 1: estimate sent to the coordinator
+  kPropose = 5,  // CT phase 2: coordinator's proposal
+  kAck = 6,      // CT phase 3: proposal accepted
+  kNack = 7,     // CT phase 3: coordinator suspected
+};
+
+/// A crash-model protocol message.
+struct Vote {
+  VoteKind kind = VoteKind::kCurrent;
+  ProcessId sender;
+  Round round;
+  /// Value payload; meaningful for kCurrent/kDecide/kEstimate/kPropose.
+  Value value = 0;
+  /// CT only: round in which `value` was last adopted (timestamp).
+  Round value_ts;
+};
+
+/// Canonical encoding of a Vote.
+Bytes encode_vote(const Vote& v);
+
+/// Decodes a Vote; throws SerialError on malformed input.
+Vote decode_vote(const Bytes& buf);
+
+}  // namespace modubft::consensus

@@ -1,0 +1,39 @@
+#include "crypto/hmac.hpp"
+
+namespace modubft::crypto {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& data) {
+  constexpr std::size_t kBlock = 64;
+
+  // Keys longer than one block are hashed first, per RFC 2104.
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    Digest d = sha256(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace modubft::crypto

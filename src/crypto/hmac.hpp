@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Backs the fast "signature" scheme used in large simulation sweeps: with a
+// trusted per-sender key directory, an HMAC tag is unforgeable by the other
+// processes in exactly the way the paper's signature assumption requires.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace modubft::crypto {
+
+/// Computes HMAC-SHA256(key, data).
+Digest hmac_sha256(const Bytes& key, const Bytes& data);
+
+/// Constant-time comparison of two digests (avoids timing side channels;
+/// also simply the right idiom for tag verification).
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace modubft::crypto

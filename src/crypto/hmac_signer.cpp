@@ -1,0 +1,71 @@
+#include "crypto/hmac_signer.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace modubft::crypto {
+
+namespace {
+
+Bytes derive_key(std::uint64_t seed, std::uint32_t id) {
+  Writer w;
+  w.u64(seed);
+  w.u32(id);
+  w.str("modubft-hmac-key");
+  Digest d = sha256(w.data());
+  return Bytes(d.begin(), d.end());
+}
+
+class HmacSigner : public Signer {
+ public:
+  HmacSigner(ProcessId id, Bytes key) : id_(id), key_(std::move(key)) {}
+
+  Signature sign(const Bytes& message) const override {
+    Digest tag = hmac_sha256(key_, message);
+    return Bytes(tag.begin(), tag.end());
+  }
+
+  ProcessId id() const override { return id_; }
+
+ private:
+  ProcessId id_;
+  Bytes key_;
+};
+
+class HmacVerifier : public Verifier {
+ public:
+  explicit HmacVerifier(std::vector<Bytes> keys) : keys_(std::move(keys)) {}
+
+  bool verify(ProcessId signer, const Bytes& message,
+              const Signature& sig) const override {
+    if (signer.value >= keys_.size()) return false;
+    Digest expected = hmac_sha256(keys_[signer.value], message);
+    if (sig.size() != expected.size()) return false;
+    Digest given;
+    std::copy(sig.begin(), sig.end(), given.begin());
+    return digest_equal(expected, given);
+  }
+
+ private:
+  std::vector<Bytes> keys_;
+};
+
+}  // namespace
+
+SignatureSystem HmacScheme::make_system(std::uint32_t n,
+                                        std::uint64_t seed) const {
+  SignatureSystem sys;
+  std::vector<Bytes> keys;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Bytes key = derive_key(seed, i);
+    keys.push_back(key);
+    sys.signers.push_back(std::make_unique<HmacSigner>(ProcessId{i}, key));
+  }
+  sys.verifier = std::make_shared<HmacVerifier>(std::move(keys));
+  return sys;
+}
+
+}  // namespace modubft::crypto

@@ -1,0 +1,175 @@
+#include "crypto/rsa64.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace modubft::crypto {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;  // GCC/Clang builtin
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<u128>(a) * b % m);
+}
+
+// Deterministic Miller-Rabin; bases {2,3,5,7,11,13,17,19,23,29,31,37} are
+// a proven-complete witness set for all n < 3.3e24, far beyond 32 bits.
+bool is_prime_u32(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t p : {2u, 3u, 5u, 7u, 11u, 13u, 17u, 19u, 23u, 29u, 31u, 37u}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint32_t d = n - 1;
+  int r = 0;
+  while (d % 2 == 0) {
+    d /= 2;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = rsa64_modpow(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint32_t random_prime_u32(Rng& rng) {
+  for (;;) {
+    // Top two bits set so the product of two primes fills 64 bits; low bit
+    // set so the candidate is odd.
+    auto candidate = static_cast<std::uint32_t>(rng.next_u64());
+    candidate |= 0xc0000001u;
+    if (is_prime_u32(candidate)) return candidate;
+  }
+}
+
+// Extended Euclid: returns x with (a*x) % m == 1, or 0 if not invertible.
+std::uint64_t modular_inverse(std::uint64_t a, std::uint64_t m) {
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m),
+               new_r = static_cast<std::int64_t>(a);
+  while (new_r != 0) {
+    std::int64_t q = r / new_r;
+    std::int64_t tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    std::int64_t tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r > 1) return 0;
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t digest_to_u64(const Digest& d) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  return v;
+}
+
+class Rsa64Signer : public Signer {
+ public:
+  Rsa64Signer(ProcessId id, RsaKeyPair keys) : id_(id), keys_(keys) {}
+
+  Signature sign(const Bytes& message) const override {
+    std::uint64_t m = digest_to_u64(sha256(message)) % keys_.pub.modulus;
+    std::uint64_t s = rsa64_modpow(m, keys_.private_exponent,
+                                   keys_.pub.modulus);
+    Writer w;
+    w.u64(s);
+    return std::move(w).take();
+  }
+
+  ProcessId id() const override { return id_; }
+
+ private:
+  ProcessId id_;
+  RsaKeyPair keys_;
+};
+
+class Rsa64Verifier : public Verifier {
+ public:
+  explicit Rsa64Verifier(std::vector<RsaPublicKey> keys)
+      : keys_(std::move(keys)) {}
+
+  bool verify(ProcessId signer, const Bytes& message,
+              const Signature& sig) const override {
+    if (signer.value >= keys_.size()) return false;
+    if (sig.size() != 8) return false;
+    std::uint64_t s = 0;
+    for (int i = 0; i < 8; ++i)
+      s |= static_cast<std::uint64_t>(sig[i]) << (8 * i);
+    const RsaPublicKey& pk = keys_[signer.value];
+    if (s >= pk.modulus) return false;
+    std::uint64_t recovered = rsa64_modpow(s, pk.exponent, pk.modulus);
+    std::uint64_t expected = digest_to_u64(sha256(message)) % pk.modulus;
+    return recovered == expected;
+  }
+
+ private:
+  std::vector<RsaPublicKey> keys_;
+};
+
+}  // namespace
+
+std::uint64_t rsa64_modpow(std::uint64_t base, std::uint64_t exp,
+                           std::uint64_t modulus) {
+  MODUBFT_EXPECTS(modulus > 1);
+  std::uint64_t result = 1;
+  base %= modulus;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, modulus);
+    base = mulmod(base, base, modulus);
+    exp >>= 1;
+  }
+  return result;
+}
+
+RsaKeyPair rsa64_generate(std::uint64_t seed) {
+  Rng rng(seed);
+  for (;;) {
+    std::uint64_t p = random_prime_u32(rng);
+    std::uint64_t q = random_prime_u32(rng);
+    if (p == q) continue;
+    std::uint64_t n = p * q;
+    std::uint64_t lambda = std::lcm(p - 1, q - 1);
+    const std::uint64_t e = 65537;
+    if (std::gcd(e, lambda) != 1) continue;
+    std::uint64_t d = modular_inverse(e, lambda);
+    if (d == 0) continue;
+    return RsaKeyPair{RsaPublicKey{n, e}, d};
+  }
+}
+
+SignatureSystem Rsa64Scheme::make_system(std::uint32_t n,
+                                         std::uint64_t seed) const {
+  SignatureSystem sys;
+  std::vector<RsaPublicKey> pubs;
+  Rng root(seed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RsaKeyPair keys = rsa64_generate(root.next_u64());
+    pubs.push_back(keys.pub);
+    sys.signers.push_back(
+        std::make_unique<Rsa64Signer>(ProcessId{i}, keys));
+  }
+  sys.verifier = std::make_shared<Rsa64Verifier>(std::move(pubs));
+  return sys;
+}
+
+}  // namespace modubft::crypto

@@ -1,0 +1,46 @@
+// Textbook RSA over 64-bit semiprimes.
+//
+// The paper assumes unforgeable RSA signatures [13].  For a deterministic,
+// offline-reproducible testbed we implement real RSA key generation
+// (Miller–Rabin primality over 32-bit primes), real modular exponentiation
+// (via unsigned __int128), and hash-then-sign with SHA-256 — but with keys
+// far too small to be secure against factoring.  Within the fault model
+// (adversaries corrupt protocol state; they do not run number-theoretic
+// attacks) the scheme behaves exactly like the paper's: only the holder of
+// the private key can produce a signature that verifies.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/signature.hpp"
+
+namespace modubft::crypto {
+
+/// An RSA public key (modulus, public exponent).
+struct RsaPublicKey {
+  std::uint64_t modulus = 0;
+  std::uint64_t exponent = 0;
+};
+
+/// An RSA key pair.
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  std::uint64_t private_exponent = 0;
+};
+
+/// Deterministically generates a key pair from `seed`.
+RsaKeyPair rsa64_generate(std::uint64_t seed);
+
+/// Raw RSA operation: base^exp mod modulus.
+std::uint64_t rsa64_modpow(std::uint64_t base, std::uint64_t exp,
+                           std::uint64_t modulus);
+
+/// Signature scheme factory producing Rsa64 signers/verifiers.
+class Rsa64Scheme : public SignatureScheme {
+ public:
+  SignatureSystem make_system(std::uint32_t n,
+                              std::uint64_t seed) const override;
+  const char* name() const override { return "rsa64"; }
+};
+
+}  // namespace modubft::crypto

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for message digests inside signatures and for certificate pruning
+// (replacing verified nested certificates by their digest).  The streaming
+// interface lets large certificates be hashed without copying.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace modubft::crypto {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` octets from `data`.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finalizes and returns the digest.  The context must not be reused
+  /// afterwards except via reset().
+  Digest finish();
+
+  /// Returns the context to its initial state.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience hash.
+Digest sha256(const Bytes& data);
+
+/// Digest rendered as Bytes (for embedding in wire formats).
+Bytes digest_bytes(const Digest& d);
+
+}  // namespace modubft::crypto

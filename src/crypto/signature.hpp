@@ -1,0 +1,69 @@
+// Signature-scheme abstraction (paper's signature module substrate).
+//
+// The paper assumes each process holds a private key used to sign outgoing
+// messages in an unforgeable way [13], with public keys known to everyone.
+// Two implementations are provided:
+//   * Rsa64Scheme   — textbook RSA over 64-bit semiprimes (real modular
+//                     arithmetic; cryptographically weak, functionally
+//                     faithful — see DESIGN.md §7);
+//   * HmacScheme    — HMAC-SHA256 tags with a trusted key directory (fast
+//                     path for large sweeps).
+// Both are deterministic given their key material, keeping runs replayable.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace modubft::crypto {
+
+/// An opaque signature blob; format is scheme-specific.
+using Signature = Bytes;
+
+/// Signs messages on behalf of one process.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  /// Returns the signature of `message` under this process's private key.
+  virtual Signature sign(const Bytes& message) const = 0;
+
+  /// The identity this signer signs for.
+  virtual ProcessId id() const = 0;
+};
+
+/// Verifies signatures of any process in the group.
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  /// True iff `sig` is a valid signature of `message` by `signer`.
+  /// Must be total: arbitrary (adversarial) sig blobs return false, never
+  /// throw.
+  virtual bool verify(ProcessId signer, const Bytes& message,
+                      const Signature& sig) const = 0;
+};
+
+/// Bundles the per-process signers and the shared verifier for a group.
+/// Created once per run by a scheme factory.
+struct SignatureSystem {
+  std::vector<std::unique_ptr<Signer>> signers;  // index = process id
+  std::shared_ptr<Verifier> verifier;
+};
+
+/// Factory interface so runs can select a scheme by configuration.
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  /// Generates key material for `n` processes from `seed` and returns the
+  /// resulting system.  Equal seeds yield equal keys (replayability).
+  virtual SignatureSystem make_system(std::uint32_t n,
+                                      std::uint64_t seed) const = 0;
+
+  /// Human-readable scheme name for logs and benchmark labels.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace modubft::crypto

@@ -1,0 +1,239 @@
+#include "faults/byzantine.hpp"
+
+#include "common/check.hpp"
+
+namespace modubft::faults {
+
+using bft::BftKind;
+using bft::Certificate;
+using bft::MessageCore;
+using bft::SignedMessage;
+
+const char* behavior_name(Behavior b) {
+  switch (b) {
+    case Behavior::kNone: return "none";
+    case Behavior::kCrash: return "crash";
+    case Behavior::kMute: return "mute";
+    case Behavior::kCorruptVector: return "corrupt-vector";
+    case Behavior::kWrongRound: return "wrong-round";
+    case Behavior::kDuplicateCurrent: return "duplicate-current";
+    case Behavior::kDuplicateNext: return "duplicate-next";
+    case Behavior::kBadSignature: return "bad-signature";
+    case Behavior::kStripCertificate: return "strip-certificate";
+    case Behavior::kSubstituteNext: return "substitute-next";
+    case Behavior::kPrematureDecide: return "premature-decide";
+    case Behavior::kEquivocate: return "equivocate";
+    case Behavior::kLieInit: return "lie-init";
+    case Behavior::kSpuriousCurrent: return "spurious-current";
+  }
+  return "?";
+}
+
+/// Intercepts the wrapped process's sends and applies the fault.
+class ByzantineActor::EvilContext final : public sim::ForwardingContext {
+ public:
+  EvilContext(sim::Context& base, ByzantineActor& owner)
+      : ForwardingContext(base), owner_(owner) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    emit({to}, std::move(payload));
+  }
+
+  void broadcast(const Bytes& payload) override {
+    std::vector<ProcessId> all;
+    for (std::uint32_t i = 0; i < base_.n(); ++i) all.push_back(ProcessId{i});
+    emit(all, payload);
+  }
+
+ private:
+  SignedMessage resign(SignedMessage msg) const {
+    msg.sig = owner_.signer_->sign(bft::signing_bytes(msg.core, msg.cert));
+    return msg;
+  }
+
+  void deliver(const std::vector<ProcessId>& dests, const SignedMessage& msg) {
+    Bytes frame = bft::encode_message(msg);
+    for (ProcessId d : dests) base_.send(d, frame);
+  }
+
+  void emit(const std::vector<ProcessId>& dests, Bytes payload) {
+    SignedMessage msg = bft::decode_message(payload);
+    const FaultSpec& spec = owner_.spec_;
+    const Round r = msg.core.round;
+
+    switch (spec.behavior) {
+      case Behavior::kNone:
+      case Behavior::kCrash:  // handled by the simulator's crash schedule
+        break;
+
+      case Behavior::kMute:
+        // Mute w.r.t. the algorithm: from `from_round` on, nothing leaves
+        // the process although it keeps executing.
+        if (r.value >= spec.from_round.value ||
+            msg.core.kind == BftKind::kDecide) {
+          return;  // swallow
+        }
+        break;
+
+      case Behavior::kCorruptVector:
+        if (msg.core.kind == BftKind::kCurrent &&
+            r.value >= spec.from_round.value) {
+          // Corrupt one vector entry; the certificate no longer witnesses
+          // the vector.
+          msg.core.est[0] =
+              msg.core.est[0].has_value() ? *msg.core.est[0] + 1 : 7;
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kWrongRound:
+        if ((msg.core.kind == BftKind::kCurrent ||
+             msg.core.kind == BftKind::kNext) &&
+            r.value >= spec.from_round.value) {
+          // Re-label as the previous round: receivers have already watched
+          // this process leave it, so the receipt event is not enabled.
+          msg.core.round = r.prev();
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kDuplicateCurrent:
+        if (msg.core.kind == BftKind::kCurrent &&
+            r.value >= spec.from_round.value) {
+          deliver(dests, msg);
+          deliver(dests, msg);  // duplicated statement
+          return;
+        }
+        break;
+
+      case Behavior::kDuplicateNext:
+        if (msg.core.kind == BftKind::kNext &&
+            r.value >= spec.from_round.value) {
+          deliver(dests, msg);
+          deliver(dests, msg);
+          return;
+        }
+        break;
+
+      case Behavior::kBadSignature:
+        if (r.value >= spec.from_round.value) {
+          if (!msg.sig.empty()) msg.sig.back() ^= 0x01;
+          deliver(dests, msg);
+          return;
+        }
+        break;
+
+      case Behavior::kStripCertificate:
+        if ((msg.core.kind == BftKind::kCurrent ||
+             msg.core.kind == BftKind::kDecide) &&
+            r.value >= spec.from_round.value) {
+          msg.cert = Certificate{};
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kSubstituteNext:
+        if (msg.core.kind == BftKind::kCurrent &&
+            r.value >= spec.from_round.value) {
+          // Misevaluated condition: votes NEXT where the text says CURRENT,
+          // keeping the certificate it actually holds.
+          msg.core.kind = BftKind::kNext;
+          msg.core.est.clear();
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kPrematureDecide:
+        if (r.value >= spec.from_round.value &&
+            owner_.last_injected_round_ < r.value) {
+          owner_.last_injected_round_ = r.value;
+          deliver(dests, msg);  // the genuine message still goes out
+          SignedMessage fake;
+          fake.core.kind = BftKind::kDecide;
+          fake.core.sender = msg.core.sender;
+          fake.core.round = r.value >= 1 ? r : Round{1};
+          fake.core.est.assign(owner_.n_, std::nullopt);
+          fake.cert = msg.cert;  // whatever it holds — not a quorum
+          deliver(dests, resign(fake));
+          return;
+        }
+        break;
+
+      case Behavior::kEquivocate:
+        if (msg.core.kind == BftKind::kCurrent &&
+            r.value >= spec.from_round.value) {
+          SignedMessage variant = msg;
+          variant.core.est[msg.core.sender.value] =
+              variant.core.est[msg.core.sender.value].value_or(0) + 1;
+          variant = resign(variant);
+          std::vector<ProcessId> lo, hi;
+          for (ProcessId d : dests) {
+            (d.value < base_.n() / 2 ? lo : hi).push_back(d);
+          }
+          deliver(lo, msg);
+          deliver(hi, variant);
+          return;
+        }
+        break;
+
+      case Behavior::kLieInit:
+        if (msg.core.kind == BftKind::kInit) {
+          // An irrelevant initial value — undetectable by design.
+          msg.core.init_value = 0xdeadbeef;
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kSpuriousCurrent:
+        if (msg.core.kind == BftKind::kNext &&
+            r.value >= spec.from_round.value &&
+            owner_.last_injected_round_ < r.value) {
+          owner_.last_injected_round_ = r.value;
+          deliver(dests, msg);
+          SignedMessage fake;
+          fake.core.kind = BftKind::kCurrent;
+          fake.core.sender = msg.core.sender;
+          fake.core.round = r;
+          fake.core.est.assign(owner_.n_, std::nullopt);
+          fake.cert = msg.cert;
+          deliver(dests, resign(fake));
+          return;
+        }
+        break;
+    }
+    deliver(dests, msg);
+  }
+
+  ByzantineActor& owner_;
+};
+
+ByzantineActor::ByzantineActor(std::unique_ptr<bft::BftProcess> inner,
+                               const crypto::Signer* signer, FaultSpec spec,
+                               std::uint32_t n)
+    : inner_(std::move(inner)), signer_(signer), spec_(spec), n_(n) {
+  MODUBFT_EXPECTS(inner_ != nullptr);
+  MODUBFT_EXPECTS(signer_ != nullptr);
+}
+
+void ByzantineActor::on_start(sim::Context& ctx) {
+  EvilContext evil(ctx, *this);
+  inner_->on_start(evil);
+}
+
+void ByzantineActor::on_message(sim::Context& ctx, ProcessId from,
+                                const Bytes& payload) {
+  EvilContext evil(ctx, *this);
+  inner_->on_message(evil, from, payload);
+}
+
+void ByzantineActor::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  EvilContext evil(ctx, *this);
+  inner_->on_timer(evil, timer_id);
+}
+
+}  // namespace modubft::faults

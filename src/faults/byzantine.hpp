@@ -1,0 +1,44 @@
+// Byzantine wrapper: turns a correct BftProcess into a faulty one.
+//
+// Arbitrary failures originate *inside* processes (the network stays
+// reliable and FIFO, per the model), so fault injection wraps the actor:
+// outgoing frames are intercepted, decoded, mutated according to the
+// FaultSpec, re-signed with the process's own key — a Byzantine process can
+// sign anything as itself, but cannot forge others' signatures — and then
+// released.  This reproduces each §2 failure class from the genuine
+// protocol state, which is what makes the detection experiments meaningful:
+// the faulty messages are exactly one mutation away from valid ones.
+#pragma once
+
+#include <memory>
+
+#include "bft/bft_consensus.hpp"
+#include "faults/fault_spec.hpp"
+
+namespace modubft::faults {
+
+class ByzantineActor final : public sim::Actor {
+ public:
+  ByzantineActor(std::unique_ptr<bft::BftProcess> inner,
+                 const crypto::Signer* signer, FaultSpec spec,
+                 std::uint32_t n);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
+
+  const bft::BftProcess& inner() const { return *inner_; }
+
+ private:
+  class EvilContext;
+
+  std::unique_ptr<bft::BftProcess> inner_;
+  const crypto::Signer* signer_;
+  FaultSpec spec_;
+  std::uint32_t n_;
+  // Once-per-trigger bookkeeping for behaviours that inject extra traffic.
+  std::uint32_t last_injected_round_ = 0;
+};
+
+}  // namespace modubft::faults

@@ -1,0 +1,78 @@
+// Fault-injection vocabulary: every failure class of paper §2's taxonomy.
+//
+// Muteness failures: kCrash (halt), kMute (stop sending from a round on).
+// Non-muteness failures: value corruption, statement duplication, spurious
+// statements, misevaluated expressions, substituted messages, forged
+// signatures, malformed certificates, equivocation, irrelevant initial
+// values.  Experiment E4 injects each class in isolation and asserts it is
+// caught by the module the methodology assigns to it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+
+namespace modubft::faults {
+
+enum class Behavior : std::uint8_t {
+  kNone = 0,
+
+  // --- muteness failures ---
+  /// Process crash at `at` (simulated by the network substrate).
+  kCrash,
+  /// Stops sending all protocol messages once its round reaches
+  /// `from_round` (mute w.r.t. the algorithm, but alive).
+  kMute,
+
+  // --- non-muteness failures ---
+  /// Corrupts the estimate vector inside outgoing CURRENT messages
+  /// (corruption of a local variable's value).
+  kCorruptVector,
+  /// Re-labels outgoing round-r messages as round r+1 (misevaluation /
+  /// corruption of the round variable).
+  kWrongRound,
+  /// Sends every CURRENT twice (duplication of a statement).
+  kDuplicateCurrent,
+  /// Sends every NEXT twice (duplication of a statement).
+  kDuplicateNext,
+  /// Flips a signature bit on outgoing messages (forged identity /
+  /// corrupted signature).
+  kBadSignature,
+  /// Strips the certificate from outgoing CURRENT/NEXT/DECIDE messages
+  /// (corrupted certificate).
+  kStripCertificate,
+  /// Sends NEXT where the program says CURRENT (substituted message —
+  /// misevaluated condition statement).
+  kSubstituteNext,
+  /// Broadcasts a DECIDE without a deciding quorum (misevaluation of the
+  /// decision condition).
+  kPrematureDecide,
+  /// Coordinator equivocation: different halves of the group receive
+  /// different vectors in its CURRENT.
+  kEquivocate,
+  /// Proposes an irrelevant initial value.  Undetectable by design (paper
+  /// §1) — used to demonstrate the Vector Validity bound, not detection.
+  kLieInit,
+  /// Sends an unsolicited CURRENT although not the coordinator, certified
+  /// with whatever it holds (execution of a spurious statement).
+  kSpuriousCurrent,
+};
+
+const char* behavior_name(Behavior b);
+
+/// True for the behaviours whose detection happens via ◇M suspicion rather
+/// than the non-muteness faulty set.
+inline bool is_muteness(Behavior b) {
+  return b == Behavior::kCrash || b == Behavior::kMute;
+}
+
+struct FaultSpec {
+  ProcessId who;
+  Behavior behavior = Behavior::kNone;
+  /// kCrash: crash instant.
+  SimTime at = 0;
+  /// kMute / round-scoped behaviours: first affected round.
+  Round from_round{1};
+};
+
+}  // namespace modubft::faults

@@ -1,0 +1,242 @@
+#include "faults/scenario.hpp"
+
+#include "bft/config.hpp"
+#include "common/check.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "crypto/rsa64.hpp"
+#include "faults/byzantine.hpp"
+
+namespace modubft::faults {
+
+namespace {
+
+crypto::SignatureSystem make_keys(Scheme scheme, std::uint32_t n,
+                                  std::uint64_t seed) {
+  if (scheme == Scheme::kRsa64) {
+    return crypto::Rsa64Scheme{}.make_system(n, seed);
+  }
+  return crypto::HmacScheme{}.make_system(n, seed);
+}
+
+std::vector<consensus::Value> default_proposals(
+    std::uint32_t n, const std::vector<consensus::Value>& given) {
+  if (!given.empty()) {
+    MODUBFT_EXPECTS(given.size() == n);
+    return given;
+  }
+  std::vector<consensus::Value> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = 1000 + i;
+  return out;
+}
+
+}  // namespace
+
+BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
+  bft::BftConfig proto;
+  proto.n = config.n;
+  proto.f = config.f;
+  proto.prune_nested_next = config.prune;
+  proto.certification_bound = config.certification_bound;
+  proto.stop_on_decide = config.stop_on_decide;
+  proto.muteness = config.muteness;
+  proto.validate();
+
+  const std::vector<consensus::Value> proposals =
+      default_proposals(config.n, config.proposals);
+
+  crypto::SignatureSystem keys = make_keys(config.scheme, config.n, config.seed);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = config.n;
+  sim_cfg.seed = config.seed;
+  sim_cfg.latency = config.latency;
+  sim_cfg.max_time = config.max_time;
+  sim::Simulation world(sim_cfg);
+  if (config.delivery_tap) world.set_delivery_tap(config.delivery_tap);
+
+  BftScenarioResult result;
+
+  // Fault assignment lookup.
+  std::vector<FaultSpec> spec_of(config.n);
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    spec_of[i].who = ProcessId{i};
+    spec_of[i].behavior = Behavior::kNone;
+  }
+  for (const FaultSpec& s : config.faults) {
+    MODUBFT_EXPECTS(s.who.value < config.n);
+    spec_of[s.who.value] = s;
+  }
+
+  std::vector<const bft::BftProcess*> views(config.n, nullptr);
+
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    auto inner = std::make_unique<bft::BftProcess>(
+        proto, proposals[i], keys.signers[i].get(), keys.verifier,
+        [&result, i](ProcessId, const bft::VectorDecision& d) {
+          result.decisions.emplace(i, d);
+        });
+    views[i] = inner.get();
+
+    const FaultSpec& spec = spec_of[i];
+    if (spec.behavior == Behavior::kNone) {
+      result.correct.insert(i);
+      world.set_actor(id, std::move(inner));
+    } else if (spec.behavior == Behavior::kCrash) {
+      world.set_actor(id, std::move(inner));
+      world.crash_at(id, spec.at);
+    } else {
+      world.set_actor(id, std::make_unique<ByzantineActor>(
+                              std::move(inner), keys.signers[i].get(), spec,
+                              config.n));
+    }
+  }
+
+  result.outcome = world.run();
+  result.net = world.stats();
+
+  // ---- evaluate the paper's properties over the correct processes ----
+  result.termination = true;
+  for (std::uint32_t i : result.correct) {
+    if (result.decisions.count(i) == 0) result.termination = false;
+  }
+
+  result.agreement = true;
+  const bft::VectorValue* first = nullptr;
+  for (std::uint32_t i : result.correct) {
+    auto it = result.decisions.find(i);
+    if (it == result.decisions.end()) continue;
+    if (first == nullptr) {
+      first = &it->second.entries;
+    } else if (*first != it->second.entries) {
+      result.agreement = false;
+    }
+    result.max_decision_round =
+        std::max(result.max_decision_round, it->second.round);
+    result.last_decision_time =
+        std::max(result.last_decision_time, it->second.time);
+  }
+
+  // Vector Validity (paper §5.1): for correct p_i, vect[i] is v_i or null,
+  // and at least n − 2F entries are initial values of correct processes.
+  result.vector_validity = true;
+  result.min_correct_entries = config.n;
+  const std::uint32_t floor_entries = config.n >= 2 * config.f
+                                          ? config.n - 2 * config.f
+                                          : 0;
+  for (std::uint32_t i : result.correct) {
+    auto it = result.decisions.find(i);
+    if (it == result.decisions.end()) continue;
+    const bft::VectorValue& vect = it->second.entries;
+    if (vect.size() != config.n) {
+      result.vector_validity = false;
+      continue;
+    }
+    std::uint32_t correct_entries = 0;
+    for (std::uint32_t j = 0; j < config.n; ++j) {
+      const bool j_correct = result.correct.count(j) > 0;
+      if (!vect[j].has_value()) continue;
+      if (j_correct) {
+        if (*vect[j] == proposals[j]) {
+          ++correct_entries;
+        } else {
+          result.vector_validity = false;  // falsified correct entry
+        }
+      }
+    }
+    result.min_correct_entries =
+        std::min(result.min_correct_entries, correct_entries);
+    if (correct_entries < floor_entries) result.vector_validity = false;
+  }
+  if (result.decisions.empty()) result.vector_validity = false;
+
+  // Detector reliability: correct processes never accuse correct ones.
+  result.detectors_reliable = true;
+  for (std::uint32_t i : result.correct) {
+    for (const bft::FaultRecord& rec : views[i]->nonmuteness().records()) {
+      result.records.push_back(rec);
+      result.declared_faulty.insert(rec.culprit.value);
+      if (result.correct.count(rec.culprit.value) > 0) {
+        result.detectors_reliable = false;
+      }
+    }
+    result.max_message_bytes = std::max(
+        result.max_message_bytes, views[i]->send_stats().max_message_bytes);
+    result.protocol_bytes += views[i]->send_stats().bytes;
+  }
+
+  return result;
+}
+
+CrashScenarioResult run_crash_scenario(const CrashScenarioConfig& config) {
+  MODUBFT_EXPECTS(config.crash_times.empty() ||
+                  config.crash_times.size() == config.n);
+
+  const std::vector<consensus::Value> proposals =
+      default_proposals(config.n, config.proposals);
+
+  std::vector<std::optional<SimTime>> crash_times = config.crash_times;
+  crash_times.resize(config.n);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = config.n;
+  sim_cfg.seed = config.seed;
+  sim_cfg.latency = config.latency;
+  sim_cfg.max_time = config.max_time;
+  sim::Simulation world(sim_cfg);
+
+  CrashScenarioResult result;
+
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    if (!crash_times[i].has_value()) result.correct.insert(i);
+
+    fd::OracleConfig oracle = config.oracle;
+    oracle.seed = config.oracle.seed ^ (0x1000 + i);  // independent mistakes
+    auto detector =
+        std::make_shared<fd::OracleDetector>(crash_times, oracle);
+
+    auto on_decide = [&result, i](ProcessId, const consensus::Decision& d) {
+      result.decisions.emplace(i, d);
+    };
+
+    std::unique_ptr<sim::Actor> actor;
+    if (config.protocol == CrashProtocol::kHurfinRaynal) {
+      actor = std::make_unique<consensus::HurfinRaynalActor>(
+          config.n, proposals[i], detector, on_decide);
+    } else {
+      actor = std::make_unique<consensus::ChandraTouegActor>(
+          config.n, proposals[i], detector, on_decide);
+    }
+    world.set_actor(id, std::move(actor));
+    if (crash_times[i].has_value()) world.crash_at(id, *crash_times[i]);
+  }
+
+  result.outcome = world.run();
+  result.net = world.stats();
+
+  result.termination = true;
+  for (std::uint32_t i : result.correct) {
+    if (result.decisions.count(i) == 0) result.termination = false;
+  }
+
+  result.agreement = true;
+  result.validity = true;
+  std::optional<consensus::Value> decided;
+  for (auto& [i, d] : result.decisions) {
+    if (result.correct.count(i) == 0) continue;
+    if (!decided.has_value()) decided = d.value;
+    if (*decided != d.value) result.agreement = false;
+    bool proposed = false;
+    for (consensus::Value v : proposals) proposed = proposed || v == d.value;
+    if (!proposed) result.validity = false;
+    result.max_decision_round = std::max(result.max_decision_round, d.round);
+    result.last_decision_time = std::max(result.last_decision_time, d.time);
+  }
+
+  return result;
+}
+
+}  // namespace modubft::faults

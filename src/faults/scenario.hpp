@@ -1,0 +1,111 @@
+// One-call scenario runners shared by tests, benchmarks and examples.
+//
+// A scenario = group size + fault assignment + network model + seed.  The
+// runner wires up the whole stack (keys, simulator, actors, detectors),
+// runs to completion, and evaluates the paper's correctness properties over
+// the outcome so that callers assert on booleans instead of re-deriving
+// the checks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bft/bft_consensus.hpp"
+#include "consensus/value.hpp"
+#include "faults/fault_spec.hpp"
+#include "fd/oracle_fd.hpp"
+#include "sim/simulation.hpp"
+
+namespace modubft::faults {
+
+enum class Scheme { kHmac, kRsa64 };
+
+// --------------------------------------------------------------------- BFT
+
+struct BftScenarioConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;  // declared resilience (quorum = n − f)
+  std::uint64_t seed = 1;
+  sim::LatencyModel latency = sim::calm_network();
+  std::vector<FaultSpec> faults;
+  Scheme scheme = Scheme::kHmac;
+  bool prune = true;
+  /// Optional certification-bound override (see bft::BftConfig).
+  std::optional<std::uint32_t> certification_bound;
+  /// false = audit mode: processes keep their detection modules running
+  /// after deciding, guaranteeing that every delivered misbehaviour ends up
+  /// in the fault records.
+  bool stop_on_decide = true;
+  fd::MutenessConfig muteness{};
+  SimTime max_time = 120'000'000;
+  /// Proposal of p_{i+1}; defaults to 1000 + i when empty.
+  std::vector<consensus::Value> proposals;
+  /// Optional observer for every delivery (tracing).
+  std::function<void(const sim::Delivery&)> delivery_tap;
+};
+
+struct BftScenarioResult {
+  sim::RunOutcome outcome = sim::RunOutcome::kQuiescent;
+
+  /// Decisions of correct processes, keyed by process index.
+  std::map<std::uint32_t, bft::VectorDecision> decisions;
+
+  /// Indices of processes that were given no fault.
+  std::set<std::uint32_t> correct;
+
+  // --- paper properties, evaluated over the correct processes ---
+  bool termination = false;      // every correct process decided
+  bool agreement = false;        // all decided vectors equal
+  bool vector_validity = false;  // per-entry rule + the ρ = n−2F floor
+  std::uint32_t min_correct_entries = 0;  // worst-case certified entries
+  bool detectors_reliable = false;  // faulty_i ⊆ actually-faulty ∀ correct i
+
+  /// Union of fault records accumulated by correct processes.
+  std::vector<bft::FaultRecord> records;
+
+  /// Which processes the correct ones declared faulty.
+  std::set<std::uint32_t> declared_faulty;
+
+  Round max_decision_round;
+  SimTime last_decision_time = 0;
+  sim::Stats net;
+  std::uint64_t max_message_bytes = 0;
+  std::uint64_t protocol_bytes = 0;  // sum of per-process send bytes
+};
+
+BftScenarioResult run_bft_scenario(const BftScenarioConfig& config);
+
+// ------------------------------------------------------------------- crash
+
+enum class CrashProtocol { kHurfinRaynal, kChandraToueg };
+
+struct CrashScenarioConfig {
+  std::uint32_t n = 5;
+  std::uint64_t seed = 1;
+  sim::LatencyModel latency = sim::calm_network();
+  CrashProtocol protocol = CrashProtocol::kHurfinRaynal;
+  /// crash_times[i]: when p_{i+1} crashes (nullopt = correct).
+  std::vector<std::optional<SimTime>> crash_times;
+  fd::OracleConfig oracle{};
+  SimTime max_time = 120'000'000;
+  std::vector<consensus::Value> proposals;
+};
+
+struct CrashScenarioResult {
+  sim::RunOutcome outcome = sim::RunOutcome::kQuiescent;
+  std::map<std::uint32_t, consensus::Decision> decisions;
+  std::set<std::uint32_t> correct;
+  bool termination = false;
+  bool agreement = false;
+  bool validity = false;  // decided value was proposed by someone
+  Round max_decision_round;
+  SimTime last_decision_time = 0;
+  sim::Stats net;
+};
+
+CrashScenarioResult run_crash_scenario(const CrashScenarioConfig& config);
+
+}  // namespace modubft::faults

@@ -1,0 +1,86 @@
+#include "faults/split_brain.hpp"
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::faults {
+
+using bft::BftKind;
+using bft::Certificate;
+using bft::MessageCore;
+using bft::SignedMessage;
+using bft::VectorValue;
+
+SplitBrainCoordinator::SplitBrainCoordinator(std::uint32_t n,
+                                             const crypto::Signer* signer,
+                                             std::uint32_t quorum,
+                                             std::uint32_t split_at)
+    : n_(n), signer_(signer), quorum_(quorum), split_at_(split_at) {
+  MODUBFT_EXPECTS(signer_ != nullptr);
+  MODUBFT_EXPECTS(quorum_ >= 1 && quorum_ <= n_);
+}
+
+SignedMessage SplitBrainCoordinator::sign(MessageCore core,
+                                          Certificate cert) const {
+  SignedMessage msg;
+  msg.core = std::move(core);
+  msg.cert = std::move(cert);
+  msg.sig = signer_->sign(bft::signing_bytes(msg.core, msg.cert));
+  return msg;
+}
+
+SignedMessage SplitBrainCoordinator::make_current(
+    sim::Context& ctx, const std::vector<std::uint32_t>& quorum) const {
+  Certificate cert;
+  VectorValue vect(n_, std::nullopt);
+  for (std::uint32_t j : quorum) {
+    const SignedMessage& init = inits_.at(ProcessId{j});
+    cert.members.push_back(init);
+    vect[j] = init.core.init_value;
+  }
+  MessageCore core;
+  core.kind = BftKind::kCurrent;
+  core.sender = ctx.id();
+  core.round = Round{1};
+  core.est = std::move(vect);
+  return sign(std::move(core), std::move(cert));
+}
+
+void SplitBrainCoordinator::on_start(sim::Context& ctx) {
+  MessageCore init;
+  init.kind = BftKind::kInit;
+  init.sender = ctx.id();
+  init.round = Round{0};
+  init.init_value = 666;
+  ctx.broadcast(bft::encode_message(sign(std::move(init), Certificate{})));
+}
+
+void SplitBrainCoordinator::on_message(sim::Context& ctx, ProcessId,
+                                       const Bytes& payload) {
+  if (fired_) return;
+  SignedMessage msg;
+  try {
+    msg = bft::decode_message(payload);
+  } catch (const SerialError&) {
+    return;
+  }
+  if (msg.core.kind != BftKind::kInit) return;
+  inits_.emplace(msg.core.sender, msg);
+  if (inits_.size() < n_) return;  // the attacker waits for everyone
+  fired_ = true;
+
+  // Variant A witnessed by the low ids, variant B by the high ids; both
+  // include the attacker's own INIT.
+  std::vector<std::uint32_t> a{0}, b{0};
+  for (std::uint32_t j = 1; a.size() < quorum_; ++j) a.push_back(j);
+  for (std::uint32_t j = n_ - 1; b.size() < quorum_; --j) b.push_back(j);
+
+  SignedMessage cur_a = make_current(ctx, a);
+  SignedMessage cur_b = make_current(ctx, b);
+  for (std::uint32_t i = 1; i < n_; ++i) {
+    ctx.send(ProcessId{i},
+             bft::encode_message(i <= split_at_ ? cur_a : cur_b));
+  }
+}
+
+}  // namespace modubft::faults

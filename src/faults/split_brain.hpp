@@ -1,0 +1,48 @@
+// The dual-quorum equivocation attack (strongest certificate-respecting
+// adversary).
+//
+// A Byzantine round-1 coordinator waits for ALL n INIT messages — an
+// honest process stops at n−F — and assembles two different INIT quorums,
+// each certifying a different estimate vector.  Both resulting CURRENTs
+// are individually well-formed, so no single-message check can reject
+// them; the group is split between vector A (low ids) and vector B (high
+// ids).  Within the paper's bound F ≤ ⌊(n−1)/3⌋ the split cannot reach a
+// decision quorum on either side and the cross-relays expose the
+// equivocation; beyond it (certification bound overridden) the attack
+// breaks Agreement — the tightness result of tests/bft_bound_test.cpp and
+// bench_e9_bound_tightness.
+#pragma once
+
+#include <map>
+
+#include "bft/message.hpp"
+#include "crypto/signature.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::faults {
+
+class SplitBrainCoordinator final : public sim::Actor {
+ public:
+  /// `quorum` — INITs per variant (use the protocol's n−F);
+  /// `split_at` — peers with id ≤ split_at receive variant A, the rest B.
+  SplitBrainCoordinator(std::uint32_t n, const crypto::Signer* signer,
+                        std::uint32_t quorum, std::uint32_t split_at);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+
+ private:
+  bft::SignedMessage sign(bft::MessageCore core, bft::Certificate cert) const;
+  bft::SignedMessage make_current(sim::Context& ctx,
+                                  const std::vector<std::uint32_t>& quorum) const;
+
+  std::uint32_t n_;
+  const crypto::Signer* signer_;
+  std::uint32_t quorum_;
+  std::uint32_t split_at_;
+  std::map<ProcessId, bft::SignedMessage> inits_;
+  bool fired_ = false;
+};
+
+}  // namespace modubft::faults

@@ -1,0 +1,111 @@
+#include "fd/heartbeat_fd.hpp"
+
+#include "common/check.hpp"
+
+namespace modubft::fd {
+
+namespace {
+constexpr std::uint8_t kTagHeartbeat = 0;
+constexpr std::uint8_t kTagInner = 1;
+
+Bytes wrap(std::uint8_t tag, const Bytes& payload) {
+  Bytes out;
+  out.reserve(payload.size() + 1);
+  out.push_back(tag);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+}  // namespace
+
+HeartbeatDetector::HeartbeatDetector(std::uint32_t n, ProcessId self,
+                                     HeartbeatConfig config)
+    : self_(self) {
+  MODUBFT_EXPECTS(self.value < n);
+  peers_.resize(n);
+  for (Peer& p : peers_) p.timeout = config.initial_timeout;
+}
+
+void HeartbeatDetector::record_alive(ProcessId from, SimTime now) {
+  MODUBFT_EXPECTS(from.value < peers_.size());
+  Peer& p = peers_[from.value];
+  if (p.suspected_now) {
+    // A false suspicion: adapt by giving this peer more slack, the standard
+    // mechanism for achieving eventual accuracy after GST.
+    p.timeout += p.timeout;  // exponential backoff
+    p.suspected_now = false;
+  }
+  p.last_seen = now;
+}
+
+bool HeartbeatDetector::suspects(ProcessId q, SimTime now) {
+  MODUBFT_EXPECTS(q.value < peers_.size());
+  if (q == self_) return false;
+  Peer& p = peers_[q.value];
+  const bool late = now > p.last_seen + p.timeout;
+  p.suspected_now = late;
+  return late;
+}
+
+SimTime HeartbeatDetector::timeout_of(ProcessId q) const {
+  MODUBFT_EXPECTS(q.value < peers_.size());
+  return peers_[q.value].timeout;
+}
+
+/// Sends from the inner actor get the inner tag prepended.
+class HeartbeatWrapper::MuxContext final : public sim::ForwardingContext {
+ public:
+  using ForwardingContext::ForwardingContext;
+
+  void send(ProcessId to, Bytes payload) override {
+    base_.send(to, wrap(kTagInner, payload));
+  }
+
+  void broadcast(const Bytes& payload) override {
+    base_.broadcast(wrap(kTagInner, payload));
+  }
+};
+
+HeartbeatWrapper::HeartbeatWrapper(std::unique_ptr<sim::Actor> inner,
+                                   std::shared_ptr<HeartbeatDetector> detector,
+                                   HeartbeatConfig config)
+    : inner_(std::move(inner)),
+      detector_(std::move(detector)),
+      config_(config) {
+  MODUBFT_EXPECTS(inner_ != nullptr);
+  MODUBFT_EXPECTS(detector_ != nullptr);
+}
+
+void HeartbeatWrapper::arm_heartbeat(sim::Context& ctx) {
+  my_timers_.insert(ctx.set_timer(config_.period));
+}
+
+void HeartbeatWrapper::on_start(sim::Context& ctx) {
+  ctx.broadcast(wrap(kTagHeartbeat, {}));
+  arm_heartbeat(ctx);
+  MuxContext mux(ctx);
+  inner_->on_start(mux);
+}
+
+void HeartbeatWrapper::on_message(sim::Context& ctx, ProcessId from,
+                                  const Bytes& payload) {
+  if (payload.empty()) return;  // not ours, not the inner actor's
+  detector_->record_alive(from, ctx.now());
+  const std::uint8_t tag = payload[0];
+  if (tag == kTagHeartbeat) return;
+  if (tag != kTagInner) return;  // unknown envelope: drop
+  Bytes inner_payload(payload.begin() + 1, payload.end());
+  MuxContext mux(ctx);
+  inner_->on_message(mux, from, inner_payload);
+}
+
+void HeartbeatWrapper::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  if (my_timers_.erase(timer_id) > 0) {
+    ctx.broadcast(wrap(kTagHeartbeat, {}));
+    arm_heartbeat(ctx);
+    return;
+  }
+  MuxContext mux(ctx);
+  inner_->on_timer(mux, timer_id);
+}
+
+}  // namespace modubft::fd

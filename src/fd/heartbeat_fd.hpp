@@ -1,0 +1,85 @@
+// Heartbeat-based ◇S crash detector and its actor wrapper.
+//
+// Implementation strategy is the classical adaptive-timeout one: every
+// process periodically broadcasts a heartbeat; a peer silent for longer
+// than its current timeout is suspected; when a suspected peer speaks
+// again, the suspicion is withdrawn and that peer's timeout is increased.
+// Under the partially-synchronous latency model (sim/latency.hpp) timeouts
+// eventually exceed the post-GST delay bound, so suspicions of correct
+// processes eventually cease — yielding ◇P ⊂ ◇S.
+//
+// The HeartbeatWrapper runs the heartbeat plane alongside any inner Actor
+// on the same channel, using a one-byte envelope tag, so protocols stay
+// unaware of the detector's plumbing.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "fd/failure_detector.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::fd {
+
+struct HeartbeatConfig {
+  /// Broadcast period of heartbeats.
+  SimTime period = 5'000;
+
+  /// Initial per-peer silence timeout.
+  SimTime initial_timeout = 25'000;
+
+  /// Added to a peer's timeout each time it is falsely suspected.
+  SimTime timeout_increment = 25'000;
+};
+
+/// The detector component.  Shared between the wrapper (which feeds it) and
+/// the protocol actor (which queries it).
+class HeartbeatDetector final : public CrashDetector {
+ public:
+  HeartbeatDetector(std::uint32_t n, ProcessId self, HeartbeatConfig config);
+
+  /// Records that a message (heartbeat or protocol) arrived from `from`.
+  void record_alive(ProcessId from, SimTime now);
+
+  bool suspects(ProcessId q, SimTime now) override;
+
+  /// Current adaptive timeout for `q` (exposed for the E8-style QoS bench).
+  SimTime timeout_of(ProcessId q) const;
+
+ private:
+  struct Peer {
+    SimTime last_seen = 0;
+    SimTime timeout = 0;
+    bool suspected_now = false;
+  };
+
+  ProcessId self_;
+  std::vector<Peer> peers_;
+};
+
+/// Actor decorator that multiplexes heartbeats with the inner protocol.
+/// Envelope: first byte 0 = heartbeat, 1 = inner payload.
+class HeartbeatWrapper final : public sim::Actor {
+ public:
+  HeartbeatWrapper(std::unique_ptr<sim::Actor> inner,
+                   std::shared_ptr<HeartbeatDetector> detector,
+                   HeartbeatConfig config);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
+
+ private:
+  class MuxContext;
+
+  void arm_heartbeat(sim::Context& ctx);
+
+  std::unique_ptr<sim::Actor> inner_;
+  std::shared_ptr<HeartbeatDetector> detector_;
+  HeartbeatConfig config_;
+  std::unordered_set<std::uint64_t> my_timers_;
+};
+
+}  // namespace modubft::fd

@@ -1,0 +1,115 @@
+#include "rb/bracha.hpp"
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::rb {
+
+namespace {
+constexpr std::uint8_t kInitial = 1;
+constexpr std::uint8_t kEcho = 2;
+constexpr std::uint8_t kReady = 3;
+
+Bytes frame(std::uint8_t phase, ProcessId instance, const Bytes& body) {
+  Writer w;
+  w.u8(phase);
+  w.u32(instance.value);
+  w.bytes(body);
+  return std::move(w).take();
+}
+}  // namespace
+
+BrachaActor::BrachaActor(BrachaConfig config, std::optional<Bytes> my_message,
+                         DeliverFn on_deliver)
+    : config_(config),
+      my_message_(std::move(my_message)),
+      on_deliver_(std::move(on_deliver)) {
+  MODUBFT_EXPECTS(config_.n > 3 * config_.f);
+  instances_.resize(config_.n);
+}
+
+void BrachaActor::send_phase(sim::Context& ctx, std::uint8_t phase,
+                             ProcessId instance, const Bytes& body) {
+  ctx.broadcast(frame(phase, instance, body));
+}
+
+void BrachaActor::on_start(sim::Context& ctx) {
+  if (my_message_.has_value()) {
+    send_phase(ctx, kInitial, ctx.id(), *my_message_);
+  }
+}
+
+void BrachaActor::on_message(sim::Context& ctx, ProcessId from,
+                             const Bytes& payload) {
+  std::uint8_t phase = 0;
+  ProcessId instance;
+  Bytes body;
+  try {
+    Reader r(payload);
+    phase = r.u8();
+    instance = ProcessId{r.u32()};
+    body = r.bytes();
+    r.expect_end();
+  } catch (const SerialError&) {
+    return;  // malformed frames are dropped — nothing is ever detected
+  }
+  if (phase < kInitial || phase > kReady) return;
+  if (instance.value >= config_.n) return;
+  handle(ctx, from, phase, instance, body);
+}
+
+void BrachaActor::handle(sim::Context& ctx, ProcessId from, std::uint8_t phase,
+                         ProcessId instance, const Bytes& body) {
+  Instance& inst = instances_[instance.value];
+  if (inst.delivered.has_value()) return;
+
+  switch (phase) {
+    case kInitial:
+      // Only the instance's sender may initiate it.
+      if (from != instance) return;
+      if (!inst.echoed) {
+        inst.echoed = true;
+        send_phase(ctx, kEcho, instance, body);
+      }
+      return;
+
+    case kEcho: {
+      std::set<ProcessId>& voters = inst.echoes[body];
+      voters.insert(from);
+      if (!inst.readied && voters.size() >= config_.echo_quorum()) {
+        inst.readied = true;
+        send_phase(ctx, kReady, instance, body);
+      }
+      return;
+    }
+
+    case kReady: {
+      std::set<ProcessId>& voters = inst.readies[body];
+      voters.insert(from);
+      if (!inst.readied && voters.size() >= config_.ready_amplify()) {
+        inst.readied = true;
+        send_phase(ctx, kReady, instance, body);
+      }
+      if (voters.size() >= config_.deliver_quorum()) {
+        inst.delivered = body;
+        if (on_deliver_) on_deliver_(instance, body);
+      }
+      return;
+    }
+
+    default:
+      return;
+  }
+}
+
+bool BrachaActor::delivered(ProcessId instance) const {
+  MODUBFT_EXPECTS(instance.value < config_.n);
+  return instances_[instance.value].delivered.has_value();
+}
+
+const Bytes& BrachaActor::delivered_message(ProcessId instance) const {
+  MODUBFT_EXPECTS(delivered(instance));
+  return *instances_[instance.value].delivered;
+}
+
+}  // namespace modubft::rb

@@ -1,0 +1,88 @@
+// Bracha reliable broadcast — the footnote-1 alternative.
+//
+// Paper footnote 1: "In the asynchronous case, [previous approaches]
+// provide only a masking of arbitrary faulty messages by identical faulty
+// messages and thus, do not address all types of arbitrary failures."
+// Bracha's echo broadcast (1987) is the canonical such approach: without
+// signatures, with n > 3f, it guarantees for every broadcast instance
+//
+//   * validity     — a correct sender's message is delivered by all
+//                    correct processes;
+//   * consistency  — correct processes never deliver different messages
+//                    for the same instance (an equivocating sender is
+//                    *masked*: everyone delivers the same one of its
+//                    messages, or nobody delivers);
+//   * totality     — if any correct process delivers, all do.
+//
+// What it deliberately does NOT give — and what the DSN paper's
+// methodology adds — is *detection*: a Byzantine sender is never
+// identified, no faulty set exists, and non-equivocation failures
+// (semantic garbage consistently sent to everyone) pass through
+// untouched.  Experiment E13 puts the two side by side.
+//
+// Protocol (per instance, tagged by the sender id):
+//   sender:            broadcast INITIAL(m);
+//   on INITIAL(m):     broadcast ECHO(m)                       (once);
+//   on n−f ECHO(m) or f+1 READY(m):  broadcast READY(m)        (once);
+//   on 2f+1 READY(m):  deliver m                                (once).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::rb {
+
+struct BrachaConfig {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;  // requires n > 3f
+
+  std::uint32_t echo_quorum() const { return n - f; }
+  std::uint32_t ready_amplify() const { return f + 1; }
+  std::uint32_t deliver_quorum() const { return 2 * f + 1; }
+};
+
+/// Called on delivery: (instance sender, delivered payload).
+using DeliverFn = std::function<void(ProcessId, const Bytes&)>;
+
+/// One process participating in n concurrent broadcast instances (one per
+/// potential sender).  If `my_message` is set, this process broadcasts it.
+class BrachaActor final : public sim::Actor {
+ public:
+  BrachaActor(BrachaConfig config, std::optional<Bytes> my_message,
+              DeliverFn on_deliver);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+
+  bool delivered(ProcessId instance) const;
+  const Bytes& delivered_message(ProcessId instance) const;
+
+ private:
+  struct Instance {
+    bool echoed = false;
+    bool readied = false;
+    std::optional<Bytes> delivered;
+    // votes: message → voters (distinctness enforced per phase)
+    std::map<Bytes, std::set<ProcessId>> echoes;
+    std::map<Bytes, std::set<ProcessId>> readies;
+  };
+
+  void handle(sim::Context& ctx, ProcessId from, std::uint8_t phase,
+              ProcessId instance, const Bytes& body);
+  void send_phase(sim::Context& ctx, std::uint8_t phase, ProcessId instance,
+                  const Bytes& body);
+
+  BrachaConfig config_;
+  std::optional<Bytes> my_message_;
+  DeliverFn on_deliver_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace modubft::rb

@@ -1,0 +1,23 @@
+#include "sim/event_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace modubft::sim {
+
+void EventQueue::push(SimTime time, std::function<void()> action) {
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+Event EventQueue::pop() {
+  MODUBFT_EXPECTS(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+SimTime EventQueue::next_time() const {
+  MODUBFT_EXPECTS(!heap_.empty());
+  return heap_.top().time;
+}
+
+}  // namespace modubft::sim

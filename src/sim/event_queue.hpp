@@ -1,0 +1,51 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence); the sequence tiebreak
+// makes runs fully deterministic for a given seed, which is what lets a
+// failing protocol execution be replayed exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace modubft::sim {
+
+/// A scheduled action.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // insertion order, breaks time ties
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `time`.
+  void push(SimTime time, std::function<void()> action);
+
+  /// Removes and returns the earliest event.  Precondition: !empty().
+  Event pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event.  Precondition: !empty().
+  SimTime next_time() const;
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace modubft::sim

@@ -1,0 +1,36 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+
+namespace modubft::sim {
+
+SimTime LatencyModel::sample(Rng& rng, SimTime now) const {
+  double delay = base_us + rng.next_exponential(jitter_mean_us);
+  if (now < gst && rng.next_bool(pre_gst_slow_prob)) {
+    delay += rng.next_exponential(pre_gst_slow_mean_us);
+  }
+  // Always at least 1 simulated µs so causality is strict.
+  if (delay < 1.0) delay = 1.0;
+  return static_cast<SimTime>(std::llround(delay));
+}
+
+LatencyModel calm_network() {
+  LatencyModel m;
+  m.base_us = 100.0;
+  m.jitter_mean_us = 150.0;
+  m.gst = 0;
+  m.pre_gst_slow_prob = 0.0;
+  return m;
+}
+
+LatencyModel turbulent_until(SimTime gst) {
+  LatencyModel m;
+  m.base_us = 100.0;
+  m.jitter_mean_us = 300.0;
+  m.gst = gst;
+  m.pre_gst_slow_prob = 0.25;
+  m.pre_gst_slow_mean_us = 20'000.0;
+  return m;
+}
+
+}  // namespace modubft::sim

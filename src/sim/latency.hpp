@@ -1,0 +1,46 @@
+// Message-latency models for the simulated network.
+//
+// The paper's system model is asynchronous: no bound on message transfer
+// delays.  For *termination* experiments we use the standard
+// partial-synchrony trick: before a global stabilization time (GST)
+// latencies are drawn from a heavy-tailed distribution (arbitrarily
+// adversarial timing), after GST they are bounded.  ◇S/◇M detectors then
+// achieve their eventual properties, exactly as the literature assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace modubft::sim {
+
+/// Partially-synchronous latency model (all times in simulated µs).
+struct LatencyModel {
+  /// Fixed propagation floor applied to every message.
+  double base_us = 100.0;
+
+  /// Mean of the exponential jitter added on top of the floor.
+  double jitter_mean_us = 200.0;
+
+  /// Global stabilization time.  Before `gst`, each message independently
+  /// suffers an extra heavy delay with probability `pre_gst_slow_prob`.
+  SimTime gst = 0;
+
+  /// Probability of a pre-GST heavy delay.
+  double pre_gst_slow_prob = 0.0;
+
+  /// Mean of the pre-GST heavy delay (exponential).
+  double pre_gst_slow_mean_us = 10'000.0;
+
+  /// Draws one latency sample for a message sent at `now`.
+  SimTime sample(Rng& rng, SimTime now) const;
+};
+
+/// A convenient well-behaved network (no pre-GST chaos).
+LatencyModel calm_network();
+
+/// A network that is adversarially slow until `gst`, calm afterwards.
+LatencyModel turbulent_until(SimTime gst);
+
+}  // namespace modubft::sim

@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+namespace modubft::sim {
+
+void TraceRecorder::attach(Simulation& world) {
+  world.set_delivery_tap([this](const Delivery& d) { record(d); });
+}
+
+void TraceRecorder::record(const Delivery& d) { events_.push_back(d); }
+
+std::uint64_t TraceRecorder::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const Delivery& d : events_) {
+    mix(d.send_time);
+    mix(d.deliver_time);
+    mix(d.from.value);
+    mix(d.to.value);
+    mix(d.size);
+  }
+  return h;
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  for (const Delivery& d : events_) {
+    os << "{\"t_send\":" << d.send_time << ",\"t_recv\":" << d.deliver_time
+       << ",\"from\":" << d.from.value + 1 << ",\"to\":" << d.to.value + 1
+       << ",\"bytes\":" << d.size << "}\n";
+  }
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, TraceRecorder::ChannelSummary>
+TraceRecorder::by_channel() const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, ChannelSummary> out;
+  for (const Delivery& d : events_) {
+    ChannelSummary& s = out[{d.from.value, d.to.value}];
+    s.messages += 1;
+    s.bytes += d.size;
+  }
+  return out;
+}
+
+}  // namespace modubft::sim

@@ -1,0 +1,52 @@
+// Delivery tracing: record, fingerprint, summarize, export.
+//
+// A TraceRecorder attaches to a Simulation's delivery tap and captures
+// every (send time, deliver time, src, dst, size) tuple.  Uses:
+//   * replay verification — equal seeds must produce equal fingerprints
+//     (the determinism property tests assert this at the trace level,
+//     which is much stronger than comparing final decisions);
+//   * debugging — write_jsonl dumps the run for offline inspection;
+//   * accounting — per-channel summaries for experiment writeups.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace modubft::sim {
+
+class TraceRecorder {
+ public:
+  /// Registers this recorder as `world`'s delivery tap.  The recorder must
+  /// outlive the simulation's run.
+  void attach(Simulation& world);
+
+  /// Feeds one delivery (used directly when a tap is already in place).
+  void record(const Delivery& d);
+
+  const std::vector<Delivery>& events() const { return events_; }
+
+  /// Order-sensitive FNV-1a fingerprint of the full delivery sequence.
+  std::uint64_t fingerprint() const;
+
+  /// One JSON object per line: {"t_send":..,"t_recv":..,"from":..,"to":..,
+  /// "bytes":..}.
+  void write_jsonl(std::ostream& os) const;
+
+  struct ChannelSummary {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Totals per ordered channel (from,to).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, ChannelSummary> by_channel()
+      const;
+
+ private:
+  std::vector<Delivery> events_;
+};
+
+}  // namespace modubft::sim

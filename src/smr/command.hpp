@@ -1,0 +1,24 @@
+// Client commands for the replicated state machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace modubft::smr {
+
+/// A mutating command against the key-value state machine.
+struct Command {
+  enum class Op : std::uint8_t { kPut = 1, kDel = 2 };
+
+  std::uint64_t id = 0;  // globally unique; doubles as the consensus value
+  Op op = Op::kPut;
+  std::string key;
+  std::string value;  // empty for kDel
+};
+
+Bytes encode_command(const Command& cmd);
+Command decode_command(const Bytes& buf);  // throws SerialError
+
+}  // namespace modubft::smr

@@ -1,0 +1,31 @@
+// The deterministic state machine replicated by the SMR layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "smr/command.hpp"
+
+namespace modubft::smr {
+
+/// A deterministic key-value store: same command sequence ⇒ same state.
+class KvStore {
+ public:
+  /// Applies one committed command.
+  void apply(const Command& cmd);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t applied_count() const { return applied_; }
+
+  /// Order-insensitive fingerprint check helper: the full contents.
+  const std::map<std::string, std::string>& contents() const { return data_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace modubft::smr

@@ -1,0 +1,240 @@
+#include "smr/replica.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::smr {
+
+Bytes encode_command(const Command& cmd) {
+  Writer w;
+  w.u64(cmd.id);
+  w.u8(static_cast<std::uint8_t>(cmd.op));
+  w.str(cmd.key);
+  w.str(cmd.value);
+  return std::move(w).take();
+}
+
+Command decode_command(const Bytes& buf) {
+  Reader r(buf);
+  Command cmd;
+  cmd.id = r.u64();
+  const std::uint8_t op = r.u8();
+  if (op < 1 || op > 2) throw SerialError("unknown command op");
+  cmd.op = static_cast<Command::Op>(op);
+  cmd.key = r.str();
+  cmd.value = r.str();
+  r.expect_end();
+  return cmd;
+}
+
+void KvStore::apply(const Command& cmd) {
+  switch (cmd.op) {
+    case Command::Op::kPut:
+      data_[cmd.key] = cmd.value;
+      break;
+    case Command::Op::kDel:
+      data_.erase(cmd.key);
+      break;
+  }
+  ++applied_;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+/// Wraps the slot's consensus actor: tags outgoing traffic with the slot
+/// number, tracks its timers, and turns the actor's stop() into an
+/// instance-local flag (the replica itself keeps running).
+class Replica::SlotContext final : public sim::ForwardingContext {
+ public:
+  SlotContext(sim::Context& base, Replica& owner, std::uint64_t slot)
+      : ForwardingContext(base), owner_(owner), slot_(slot) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    base_.send(to, frame(payload));
+  }
+
+  void broadcast(const Bytes& payload) override {
+    base_.broadcast(frame(payload));
+  }
+
+  std::uint64_t set_timer(SimTime delay) override {
+    std::uint64_t id = base_.set_timer(delay);
+    owner_.timer_slot_[id] = slot_;
+    return id;
+  }
+
+  void stop() override {
+    // The instance finished; the decide callback already recorded the
+    // outcome.  The replica lives on.
+  }
+
+ private:
+  Bytes frame(const Bytes& payload) const {
+    Writer w;
+    w.u64(slot_);
+    w.raw(payload);
+    return std::move(w).take();
+  }
+
+  Replica& owner_;
+  std::uint64_t slot_;
+};
+
+Replica::Replica(ReplicaConfig config, std::vector<Command> workload,
+                 CommitFn on_commit)
+    : config_(config), on_commit_(std::move(on_commit)) {
+  MODUBFT_EXPECTS(config_.n >= 2);
+  if (config_.backend == Backend::kCrashHurfinRaynal) {
+    MODUBFT_EXPECTS(config_.detector != nullptr);
+  } else {
+    MODUBFT_EXPECTS(config_.signer != nullptr);
+    MODUBFT_EXPECTS(config_.verifier != nullptr);
+  }
+  for (Command& cmd : workload) {
+    MODUBFT_EXPECTS(cmd.id != 0);  // 0 is the no-op marker
+    commands_.emplace(cmd.id, std::move(cmd));
+  }
+}
+
+std::uint64_t Replica::pick_proposal() const {
+  for (const auto& [id, cmd] : commands_) {
+    if (committed_ids_.count(id) == 0) return id;
+  }
+  return 0;  // nothing pending: no-op proposal
+}
+
+std::unique_ptr<sim::Actor> Replica::make_instance_actor(std::uint64_t slot) {
+  const consensus::Value proposal = pick_proposal();
+
+  if (config_.backend == Backend::kCrashHurfinRaynal) {
+    return std::make_unique<consensus::HurfinRaynalActor>(
+        config_.n, proposal, config_.detector,
+        [this, slot](ProcessId, const consensus::Decision& d) {
+          if (slot != next_slot_) return;
+          instance_decided_ = true;
+          pending_decided_id_ = d.value;
+        });
+  }
+
+  return std::make_unique<bft::BftProcess>(
+      config_.bft, proposal, config_.signer, config_.verifier,
+      [this, slot](ProcessId, const bft::VectorDecision& d) {
+        if (slot != next_slot_) return;
+        // Deterministic extraction: the smallest committable id carried by
+        // the vector.  All correct replicas see the same vector, so they
+        // commit the same command.
+        std::uint64_t best = 0;
+        for (const auto& entry : d.entries) {
+          if (!entry.has_value() || *entry == 0) continue;
+          if (commands_.count(*entry) == 0) continue;
+          if (committed_ids_.count(*entry) > 0) continue;
+          if (best == 0 || *entry < best) best = *entry;
+        }
+        instance_decided_ = true;
+        pending_decided_id_ = best;
+      });
+}
+
+void Replica::on_start(sim::Context& ctx) {
+  start_slot(ctx);
+}
+
+void Replica::start_slot(sim::Context& ctx) {
+  while (true) {
+    if (done()) {
+      ctx.stop();
+      return;
+    }
+    const std::uint64_t slot = next_slot_;
+    instance_decided_ = false;
+    instance_ = make_instance_actor(slot);
+    SlotContext sub(ctx, *this, slot);
+    instance_->on_start(sub);
+
+    // Replay envelopes that arrived while we were on earlier slots.
+    auto it = future_.find(slot);
+    if (it != future_.end()) {
+      auto pending = std::move(it->second);
+      future_.erase(it);
+      for (auto& [from, payload] : pending) {
+        if (instance_decided_) break;
+        instance_->on_message(sub, from, payload);
+      }
+    }
+    if (!instance_decided_) return;
+    finish_slot(ctx, pending_decided_id_);
+    // finish_slot advanced next_slot_; loop to start the next instance.
+  }
+}
+
+void Replica::finish_slot(sim::Context& ctx, std::uint64_t decided_id) {
+  const InstanceId slot{next_slot_};
+  const Command* applied = nullptr;
+  auto it = commands_.find(decided_id);
+  if (decided_id != 0 && it != commands_.end() &&
+      committed_ids_.count(decided_id) == 0) {
+    store_.apply(it->second);
+    committed_ids_.insert(decided_id);
+    applied = &it->second;
+  }
+  log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " cmd ",
+            decided_id);
+  if (on_commit_) on_commit_(slot, applied, store_);
+  next_slot_ += 1;
+  instance_ = nullptr;
+  // Drop stale timer routes.
+  for (auto t = timer_slot_.begin(); t != timer_slot_.end();) {
+    t = t->second < next_slot_ ? timer_slot_.erase(t) : std::next(t);
+  }
+}
+
+void Replica::on_message(sim::Context& ctx, ProcessId from,
+                         const Bytes& payload) {
+  if (done()) return;
+  std::uint64_t slot = 0;
+  Bytes inner;
+  try {
+    Reader r(payload);
+    slot = r.u64();
+    inner.assign(payload.begin() + 8, payload.end());
+  } catch (const SerialError&) {
+    return;  // not an SMR frame
+  }
+
+  if (slot < next_slot_) return;  // finished slot: stale traffic
+  if (slot > next_slot_) {
+    future_[slot].emplace_back(from, std::move(inner));
+    return;
+  }
+  if (instance_ == nullptr) return;
+
+  SlotContext sub(ctx, *this, slot);
+  instance_->on_message(sub, from, inner);
+  if (instance_decided_) {
+    finish_slot(ctx, pending_decided_id_);
+    start_slot(ctx);
+  }
+}
+
+void Replica::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  if (done()) return;
+  auto it = timer_slot_.find(timer_id);
+  if (it == timer_slot_.end()) return;
+  const std::uint64_t slot = it->second;
+  timer_slot_.erase(it);
+  if (slot != next_slot_ || instance_ == nullptr) return;
+
+  SlotContext sub(ctx, *this, slot);
+  instance_->on_timer(sub, timer_id);
+  if (instance_decided_) {
+    finish_slot(ctx, pending_decided_id_);
+    start_slot(ctx);
+  }
+}
+
+}  // namespace modubft::smr

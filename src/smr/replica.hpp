@@ -1,0 +1,95 @@
+// State-machine replication on top of repeated consensus instances.
+//
+// The paper motivates consensus as "a fundamental paradigm for
+// fault-tolerant distributed systems"; this layer is the canonical
+// downstream use.  Each replica runs a sequence of consensus instances
+// (slots).  For slot s it proposes the smallest not-yet-committed command
+// id it knows; the decided id's command is applied to the deterministic
+// KvStore.  Instances are multiplexed over the replica's single channel
+// with an instance-tag envelope; each instance is a fresh protocol actor
+// behind a sub-context that re-routes sends, timers, and the actor's
+// stop() (which must end the instance, not the replica).
+//
+// Two protocol back-ends are supported: the crash-model Hurfin–Raynal
+// actor, and the transformed Byzantine protocol (where the decided value
+// is extracted from the vector by a deterministic rule — the minimum
+// pending id among the vector's entries — so all correct replicas commit
+// identically).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bft/bft_consensus.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "crypto/signature.hpp"
+#include "fd/failure_detector.hpp"
+#include "sim/actor.hpp"
+#include "smr/kv_store.hpp"
+
+namespace modubft::smr {
+
+enum class Backend { kCrashHurfinRaynal, kByzantine };
+
+struct ReplicaConfig {
+  std::uint32_t n = 0;
+  Backend backend = Backend::kCrashHurfinRaynal;
+  std::uint64_t slots = 4;  // how many commands to commit
+
+  // Crash back-end.
+  std::shared_ptr<fd::CrashDetector> detector;
+
+  // Byzantine back-end.
+  bft::BftConfig bft;
+  const crypto::Signer* signer = nullptr;
+  std::shared_ptr<const crypto::Verifier> verifier;
+};
+
+/// Invoked on every commit: (slot, command applied — nullptr for a no-op
+/// slot, state after application).
+using CommitFn =
+    std::function<void(InstanceId, const Command*, const KvStore&)>;
+
+class Replica final : public sim::Actor {
+ public:
+  /// `workload` is the command table known to this replica (the harness
+  /// plays the role of the clients' reliable multicast).
+  Replica(ReplicaConfig config, std::vector<Command> workload,
+          CommitFn on_commit);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
+
+  const KvStore& store() const { return store_; }
+  std::uint64_t committed_slots() const { return next_slot_; }
+  bool done() const { return next_slot_ >= config_.slots; }
+
+ private:
+  class SlotContext;
+
+  void start_slot(sim::Context& ctx);
+  void finish_slot(sim::Context& ctx, std::uint64_t decided_id);
+  std::uint64_t pick_proposal() const;
+  std::unique_ptr<sim::Actor> make_instance_actor(std::uint64_t slot);
+
+  ReplicaConfig config_;
+  std::map<std::uint64_t, Command> commands_;  // id → command
+  CommitFn on_commit_;
+
+  KvStore store_;
+  std::uint64_t next_slot_ = 0;
+  std::unique_ptr<sim::Actor> instance_;      // the active slot's actor
+  bool instance_decided_ = false;
+  std::uint64_t pending_decided_id_ = 0;
+  std::set<std::uint64_t> committed_ids_;
+  std::map<std::uint64_t, std::uint64_t> timer_slot_;  // timer id → slot
+  // Buffered envelopes for future slots (a peer may be a slot ahead).
+  std::map<std::uint64_t, std::vector<std::pair<ProcessId, Bytes>>> future_;
+};
+
+}  // namespace modubft::smr

@@ -1,0 +1,176 @@
+#include "sync/eig_ic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::sync {
+
+namespace {
+
+using Path = std::vector<std::uint32_t>;
+
+bool contains(const Path& path, std::uint32_t id) {
+  return std::find(path.begin(), path.end(), id) != path.end();
+}
+
+/// The relay set for round k: every stored path of length k−1 that does
+/// not contain the relayer itself.
+std::vector<std::pair<Path, Value>> relay_set(
+    const std::map<Path, Value>& tree, std::uint32_t round,
+    std::uint32_t self) {
+  std::vector<std::pair<Path, Value>> out;
+  for (const auto& [path, value] : tree) {
+    if (path.size() != round - 1) continue;
+    if (contains(path, self)) continue;
+    out.emplace_back(path, value);
+  }
+  return out;
+}
+
+/// Stores (σ·from ← v) for each received pair, first write wins; rejects
+/// structurally illegal paths (wrong depth, repeated ids, sender in σ).
+void absorb_into(std::map<Path, Value>& tree,
+                 const std::vector<Incoming>& inbox, std::uint32_t depth,
+                 std::uint32_t n) {
+  for (const Incoming& in : inbox) {
+    std::vector<std::pair<Path, Value>> pairs;
+    try {
+      pairs = decode_eig_pairs(in.payload);
+    } catch (const SerialError&) {
+      continue;  // malformed relays are simply ignored (defaults cover it)
+    }
+    for (auto& [path, value] : pairs) {
+      if (path.size() != depth - 1) continue;
+      if (contains(path, in.from.value)) continue;
+      bool legal = true;
+      for (std::uint32_t id : path) legal = legal && id < n;
+      if (!legal) continue;
+      Path extended = path;
+      extended.push_back(in.from.value);
+      // Distinctness of `extended` follows from the two checks above
+      // applied at every level (paths grow one hop per round).
+      tree.emplace(std::move(extended), value);
+    }
+  }
+}
+
+}  // namespace
+
+Bytes encode_eig_pairs(const std::vector<std::pair<Path, Value>>& pairs) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [path, value] : pairs) {
+    w.u8(static_cast<std::uint8_t>(path.size()));
+    for (std::uint32_t id : path) w.u32(id);
+    w.u64(value);
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::pair<Path, Value>> decode_eig_pairs(const Bytes& buf,
+                                                     std::uint32_t max_pairs) {
+  Reader r(buf);
+  const std::uint32_t count = r.seq_len(max_pairs);
+  std::vector<std::pair<Path, Value>> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t len = r.u8();
+    Path path;
+    path.reserve(len);
+    for (std::uint8_t j = 0; j < len; ++j) path.push_back(r.u32());
+    const Value value = r.u64();
+    out.emplace_back(std::move(path), value);
+  }
+  r.expect_end();
+  return out;
+}
+
+EigProcess::EigProcess(std::uint32_t n, std::uint32_t f, ProcessId self,
+                       Value value, EigDoneFn on_done)
+    : n_(n), f_(f), self_(self), value_(value), on_done_(std::move(on_done)) {
+  MODUBFT_EXPECTS(n_ > 3 * f_);
+  MODUBFT_EXPECTS(self_.value < n_);
+}
+
+void EigProcess::absorb(const std::vector<Incoming>& inbox,
+                        std::uint32_t depth) {
+  absorb_into(tree_, inbox, depth, n_);
+}
+
+std::vector<Outgoing> EigProcess::on_round(std::uint32_t round,
+                                           const std::vector<Incoming>& inbox) {
+  // inbox carries round−1's sends, which extend paths to length round−1.
+  if (round > 1) absorb(inbox, round - 1);
+
+  std::vector<std::pair<Path, Value>> pairs;
+  if (round == 1) {
+    pairs.emplace_back(Path{}, value_);
+  } else {
+    pairs = relay_set(tree_, round, self_.value);
+  }
+  Bytes payload = encode_eig_pairs(pairs);
+
+  std::vector<Outgoing> out;
+  out.reserve(n_);
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    out.push_back(Outgoing{ProcessId{j}, payload});
+  }
+  return out;
+}
+
+void EigProcess::on_finish(const std::vector<Incoming>& final_inbox) {
+  absorb(final_inbox, rounds_for(f_));
+
+  std::vector<Value> vector(n_, kEigDefault);
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    vector[j] = resolve(Path{j});
+  }
+  if (on_done_) on_done_(self_, vector);
+}
+
+Value EigProcess::resolve(const Path& path) const {
+  if (path.size() == rounds_for(f_)) {
+    auto it = tree_.find(path);
+    return it == tree_.end() ? kEigDefault : it->second;
+  }
+  // Strict majority over the children; default when none exists.
+  std::map<Value, std::uint32_t> votes;
+  std::uint32_t children = 0;
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    if (contains(path, j)) continue;
+    Path child = path;
+    child.push_back(j);
+    votes[resolve(child)] += 1;
+    children += 1;
+  }
+  for (const auto& [value, count] : votes) {
+    if (2 * count > children) return value;
+  }
+  return kEigDefault;
+}
+
+EigLiar::EigLiar(std::uint32_t n, std::uint32_t f, ProcessId self)
+    : n_(n), f_(f), self_(self) {}
+
+std::vector<Outgoing> EigLiar::on_round(std::uint32_t round,
+                                        const std::vector<Incoming>& inbox) {
+  if (round > 1) absorb_into(tree_, inbox, round - 1, n_);
+
+  std::vector<Outgoing> out;
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    std::vector<std::pair<std::vector<std::uint32_t>, Value>> pairs;
+    if (round == 1) {
+      // Equivocation: a different "initial value" per destination.
+      pairs.emplace_back(std::vector<std::uint32_t>{}, 9000 + j);
+    } else {
+      pairs = relay_set(tree_, round, self_.value);
+      for (auto& [path, value] : pairs) value += j + 1;  // corrupt relays
+    }
+    out.push_back(Outgoing{ProcessId{j}, encode_eig_pairs(pairs)});
+  }
+  return out;
+}
+
+}  // namespace modubft::sync

@@ -1,0 +1,91 @@
+// Interactive Consistency via Exponential Information Gathering (EIG).
+//
+// Pease, Shostak, Lamport — "Reaching Agreement in the Presence of Faults"
+// (JACM 1980), reference [11] of the paper and, per footnote 6, the origin
+// of the Vector Consensus idea the transformed protocol solves
+// asynchronously.  The oral-messages EIG algorithm tolerates f Byzantine
+// processes out of n > 3f in a *synchronous* system:
+//
+//   round 1      every process broadcasts its value;
+//   round k ≤ f+1  every process relays each path σ of length k−1 it
+//                learned (σ not containing itself) together with σ's value;
+//   resolution   the EIG tree is folded bottom-up: leaves keep their
+//                stored value (a default if missing), inner nodes take the
+//                strict majority of their children.
+//
+// Every correct process then holds the same vector, whose entry j equals
+// v_j for every correct p_j — exactly the guarantee the paper's protocol
+// provides with certificates and ◇M in an asynchronous system, at the cost
+// of O(n^{f+1}) information here versus certificates there (experiment
+// E11 quantifies the comparison).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "consensus/value.hpp"
+#include "sync/runner.hpp"
+
+namespace modubft::sync {
+
+using consensus::Value;
+
+/// Value used for absent/illegal EIG entries (the algorithm's "default").
+constexpr Value kEigDefault = 0;
+
+/// Delivered once after the final round: the interactive-consistency
+/// vector (entry j = agreed value of p_{j+1}).
+using EigDoneFn = std::function<void(ProcessId, const std::vector<Value>&)>;
+
+/// A correct EIG participant.
+class EigProcess final : public SyncProcess {
+ public:
+  EigProcess(std::uint32_t n, std::uint32_t f, ProcessId self, Value value,
+             EigDoneFn on_done);
+
+  std::vector<Outgoing> on_round(std::uint32_t round,
+                                 const std::vector<Incoming>& inbox) override;
+  void on_finish(const std::vector<Incoming>& final_inbox) override;
+
+  /// Rounds the algorithm needs (f + 1).
+  static std::uint32_t rounds_for(std::uint32_t f) { return f + 1; }
+
+ private:
+  using Path = std::vector<std::uint32_t>;
+
+  void absorb(const std::vector<Incoming>& inbox, std::uint32_t depth);
+  Value resolve(const Path& path) const;
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  ProcessId self_;
+  Value value_;
+  EigDoneFn on_done_;
+  std::map<Path, Value> tree_;
+};
+
+/// A Byzantine EIG participant: equivocates its own value per destination
+/// in round 1 and corrupts every relayed value afterwards.
+class EigLiar final : public SyncProcess {
+ public:
+  EigLiar(std::uint32_t n, std::uint32_t f, ProcessId self);
+
+  std::vector<Outgoing> on_round(std::uint32_t round,
+                                 const std::vector<Incoming>& inbox) override;
+  void on_finish(const std::vector<Incoming>&) override {}
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t f_;
+  ProcessId self_;
+  std::map<std::vector<std::uint32_t>, Value> tree_;
+};
+
+/// Wire helpers (exposed for tests).
+Bytes encode_eig_pairs(
+    const std::vector<std::pair<std::vector<std::uint32_t>, Value>>& pairs);
+std::vector<std::pair<std::vector<std::uint32_t>, Value>> decode_eig_pairs(
+    const Bytes& buf, std::uint32_t max_pairs = 1u << 20);
+
+}  // namespace modubft::sync

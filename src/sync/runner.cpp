@@ -1,0 +1,43 @@
+#include "sync/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace modubft::sync {
+
+SyncStats run_lockstep_rounds(
+    std::vector<std::unique_ptr<SyncProcess>>& processes,
+    std::uint32_t rounds) {
+  const std::size_t n = processes.size();
+  MODUBFT_EXPECTS(n >= 1);
+  MODUBFT_EXPECTS(rounds >= 1);
+
+  SyncStats stats;
+  std::vector<std::vector<Incoming>> inboxes(n);
+
+  for (std::uint32_t round = 1; round <= rounds; ++round) {
+    std::vector<std::vector<Incoming>> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (processes[i] == nullptr) continue;  // crashed
+      std::vector<Outgoing> sends = processes[i]->on_round(round, inboxes[i]);
+      for (Outgoing& out : sends) {
+        MODUBFT_EXPECTS(out.to.value < n);
+        stats.messages += 1;
+        stats.bytes += out.payload.size();
+        stats.max_message_bytes =
+            std::max<std::uint64_t>(stats.max_message_bytes,
+                                    out.payload.size());
+        next[out.to.value].push_back(
+            Incoming{ProcessId{static_cast<std::uint32_t>(i)},
+                     std::move(out.payload)});
+      }
+    }
+    inboxes = std::move(next);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (processes[i] != nullptr) processes[i]->on_finish(inboxes[i]);
+  }
+  return stats;
+}
+
+}  // namespace modubft::sync

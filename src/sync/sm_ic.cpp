@@ -1,0 +1,184 @@
+#include "sync/sm_ic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::sync {
+
+Bytes encode_chained(const std::vector<ChainedValue>& items) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const ChainedValue& cv : items) {
+    w.u64(cv.value);
+    w.u8(static_cast<std::uint8_t>(cv.chain.size()));
+    for (const auto& [id, sig] : cv.chain) {
+      w.u32(id);
+      w.bytes(sig);
+    }
+  }
+  return std::move(w).take();
+}
+
+std::vector<ChainedValue> decode_chained(const Bytes& buf,
+                                         std::uint32_t max_items) {
+  Reader r(buf);
+  const std::uint32_t count = r.seq_len(max_items);
+  std::vector<ChainedValue> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ChainedValue cv;
+    cv.value = r.u64();
+    const std::uint8_t len = r.u8();
+    for (std::uint8_t j = 0; j < len; ++j) {
+      const std::uint32_t id = r.u32();
+      cv.chain.emplace_back(id, r.bytes());
+    }
+    out.push_back(std::move(cv));
+  }
+  r.expect_end();
+  return out;
+}
+
+Bytes chain_preimage(Value value, const std::vector<std::uint32_t>& signers) {
+  Writer w;
+  w.str("sm-ic-chain");
+  w.u64(value);
+  w.u32(static_cast<std::uint32_t>(signers.size()));
+  for (std::uint32_t id : signers) w.u32(id);
+  return std::move(w).take();
+}
+
+SmProcess::SmProcess(std::uint32_t n, std::uint32_t f, ProcessId self,
+                     Value value, const crypto::Signer* signer,
+                     std::shared_ptr<const crypto::Verifier> verifier,
+                     EigDoneFn on_done)
+    : n_(n),
+      f_(f),
+      self_(self),
+      value_(value),
+      signer_(signer),
+      verifier_(std::move(verifier)),
+      on_done_(std::move(on_done)) {
+  MODUBFT_EXPECTS(n_ >= f_ + 2);  // the SM bound
+  MODUBFT_EXPECTS(signer_ != nullptr);
+  MODUBFT_EXPECTS(verifier_ != nullptr);
+  accepted_.resize(n_);
+}
+
+bool SmProcess::chain_valid(const ChainedValue& cv,
+                            std::uint32_t expect_len) const {
+  if (cv.chain.size() != expect_len) return false;
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, sig] : cv.chain) {
+    if (id >= n_) return false;
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) return false;
+    // Each signer endorses (value, chain-so-far-including-itself).
+    ids.push_back(id);
+    if (!verifier_->verify(ProcessId{id}, chain_preimage(cv.value, ids),
+                           sig)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SmProcess::absorb(const std::vector<Incoming>& inbox,
+                       std::uint32_t chain_len) {
+  for (const Incoming& in : inbox) {
+    std::vector<ChainedValue> items;
+    try {
+      items = decode_chained(in.payload);
+    } catch (const SerialError&) {
+      continue;
+    }
+    for (ChainedValue& cv : items) {
+      if (!chain_valid(cv, chain_len)) continue;
+      const std::uint32_t origin = cv.chain.front().first;
+      std::set<Value>& vals = accepted_[origin];
+      if (vals.count(cv.value)) continue;  // already known
+      // Two distinct certified values already convict the origin; further
+      // ones change nothing, so cap the relay work at two per origin.
+      if (vals.size() >= 2) continue;
+      vals.insert(cv.value);
+      relay_buffer_.push_back(std::move(cv));
+    }
+  }
+}
+
+std::vector<Outgoing> SmProcess::on_round(std::uint32_t round,
+                                          const std::vector<Incoming>& inbox) {
+  if (round > 1) absorb(inbox, round - 1);
+
+  std::vector<ChainedValue> to_send;
+  if (round == 1) {
+    ChainedValue own;
+    own.value = value_;
+    own.chain.emplace_back(
+        self_.value, signer_->sign(chain_preimage(value_, {self_.value})));
+    to_send.push_back(std::move(own));
+    accepted_[self_.value].insert(value_);
+  } else {
+    // Extend and relay everything newly accepted last round (chains cannot
+    // contain us yet: we only accept chains we are not part of — our own
+    // signature would make the chain length mismatch on re-receipt).
+    for (ChainedValue cv : relay_buffer_) {
+      bool has_self = false;
+      std::vector<std::uint32_t> ids;
+      for (const auto& [id, sig] : cv.chain) {
+        has_self |= id == self_.value;
+        ids.push_back(id);
+      }
+      if (has_self) continue;
+      ids.push_back(self_.value);
+      cv.chain.emplace_back(self_.value,
+                            signer_->sign(chain_preimage(cv.value, ids)));
+      to_send.push_back(std::move(cv));
+    }
+  }
+  relay_buffer_.clear();
+
+  std::vector<Outgoing> out;
+  if (!to_send.empty()) {
+    Bytes payload = encode_chained(to_send);
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      if (j == self_.value) continue;
+      out.push_back(Outgoing{ProcessId{j}, payload});
+    }
+  }
+  return out;
+}
+
+void SmProcess::on_finish(const std::vector<Incoming>& final_inbox) {
+  absorb(final_inbox, rounds_for(f_));
+
+  std::vector<Value> vector(n_, kEigDefault);
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    // The unique certified value, or the default on silence/equivocation.
+    if (accepted_[j].size() == 1) vector[j] = *accepted_[j].begin();
+  }
+  if (on_done_) on_done_(self_, vector);
+}
+
+SmEquivocator::SmEquivocator(std::uint32_t n, ProcessId self,
+                             const crypto::Signer* signer)
+    : n_(n), self_(self), signer_(signer) {}
+
+std::vector<Outgoing> SmEquivocator::on_round(std::uint32_t round,
+                                              const std::vector<Incoming>&) {
+  std::vector<Outgoing> out;
+  if (round != 1) return out;  // stays silent afterwards
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    if (j == self_.value) continue;
+    const Value v = j < n_ / 2 ? 4444 : 5555;
+    ChainedValue cv;
+    cv.value = v;
+    cv.chain.emplace_back(self_.value,
+                          signer_->sign(chain_preimage(v, {self_.value})));
+    out.push_back(Outgoing{ProcessId{j}, encode_chained({cv})});
+  }
+  return out;
+}
+
+}  // namespace modubft::sync

@@ -1,0 +1,96 @@
+// Interactive Consistency with signed messages — algorithm SM(f) of
+// Lamport, Shostak, Pease ("The Byzantine Generals Problem", adapted to
+// the IC formulation of [11]).
+//
+// The oral-messages EIG algorithm needs n > 3f; with unforgeable
+// signatures the bound collapses to any f < n − 1 and the information
+// gathered per entry shrinks from a full EIG tree to a set of
+// signature-chained values:
+//
+//   round 1      each process signs its value and broadcasts ⟨v : p⟩;
+//   round k ≤ f+1  on accepting a value for origin j with a chain of k−1
+//                distinct signatures starting at j, append a signature and
+//                relay (values per origin are only relayed the first two
+//                times a *distinct* value appears — two distinct certified
+//                values already prove the origin equivocated);
+//   resolution   entry j = the unique accepted value for j, or the default
+//                if none or several exist.
+//
+// The signature chains are this algorithm's "certificates": unforgeable
+// evidence of who said what — precisely the mechanism the DSN paper
+// generalizes into its certification module.  Comparing EIG (no crypto,
+// n > 3f) with SM (signatures, n > f+1) on the same substrate shows what
+// the signature assumption buys, which is the paper's starting point.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "crypto/signature.hpp"
+#include "sync/eig_ic.hpp"
+#include "sync/runner.hpp"
+
+namespace modubft::sync {
+
+/// A value with its signature chain.  chain[0] is the origin.
+struct ChainedValue {
+  Value value = 0;
+  std::vector<std::pair<std::uint32_t, crypto::Signature>> chain;
+};
+
+Bytes encode_chained(const std::vector<ChainedValue>& items);
+std::vector<ChainedValue> decode_chained(const Bytes& buf,
+                                         std::uint32_t max_items = 1u << 16);
+
+/// The byte string the k-th signer of a chain signs: value ‖ the signer
+/// prefix (ids only — each signature endorses the chain of custody).
+Bytes chain_preimage(Value value, const std::vector<std::uint32_t>& signers);
+
+/// A correct SM(f) participant.
+class SmProcess final : public SyncProcess {
+ public:
+  SmProcess(std::uint32_t n, std::uint32_t f, ProcessId self, Value value,
+            const crypto::Signer* signer,
+            std::shared_ptr<const crypto::Verifier> verifier,
+            EigDoneFn on_done);
+
+  std::vector<Outgoing> on_round(std::uint32_t round,
+                                 const std::vector<Incoming>& inbox) override;
+  void on_finish(const std::vector<Incoming>& final_inbox) override;
+
+  static std::uint32_t rounds_for(std::uint32_t f) { return f + 1; }
+
+ private:
+  void absorb(const std::vector<Incoming>& inbox, std::uint32_t chain_len);
+  bool chain_valid(const ChainedValue& cv, std::uint32_t expect_len) const;
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  ProcessId self_;
+  Value value_;
+  const crypto::Signer* signer_;
+  std::shared_ptr<const crypto::Verifier> verifier_;
+  EigDoneFn on_done_;
+
+  std::vector<std::set<Value>> accepted_;   // per origin
+  std::vector<ChainedValue> relay_buffer_;  // accepted last round, to extend
+};
+
+/// A Byzantine origin: signs different values towards different halves of
+/// the group (the attack signatures exist to expose).
+class SmEquivocator final : public SyncProcess {
+ public:
+  SmEquivocator(std::uint32_t n, ProcessId self, const crypto::Signer* signer);
+
+  std::vector<Outgoing> on_round(std::uint32_t round,
+                                 const std::vector<Incoming>& inbox) override;
+  void on_finish(const std::vector<Incoming>&) override {}
+
+ private:
+  std::uint32_t n_;
+  ProcessId self_;
+  const crypto::Signer* signer_;
+};
+
+}  // namespace modubft::sync

@@ -1,0 +1,225 @@
+#include "transport/cluster.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace modubft::transport {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+struct Cluster::Node {
+  ProcessId id;
+  std::unique_ptr<sim::Actor> actor;
+  Mailbox<Envelope> mailbox;
+  std::unique_ptr<Rng> rng;
+
+  // Timers: owned by the node thread exclusively.
+  std::vector<TimerEntry> timers;  // unsorted; scanned for the earliest
+  std::unordered_set<std::uint64_t> cancelled;
+  std::uint64_t next_timer_id = 1;
+
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> stopped{false};
+  std::optional<Clock::time_point> crash_at;
+
+  Cluster* cluster = nullptr;
+};
+
+/// Context bound to one callback execution on the node thread.
+class Cluster::NodeContext final : public sim::Context {
+ public:
+  NodeContext(Cluster& cluster, Node& node) : cluster_(cluster), node_(node) {}
+
+  ProcessId id() const override { return node_.id; }
+  std::uint32_t n() const override { return cluster_.config_.n; }
+
+  SimTime now() const override {
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - cluster_.epoch_)
+            .count());
+  }
+
+  void send(ProcessId to, Bytes payload) override {
+    MODUBFT_EXPECTS(to.value < cluster_.config_.n);
+    cluster_.nodes_[to.value]->mailbox.push(
+        Envelope{node_.id, std::move(payload)});
+  }
+
+  void broadcast(const Bytes& payload) override {
+    for (std::uint32_t i = 0; i < cluster_.config_.n; ++i) {
+      cluster_.nodes_[i]->mailbox.push(Envelope{node_.id, payload});
+    }
+  }
+
+  std::uint64_t set_timer(SimTime delay) override {
+    const std::uint64_t id = node_.next_timer_id++;
+    node_.timers.push_back(
+        TimerEntry{Clock::now() + std::chrono::microseconds(delay), id});
+    return id;
+  }
+
+  void cancel_timer(std::uint64_t timer_id) override {
+    node_.cancelled.insert(timer_id);
+  }
+
+  Rng& rng() override { return *node_.rng; }
+
+  void stop() override { node_.stop_requested.store(true); }
+
+ private:
+  Cluster& cluster_;
+  Node& node_;
+};
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  MODUBFT_EXPECTS(config_.n > 0);
+  Rng root(config_.seed);
+  nodes_.reserve(config_.n);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->id = ProcessId{i};
+    node->rng = std::make_unique<Rng>(root.split(i + 1));
+    node->cluster = this;
+    nodes_.push_back(std::move(node));
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& node : nodes_) node->mailbox.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Cluster::set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(!ran_);
+  nodes_[id.value]->actor = std::move(actor);
+}
+
+void Cluster::crash_after(ProcessId id, std::chrono::microseconds after) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(!ran_);
+  // Resolved against the epoch when run() starts.
+  nodes_[id.value]->crash_at = Clock::time_point(after.count() >= 0
+                                                     ? Clock::duration(after)
+                                                     : Clock::duration::zero());
+}
+
+void Cluster::node_main(Node& node) {
+  NodeContext ctx(*this, node);
+  node.actor->on_start(ctx);
+
+  while (!node.stop_requested.load()) {
+    if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) {
+      break;  // silent halt: no more receives, no more sends
+    }
+
+    // Earliest pending timer bounds the mailbox wait.
+    Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(20);
+    const TimerEntry* earliest = nullptr;
+    for (const TimerEntry& t : node.timers) {
+      if (node.cancelled.count(t.id)) continue;
+      if (earliest == nullptr || t.due < earliest->due) earliest = &t;
+    }
+    if (earliest != nullptr && earliest->due < deadline) {
+      deadline = earliest->due;
+    }
+    if (node.crash_at.has_value() && *node.crash_at < deadline) {
+      deadline = *node.crash_at;
+    }
+
+    std::optional<Envelope> env = node.mailbox.pop_until(deadline);
+    if (node.stop_requested.load()) break;
+    if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) break;
+
+    if (env.has_value()) {
+      node.actor->on_message(ctx, env->from, env->payload);
+      continue;
+    }
+
+    // Deadline expiry: fire every due timer.
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> due;
+    node.timers.erase(
+        std::remove_if(node.timers.begin(), node.timers.end(),
+                       [&](const TimerEntry& t) {
+                         if (node.cancelled.count(t.id)) {
+                           node.cancelled.erase(t.id);
+                           return true;
+                         }
+                         if (t.due <= now) {
+                           due.push_back(t.id);
+                           return true;
+                         }
+                         return false;
+                       }),
+        node.timers.end());
+    for (std::uint64_t id : due) {
+      if (node.stop_requested.load()) break;
+      node.actor->on_timer(ctx, id);
+    }
+    if (node.mailbox.closed() && !env.has_value() && node.timers.empty()) {
+      break;  // shutdown requested by the cluster
+    }
+  }
+  node.stopped.store(true);
+}
+
+bool Cluster::run() {
+  MODUBFT_EXPECTS(!ran_);
+  ran_ = true;
+  for (auto& node : nodes_) MODUBFT_EXPECTS(node->actor != nullptr);
+
+  epoch_ = Clock::now();
+  // Rebase crash deadlines onto the epoch.
+  for (auto& node : nodes_) {
+    if (node->crash_at.has_value()) {
+      node->crash_at = epoch_ + node->crash_at->time_since_epoch();
+    }
+  }
+
+  threads_.reserve(config_.n);
+  for (auto& node : nodes_) {
+    threads_.emplace_back([this, &node = *node] { node_main(node); });
+  }
+
+  const Clock::time_point deadline = epoch_ + config_.budget;
+  bool all_stopped = false;
+  while (Clock::now() < deadline) {
+    all_stopped = true;
+    for (auto& node : nodes_) {
+      if (!node->stopped.load()) {
+        all_stopped = false;
+        break;
+      }
+    }
+    if (all_stopped) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  for (auto& node : nodes_) {
+    node->stop_requested.store(true);
+    node->mailbox.close();
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+
+  elapsed_ = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - epoch_);
+  return all_stopped;
+}
+
+bool Cluster::stopped(ProcessId id) const {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  return nodes_[id.value]->stopped.load();
+}
+
+}  // namespace modubft::transport

@@ -1,0 +1,84 @@
+// Threaded in-memory cluster: the "real concurrency" runtime.
+//
+// Runs the same Actor programs as the deterministic simulator, but each
+// process lives on its own OS thread, messages travel through MPSC
+// mailboxes, time is the wall clock, and interleavings are whatever the
+// scheduler produces.  This is the deployment-shaped substrate: it
+// validates that the protocols do not secretly depend on the simulator's
+// determinism, and it exercises the locking/timer plumbing a real system
+// needs.
+//
+// Channel guarantees match the model: reliable (in-process queues) and
+// FIFO per ordered pair (senders push sequentially, mailboxes preserve
+// per-sender order).  Crash injection drops a node silently at a chosen
+// point in time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/actor.hpp"
+#include "transport/mailbox.hpp"
+
+namespace modubft::transport {
+
+struct ClusterConfig {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  /// Wall-clock budget for run(); nodes still running afterwards are
+  /// abandoned (their threads are joined after a close).
+  std::chrono::milliseconds budget{10'000};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Installs the actor for `id`.  Call for every id before run().
+  void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor);
+
+  /// Schedules a silent halt of `id` after `after` of wall-clock run time.
+  void crash_after(ProcessId id, std::chrono::microseconds after);
+
+  /// Starts all node threads and blocks until every node stopped (or the
+  /// budget expires).  Returns true iff all nodes stopped by themselves.
+  bool run();
+
+  bool stopped(ProcessId id) const;
+
+  /// Wall-clock duration of the completed run.
+  std::chrono::microseconds elapsed() const { return elapsed_; }
+
+ private:
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t id;
+  };
+
+  struct Envelope {
+    ProcessId from;
+    Bytes payload;
+  };
+
+  struct Node;
+  class NodeContext;
+
+  void node_main(Node& node);
+
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::chrono::microseconds elapsed_{0};
+  bool ran_ = false;
+};
+
+}  // namespace modubft::transport

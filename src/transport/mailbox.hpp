@@ -1,0 +1,75 @@
+// Blocking MPSC mailbox used by the threaded runtime.
+//
+// Multiple sender threads push; the owning node thread pops with a
+// deadline (so protocol timers can fire while the queue is idle).  Pushes
+// from one sender thread keep their order — together with one mailbox per
+// node this yields the reliable-FIFO channel semantics the protocols
+// assume.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace modubft::transport {
+
+template <typename T>
+class Mailbox {
+ public:
+  /// Enqueues an item.  Returns false if the mailbox is closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Pops the next item, waiting until `deadline` at most.
+  /// Returns nullopt on deadline expiry or when closed and drained.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Closes the mailbox: pending items remain poppable, pushes fail, and
+  /// waiting poppers wake.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace modubft::transport

@@ -1,0 +1,370 @@
+#include "transport/tcp_cluster.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace modubft::transport {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t got = ::read(fd, p, len);
+    if (got <= 0) return false;  // EOF or error: the connection is done
+    p += got;
+    len -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that halted (decided and closed) must surface
+    // as a failed send, not a SIGPIPE.
+    const ssize_t put = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    p += put;
+    len -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+}  // namespace
+
+struct TcpCluster::Node {
+  ProcessId id;
+  std::unique_ptr<sim::Actor> actor;
+  Mailbox<Envelope> mailbox;
+  std::unique_ptr<Rng> rng;
+
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  // outbound[j]: my connection used exclusively for sends to p_{j+1}.
+  std::vector<int> outbound;
+  std::vector<std::unique_ptr<std::mutex>> out_mutex;
+  std::vector<std::thread> readers;
+
+  std::vector<TimerEntry> timers;
+  std::unordered_set<std::uint64_t> cancelled;
+  std::uint64_t next_timer_id = 1;
+
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> stopped{false};
+
+  TcpCluster* cluster = nullptr;
+};
+
+class TcpCluster::NodeContext final : public sim::Context {
+ public:
+  NodeContext(TcpCluster& cluster, Node& node)
+      : cluster_(cluster), node_(node) {}
+
+  ProcessId id() const override { return node_.id; }
+  std::uint32_t n() const override { return cluster_.config_.n; }
+
+  SimTime now() const override {
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - cluster_.epoch_)
+            .count());
+  }
+
+  void send(ProcessId to, Bytes payload) override {
+    cluster_.send_frame(node_, to, payload);
+  }
+
+  void broadcast(const Bytes& payload) override {
+    for (std::uint32_t j = 0; j < cluster_.config_.n; ++j) {
+      cluster_.send_frame(node_, ProcessId{j}, payload);
+    }
+  }
+
+  std::uint64_t set_timer(SimTime delay) override {
+    const std::uint64_t id = node_.next_timer_id++;
+    node_.timers.push_back(
+        TimerEntry{Clock::now() + std::chrono::microseconds(delay), id});
+    return id;
+  }
+
+  void cancel_timer(std::uint64_t timer_id) override {
+    node_.cancelled.insert(timer_id);
+  }
+
+  Rng& rng() override { return *node_.rng; }
+
+  void stop() override { node_.stop_requested.store(true); }
+
+ private:
+  TcpCluster& cluster_;
+  Node& node_;
+};
+
+TcpCluster::TcpCluster(TcpClusterConfig config) : config_(config) {
+  MODUBFT_EXPECTS(config_.n > 0);
+  Rng root(config_.seed);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->id = ProcessId{i};
+    node->rng = std::make_unique<Rng>(root.split(i + 1));
+    node->cluster = this;
+    node->outbound.assign(config_.n, -1);
+    for (std::uint32_t j = 0; j < config_.n; ++j) {
+      node->out_mutex.push_back(std::make_unique<std::mutex>());
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+TcpCluster::~TcpCluster() {
+  for (auto& node : nodes_) {
+    node->stop_requested.store(true);
+    node->mailbox.close();
+    close_fd(node->listen_fd);
+    for (int& fd : node->outbound) close_fd(fd);
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& node : nodes_) {
+    for (std::thread& t : node->readers) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void TcpCluster::set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(!ran_);
+  nodes_[id.value]->actor = std::move(actor);
+}
+
+bool TcpCluster::send_frame(Node& node, ProcessId to, const Bytes& payload) {
+  MODUBFT_EXPECTS(to.value < config_.n);
+  if (to == node.id) {
+    // Loopback delivery without a socket round trip keeps "send to Π"
+    // semantics identical to the other substrates.
+    node.mailbox.push(Envelope{node.id, payload});
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(*node.out_mutex[to.value]);
+  const int fd = node.outbound[to.value];
+  if (fd < 0) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t hdr[4] = {
+      static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len >> 16), static_cast<std::uint8_t>(len >> 24)};
+  if (!write_all(fd, hdr, 4)) return false;
+  if (!payload.empty() && !write_all(fd, payload.data(), payload.size())) {
+    return false;
+  }
+  frames_sent_.fetch_add(1);
+  bytes_sent_.fetch_add(payload.size() + 4);
+  return true;
+}
+
+void TcpCluster::reader_main(Node& node, int fd) {
+  // Hello: who is on the other end.
+  std::uint8_t hello[4];
+  if (!read_exact(fd, hello, 4)) {
+    ::close(fd);
+    return;
+  }
+  std::uint32_t from = static_cast<std::uint32_t>(hello[0]) |
+                       static_cast<std::uint32_t>(hello[1]) << 8 |
+                       static_cast<std::uint32_t>(hello[2]) << 16 |
+                       static_cast<std::uint32_t>(hello[3]) << 24;
+  if (from >= config_.n) {
+    ::close(fd);
+    return;
+  }
+
+  while (!node.stop_requested.load()) {
+    std::uint8_t hdr[4];
+    if (!read_exact(fd, hdr, 4)) break;
+    const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                              static_cast<std::uint32_t>(hdr[1]) << 8 |
+                              static_cast<std::uint32_t>(hdr[2]) << 16 |
+                              static_cast<std::uint32_t>(hdr[3]) << 24;
+    if (len > config_.max_frame_bytes) break;  // hostile frame size
+    Bytes payload(len);
+    if (len > 0 && !read_exact(fd, payload.data(), len)) break;
+    node.mailbox.push(Envelope{ProcessId{from}, std::move(payload)});
+  }
+  ::close(fd);
+}
+
+void TcpCluster::node_main(Node& node) {
+  NodeContext ctx(*this, node);
+  node.actor->on_start(ctx);
+
+  while (!node.stop_requested.load()) {
+    Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(20);
+    const TimerEntry* earliest = nullptr;
+    for (const TimerEntry& t : node.timers) {
+      if (node.cancelled.count(t.id)) continue;
+      if (earliest == nullptr || t.due < earliest->due) earliest = &t;
+    }
+    if (earliest != nullptr && earliest->due < deadline) {
+      deadline = earliest->due;
+    }
+
+    std::optional<Envelope> env = node.mailbox.pop_until(deadline);
+    if (node.stop_requested.load()) break;
+
+    if (env.has_value()) {
+      node.actor->on_message(ctx, env->from, env->payload);
+      continue;
+    }
+
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> due;
+    node.timers.erase(
+        std::remove_if(node.timers.begin(), node.timers.end(),
+                       [&](const TimerEntry& t) {
+                         if (node.cancelled.count(t.id)) {
+                           node.cancelled.erase(t.id);
+                           return true;
+                         }
+                         if (t.due <= now) {
+                           due.push_back(t.id);
+                           return true;
+                         }
+                         return false;
+                       }),
+        node.timers.end());
+    for (std::uint64_t id : due) {
+      if (node.stop_requested.load()) break;
+      node.actor->on_timer(ctx, id);
+    }
+    if (node.mailbox.closed() && node.timers.empty()) break;
+  }
+  node.stopped.store(true);
+}
+
+bool TcpCluster::run() {
+  MODUBFT_EXPECTS(!ran_);
+  ran_ = true;
+  for (auto& node : nodes_) MODUBFT_EXPECTS(node->actor != nullptr);
+
+  // 1. Listen sockets for everyone (ephemeral loopback ports).
+  for (auto& node : nodes_) {
+    node->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MODUBFT_ASSERT(node->listen_fd >= 0);
+    int one = 1;
+    ::setsockopt(node->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    MODUBFT_ASSERT(::bind(node->listen_fd,
+                          reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(node->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    node->port = ntohs(addr.sin_port);
+    MODUBFT_ASSERT(::listen(node->listen_fd,
+                            static_cast<int>(config_.n)) == 0);
+  }
+
+  // 2. Full mesh: every node dials every peer; the dialer's connection is
+  //    used exclusively for its own sends.
+  for (auto& node : nodes_) {
+    for (std::uint32_t j = 0; j < config_.n; ++j) {
+      if (j == node->id.value) continue;
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      MODUBFT_ASSERT(fd >= 0);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(nodes_[j]->port);
+      MODUBFT_ASSERT(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof addr) == 0);
+      const std::uint32_t me = node->id.value;
+      std::uint8_t hello[4] = {static_cast<std::uint8_t>(me),
+                               static_cast<std::uint8_t>(me >> 8),
+                               static_cast<std::uint8_t>(me >> 16),
+                               static_cast<std::uint8_t>(me >> 24)};
+      MODUBFT_ASSERT(write_all(fd, hello, 4));
+      node->outbound[j] = fd;
+    }
+  }
+
+  // 3. Accept the n−1 inbound connections per node and spawn readers.
+  for (auto& node : nodes_) {
+    for (std::uint32_t k = 0; k + 1 < config_.n; ++k) {
+      int fd = ::accept(node->listen_fd, nullptr, nullptr);
+      MODUBFT_ASSERT(fd >= 0);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      node->readers.emplace_back(
+          [this, &node = *node, fd] { reader_main(node, fd); });
+    }
+    close_fd(node->listen_fd);
+  }
+
+  // 4. Run the actors.
+  epoch_ = Clock::now();
+  threads_.reserve(config_.n);
+  for (auto& node : nodes_) {
+    threads_.emplace_back([this, &node = *node] { node_main(node); });
+  }
+
+  const Clock::time_point deadline = epoch_ + config_.budget;
+  bool all_stopped = false;
+  while (Clock::now() < deadline) {
+    all_stopped = true;
+    for (auto& node : nodes_) {
+      if (!node->stopped.load()) {
+        all_stopped = false;
+        break;
+      }
+    }
+    if (all_stopped) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  for (auto& node : nodes_) {
+    node->stop_requested.store(true);
+    node->mailbox.close();
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  // Closing our outbound ends unblocks every peer's reader.
+  for (auto& node : nodes_) {
+    for (int& fd : node->outbound) close_fd(fd);
+  }
+  for (auto& node : nodes_) {
+    for (std::thread& t : node->readers) t.join();
+    node->readers.clear();
+  }
+  return all_stopped;
+}
+
+bool TcpCluster::stopped(ProcessId id) const {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  return nodes_[id.value]->stopped.load();
+}
+
+}  // namespace modubft::transport

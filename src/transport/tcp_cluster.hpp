@@ -1,0 +1,86 @@
+// TCP cluster: the protocols over real sockets.
+//
+// Runs the same Actor programs as the simulator and the in-memory threaded
+// cluster, but every channel is a TCP connection on the loopback
+// interface: real framing, real kernel buffering, real partial reads.
+// This is the closest substrate to a deployment and the final word on the
+// "manual networking" plumbing — nothing above this layer changes.
+//
+// Topology: full mesh of unidirectional connections.  Every node dials
+// every peer once and uses that connection exclusively for its own sends
+// (i → j); inbound connections are identified by a hello frame carrying
+// the dialer's id.  TCP gives reliability and per-connection ordering, so
+// the model's reliable-FIFO channel assumption holds by construction.
+//
+// Framing: hello = u32 sender id; then repeated [u32 length][payload].
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/actor.hpp"
+#include "transport/mailbox.hpp"
+
+namespace modubft::transport {
+
+struct TcpClusterConfig {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  std::chrono::milliseconds budget{10'000};
+  /// Maximum accepted frame size (defensive cap on the wire).
+  std::uint32_t max_frame_bytes = 16u << 20;
+};
+
+class TcpCluster {
+ public:
+  explicit TcpCluster(TcpClusterConfig config);
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor);
+
+  /// Establishes the mesh, runs every node to completion (or budget
+  /// expiry).  Returns true iff all nodes stopped by themselves.
+  bool run();
+
+  bool stopped(ProcessId id) const;
+
+  /// Total frames/bytes actually written to sockets.
+  std::uint64_t frames_sent() const { return frames_sent_.load(); }
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+
+ private:
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t id;
+  };
+
+  struct Envelope {
+    ProcessId from;
+    Bytes payload;
+  };
+
+  struct Node;
+  class NodeContext;
+
+  void node_main(Node& node);
+  void reader_main(Node& node, int fd);
+  bool send_frame(Node& node, ProcessId to, const Bytes& payload);
+
+  TcpClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::thread> threads_;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  bool ran_ = false;
+};
+
+}  // namespace modubft::transport

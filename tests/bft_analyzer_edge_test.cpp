@@ -1,0 +1,197 @@
+// Adversarial edge cases for the certificate analyzer: hand-built
+// structures a Byzantine process could craft that the main suite's happy
+// paths never produce.
+#include <gtest/gtest.h>
+
+#include "bft/analyzer.hpp"
+#include "crypto/hmac_signer.hpp"
+
+namespace modubft::bft {
+namespace {
+
+class EdgeFixture : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 4;
+  static constexpr std::uint32_t kQuorum = 3;
+
+  EdgeFixture()
+      : sys_(crypto::HmacScheme{}.make_system(kN, 99)),
+        analyzer_(kN, kQuorum, sys_.verifier) {}
+
+  SignedMessage sign(MessageCore core, Certificate cert = {}) const {
+    SignedMessage msg;
+    msg.core = std::move(core);
+    msg.cert = std::move(cert);
+    msg.sig = sys_.signers[msg.core.sender.value]->sign(
+        signing_bytes(msg.core, msg.cert));
+    return msg;
+  }
+
+  SignedMessage init_msg(std::uint32_t sender) const {
+    MessageCore core;
+    core.kind = BftKind::kInit;
+    core.sender = ProcessId{sender};
+    core.round = Round{0};
+    core.init_value = 100 + sender;
+    return sign(core);
+  }
+
+  VectorValue base_vector() const {
+    return {Value{100}, Value{101}, Value{102}, std::nullopt};
+  }
+
+  Certificate init_quorum() const {
+    Certificate cert;
+    cert.members = {init_msg(0), init_msg(1), init_msg(2)};
+    return cert;
+  }
+
+  SignedMessage current_msg(std::uint32_t sender, std::uint32_t round,
+                            VectorValue est, Certificate cert) const {
+    MessageCore core;
+    core.kind = BftKind::kCurrent;
+    core.sender = ProcessId{sender};
+    core.round = Round{round};
+    core.est = std::move(est);
+    return sign(core, std::move(cert));
+  }
+
+  SignedMessage next_msg(std::uint32_t sender, std::uint32_t round,
+                         Certificate cert = {}) const {
+    MessageCore core;
+    core.kind = BftKind::kNext;
+    core.sender = ProcessId{sender};
+    core.round = Round{round};
+    return sign(core, std::move(cert));
+  }
+
+  crypto::SignatureSystem sys_;
+  CertAnalyzer analyzer_;
+};
+
+TEST_F(EdgeFixture, RelayRingNeverReachingCoordinatorRejected) {
+  // p3 "relays" p4's CURRENT which "relays" p3's... a forged mutual ring
+  // cannot be built without both signatures, but a Byzantine pair controls
+  // both.  The chain never reaches an est witness, so it must die at the
+  // innermost certificate, not loop.
+  Certificate empty;
+  SignedMessage inner = current_msg(3, 1, base_vector(), empty);
+  Certificate c1;
+  c1.members = {inner};
+  SignedMessage mid = current_msg(2, 1, base_vector(), c1);
+  Certificate c2;
+  c2.members = {mid};
+  SignedMessage outer = current_msg(3, 1, base_vector(), c2);
+
+  Verdict v = analyzer_.current_wf(outer);
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
+  EXPECT_EQ(analyzer_.chain_base(outer), nullptr);
+}
+
+TEST_F(EdgeFixture, EstEvidenceWithTwoCurrentsAmbiguous) {
+  SignedMessage coord = current_msg(0, 1, base_vector(), init_quorum());
+  Certificate cert;
+  cert.members = {coord, coord};
+  Verdict v = analyzer_.est_wf(cert, base_vector());
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
+}
+
+TEST_F(EdgeFixture, EntryEvidencePrunedRejected) {
+  Certificate nexts;
+  nexts.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  Certificate pruned = prune(nexts);
+  Verdict v = analyzer_.entry_wf(pruned, Round{2});
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
+}
+
+TEST_F(EdgeFixture, DecideCertWithWrongRoundCurrentsRejected) {
+  // Q CURRENTs exist, but for round 1 while the DECIDE claims round 2.
+  SignedMessage coord = current_msg(0, 1, base_vector(), init_quorum());
+  Certificate relay_cert;
+  relay_cert.members = {coord};
+  Certificate cert;
+  cert.members = {coord, current_msg(2, 1, base_vector(), relay_cert),
+                  current_msg(3, 1, base_vector(), relay_cert)};
+  MessageCore dec;
+  dec.kind = BftKind::kDecide;
+  dec.sender = ProcessId{2};
+  dec.round = Round{2};
+  dec.est = base_vector();
+  Verdict v = analyzer_.decide_wf(sign(dec, cert));
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
+}
+
+TEST_F(EdgeFixture, DecideCertDuplicateSendersDoNotCount) {
+  SignedMessage coord = current_msg(0, 1, base_vector(), init_quorum());
+  Certificate cert;
+  cert.members = {coord, coord, coord};  // one sender, three copies
+  MessageCore dec;
+  dec.kind = BftKind::kDecide;
+  dec.sender = ProcessId{2};
+  dec.round = Round{1};
+  dec.est = base_vector();
+  EXPECT_FALSE(analyzer_.decide_wf(sign(dec, cert)));
+}
+
+TEST_F(EdgeFixture, NextJustificationIgnoresOtherRoundVotes) {
+  // Round-2 NEXT whose certificate holds a quorum of *round-1* NEXTs: that
+  // witnesses entry into round 2, not an end-of-round-2 situation.
+  Certificate old_nexts;
+  old_nexts.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  SignedMessage nm = next_msg(3, 2, old_nexts);
+  // From q1 (sender voted CURRENT in round 2) the change-mind path needs
+  // round-2 evidence, which is absent.
+  Verdict v = analyzer_.next_wf(nm, PeerPhase::kQ1);
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
+  // From q0 it reads as a suspicion claim (no round-2 CURRENT evidence):
+  // structurally acceptable, exactly like the paper's unverifiable
+  // suspicion.
+  EXPECT_TRUE(analyzer_.next_wf(nm, PeerPhase::kQ0));
+}
+
+TEST_F(EdgeFixture, CurrentWithForeignInitValuesRejected) {
+  // The coordinator pairs its vector with a quorum of INITs whose values
+  // do not match the vector entries.
+  VectorValue wrong = {Value{900}, Value{901}, Value{902}, std::nullopt};
+  Verdict v = analyzer_.current_wf(current_msg(0, 1, wrong, init_quorum()));
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
+}
+
+TEST_F(EdgeFixture, InitQuorumWithForeignExtraMembersStillWellFormed) {
+  // Honest certificates may carry NEXT members alongside the INITs (the
+  // line-24 union); the est check must ignore them rather than choke.
+  Certificate cert = init_quorum();
+  cert.members.push_back(next_msg(1, 1));
+  EXPECT_TRUE(analyzer_.est_wf(cert, base_vector()));
+}
+
+TEST_F(EdgeFixture, SignatureOverPrunedCertStillBindsContents) {
+  // A signer cannot claim a different certificate after the fact: the
+  // digest in the signing preimage pins it.
+  Certificate nexts;
+  nexts.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  SignedMessage nm = next_msg(3, 2, nexts);
+  SignedMessage swapped = nm;
+  Certificate other;
+  other.members = {next_msg(0, 1)};
+  swapped.cert = other;
+  EXPECT_FALSE(analyzer_.signature_ok(swapped));
+  swapped.cert = prune(nexts);
+  EXPECT_TRUE(analyzer_.signature_ok(swapped));
+}
+
+TEST_F(EdgeFixture, MemberWithOutOfRangeSenderRejected) {
+  Certificate cert = init_quorum();
+  cert.members[0].core.sender = ProcessId{77};  // breaks sig too
+  Verdict v = analyzer_.est_wf(cert, base_vector());
+  EXPECT_FALSE(v);
+}
+
+}  // namespace
+}  // namespace modubft::bft

@@ -1,0 +1,103 @@
+// Tightness of the resilience bound F ≤ min(⌊(n−1)/2⌋, C).
+//
+// Footnote 2: "usual certification mechanisms require C = ⌊(n−1)/3⌋".
+// This file demonstrates *why* the certification bound is necessary, not
+// just sufficient: with n = 7 and the bound overridden to admit F = 3
+// (quorum n−F = 4), two decision quorums intersect in a single process —
+// which can be the Byzantine coordinator itself.  The dual-INIT-quorum
+// equivocation attack then drives one half of the group to decide vector A
+// and the other half vector B: an Agreement violation.  At the paper's
+// F = 2 (quorum 5) the same attack is harmless: neither side can assemble
+// a quorum, change-mind fires, and an honest round-2 coordinator finishes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bft/bft_consensus.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "faults/split_brain.hpp"
+#include "sim/simulation.hpp"
+
+namespace modubft::bft {
+namespace {
+
+constexpr std::uint32_t kN = 7;
+
+std::map<std::uint32_t, VectorDecision> run_split_brain(std::uint32_t f,
+                                                        std::uint64_t seed) {
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, seed);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = kN;
+  sim_cfg.seed = seed;
+  sim::Simulation world(sim_cfg);
+
+  BftConfig proto;
+  proto.n = kN;
+  proto.f = f;
+  // Override the certification bound so F = 3 passes validation — the
+  // whole point is to show what that override costs.
+  proto.certification_bound = f;
+
+  std::map<std::uint32_t, VectorDecision> decisions;
+  world.set_actor(ProcessId{0},
+                  std::make_unique<faults::SplitBrainCoordinator>(
+                      kN, keys.signers[0].get(), kN - f, 3));
+  for (std::uint32_t i = 1; i < kN; ++i) {
+    world.set_actor(ProcessId{i},
+                    std::make_unique<BftProcess>(
+                        proto, 1000 + i, keys.signers[i].get(), keys.verifier,
+                        [&decisions, i](ProcessId, const VectorDecision& d) {
+                          decisions.emplace(i, d);
+                        }));
+  }
+  world.run();
+  return decisions;
+}
+
+TEST(ResilienceBound, ConfigRejectsExcessiveFWithoutOverride) {
+  BftConfig cfg;
+  cfg.n = 7;
+  cfg.f = 3;  // > ⌊6/3⌋ = 2
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.certification_bound = 3;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.f = 4;  // > ⌊6/2⌋ = 3: rejected even with a generous C
+  cfg.certification_bound = 10;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+TEST(ResilienceBound, SplitBrainBreaksAgreementBeyondCertificationBound) {
+  // F = 3 (quorum 4): the attack must be able to split the group.  This is
+  // the *negative* result validating footnote 2 — the override trades away
+  // Agreement.
+  bool violated_somewhere = false;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    auto decisions = run_split_brain(3, seed);
+    if (decisions.size() < 2) continue;
+    const VectorValue& ref = decisions.begin()->second.entries;
+    for (auto& [i, d] : decisions) {
+      if (d.entries != ref) violated_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(violated_somewhere)
+      << "expected the dual-quorum attack to break Agreement at F=3, n=7";
+}
+
+TEST(ResilienceBound, SameAttackHarmlessWithinBound) {
+  // F = 2 (quorum 5): neither half can decide in round 1; change-mind moves
+  // everyone to round 2 where an honest coordinator finishes.  Agreement
+  // holds on every seed.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    auto decisions = run_split_brain(2, seed);
+    ASSERT_EQ(decisions.size(), kN - 1) << "seed " << seed;
+    const VectorValue& ref = decisions.begin()->second.entries;
+    for (auto& [i, d] : decisions) {
+      EXPECT_EQ(d.entries, ref) << "seed " << seed << " p" << (i + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace modubft::bft

@@ -1,0 +1,336 @@
+// End-to-end tests of the transformed Byzantine vector-consensus protocol
+// (paper Figure 3) under every injected failure class.
+#include <gtest/gtest.h>
+
+#include "bft/config.hpp"
+#include "faults/scenario.hpp"
+
+namespace modubft {
+namespace {
+
+using faults::Behavior;
+using faults::BftScenarioConfig;
+using faults::BftScenarioResult;
+using faults::FaultSpec;
+using faults::run_bft_scenario;
+
+BftScenarioConfig base(std::uint32_t n, std::uint32_t f, std::uint64_t seed) {
+  BftScenarioConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FaultSpec fault(std::uint32_t who, Behavior b, Round from = Round{1}) {
+  FaultSpec s;
+  s.who = ProcessId{who};
+  s.behavior = b;
+  s.from_round = from;
+  return s;
+}
+
+void expect_all_good(const BftScenarioResult& r, const char* label) {
+  EXPECT_TRUE(r.termination) << label;
+  EXPECT_TRUE(r.agreement) << label;
+  EXPECT_TRUE(r.vector_validity) << label;
+  EXPECT_TRUE(r.detectors_reliable) << label;
+}
+
+TEST(BftBounds, ResilienceFormula) {
+  using bft::default_certification_bound;
+  using bft::max_tolerated_faults;
+  EXPECT_EQ(default_certification_bound(4), 1u);
+  EXPECT_EQ(default_certification_bound(7), 2u);
+  EXPECT_EQ(default_certification_bound(10), 3u);
+  EXPECT_EQ(max_tolerated_faults(4), 1u);
+  EXPECT_EQ(max_tolerated_faults(7), 2u);
+  // An external certification service can raise C up to the HR majority.
+  EXPECT_EQ(max_tolerated_faults(7, 5), 3u);
+  EXPECT_EQ(max_tolerated_faults(2), 0u);
+}
+
+TEST(BftBounds, ConfigValidation) {
+  bft::BftConfig cfg;
+  cfg.n = 4;
+  cfg.f = 2;  // exceeds min(⌊3/2⌋, ⌊3/3⌋) = 1
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+TEST(BftConsensus, FailureFreeDecidesRoundOne) {
+  BftScenarioResult r = run_bft_scenario(base(4, 1, 1));
+  expect_all_good(r, "failure-free");
+  EXPECT_EQ(r.max_decision_round.value, 1u);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.declared_faulty.empty());
+  // Vector has at least quorum certified entries.
+  EXPECT_GE(r.min_correct_entries, 3u);
+}
+
+TEST(BftConsensus, FailureFreeLargerGroup) {
+  BftScenarioResult r = run_bft_scenario(base(7, 2, 2));
+  expect_all_good(r, "n=7 failure-free");
+}
+
+TEST(BftConsensus, RsaSchemeAlsoWorks) {
+  BftScenarioConfig cfg = base(4, 1, 3);
+  cfg.scheme = faults::Scheme::kRsa64;
+  expect_all_good(run_bft_scenario(cfg), "rsa64");
+}
+
+TEST(BftConsensus, UnprunedCertificatesAlsoWork) {
+  BftScenarioConfig cfg = base(4, 1, 4);
+  cfg.prune = false;
+  expect_all_good(run_bft_scenario(cfg), "no pruning");
+}
+
+TEST(BftConsensus, CrashedProcessTolerated) {
+  BftScenarioConfig cfg = base(4, 1, 5);
+  cfg.faults = {fault(3, Behavior::kCrash)};
+  cfg.faults[0].at = 0;
+  expect_all_good(run_bft_scenario(cfg), "crash");
+}
+
+TEST(BftConsensus, CrashedCoordinatorTolerated) {
+  BftScenarioConfig cfg = base(4, 1, 6);
+  cfg.faults = {fault(0, Behavior::kCrash)};  // p1 coordinates round 1
+  cfg.faults[0].at = 0;
+  BftScenarioResult r = run_bft_scenario(cfg);
+  expect_all_good(r, "coordinator crash");
+  EXPECT_GE(r.max_decision_round.value, 2u);
+}
+
+TEST(BftConsensus, MuteCoordinatorSuspectedAndPassed) {
+  BftScenarioConfig cfg = base(4, 1, 7);
+  cfg.faults = {fault(0, Behavior::kMute, Round{1})};
+  BftScenarioResult r = run_bft_scenario(cfg);
+  expect_all_good(r, "mute coordinator");
+  EXPECT_GE(r.max_decision_round.value, 2u);
+}
+
+TEST(BftConsensus, MuteNonCoordinatorHarmless) {
+  BftScenarioConfig cfg = base(4, 1, 8);
+  cfg.faults = {fault(2, Behavior::kMute, Round{1})};
+  expect_all_good(run_bft_scenario(cfg), "mute bystander");
+}
+
+struct DetectedCase {
+  Behavior behavior;
+  std::uint32_t culprit;  // which process misbehaves
+  bft::FaultKind expected_kind;
+  /// Behaviours that only manifest on NEXT traffic need a round change;
+  /// those cases run with n = 7, F = 2 and a mute round-1 coordinator.
+  bool needs_next_traffic = false;
+};
+
+class DetectionCase : public ::testing::TestWithParam<DetectedCase> {};
+
+TEST_P(DetectionCase, FaultDetectedAndMasked) {
+  const DetectedCase& p = GetParam();
+  BftScenarioConfig cfg = p.needs_next_traffic
+                              ? base(7, 2, 100 + static_cast<int>(p.behavior))
+                              : base(4, 1, 100 + static_cast<int>(p.behavior));
+  // Audit mode: deciders keep monitoring, so detection cannot be lost to a
+  // decision/delivery race.
+  cfg.stop_on_decide = false;
+  cfg.faults = {fault(p.culprit, p.behavior)};
+  if (p.needs_next_traffic) {
+    cfg.faults.push_back(fault(0, Behavior::kMute));  // forces round 2
+  }
+  BftScenarioResult r = run_bft_scenario(cfg);
+
+  expect_all_good(r, behavior_name(p.behavior));
+
+  // The culprit must be caught by the non-muteness machinery of at least
+  // one correct process, with the expected classification among the
+  // records.
+  EXPECT_TRUE(r.declared_faulty.count(p.culprit) > 0)
+      << behavior_name(p.behavior) << " went undetected";
+  bool kind_seen = false;
+  for (const bft::FaultRecord& rec : r.records) {
+    if (rec.culprit.value == p.culprit && rec.kind == p.expected_kind) {
+      kind_seen = true;
+    }
+  }
+  EXPECT_TRUE(kind_seen) << "expected classification "
+                         << bft::fault_kind_name(p.expected_kind) << " for "
+                         << behavior_name(p.behavior);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFailureClasses, DetectionCase,
+    ::testing::Values(
+        // The round-1 coordinator corrupting its vector: est_cert no longer
+        // witnesses it.
+        DetectedCase{Behavior::kCorruptVector, 0,
+                     bft::FaultKind::kBadCertificate},
+        // A relayer corrupting the adopted vector: substituted content.
+        DetectedCase{Behavior::kCorruptVector, 2,
+                     bft::FaultKind::kWrongExpected},
+        // Round-number corruption: receipt event not enabled.
+        DetectedCase{Behavior::kWrongRound, 2, bft::FaultKind::kOutOfOrder},
+        // Statement duplication.
+        DetectedCase{Behavior::kDuplicateCurrent, 0,
+                     bft::FaultKind::kOutOfOrder},
+        DetectedCase{Behavior::kDuplicateNext, 2, bft::FaultKind::kOutOfOrder,
+                     true},
+        // Signature corruption caught by the signature module.
+        DetectedCase{Behavior::kBadSignature, 2,
+                     bft::FaultKind::kBadSignature},
+        DetectedCase{Behavior::kBadSignature, 0,
+                     bft::FaultKind::kBadSignature},
+        // Certificate stripping.
+        DetectedCase{Behavior::kStripCertificate, 0,
+                     bft::FaultKind::kBadCertificate},
+        // Substituted message: the coordinator votes NEXT instead of
+        // CURRENT in its own round.
+        DetectedCase{Behavior::kSubstituteNext, 0,
+                     bft::FaultKind::kWrongExpected},
+        // Premature DECIDE: misevaluated decision condition.
+        DetectedCase{Behavior::kPrematureDecide, 2,
+                     bft::FaultKind::kBadCertificate},
+        // Spurious CURRENT from a non-coordinator, sent after its NEXT:
+        // the receipt event is not enabled in q2.
+        DetectedCase{Behavior::kSpuriousCurrent, 2,
+                     bft::FaultKind::kOutOfOrder, true}),
+    [](const auto& info) {
+      std::string name = behavior_name(info.param.behavior);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_p" + std::to_string(info.param.culprit + 1);
+    });
+
+TEST(BftConsensus, EquivocatingCoordinatorDetected) {
+  BftScenarioConfig cfg = base(4, 1, 50);
+  cfg.faults = {fault(0, Behavior::kEquivocate)};
+  BftScenarioResult r = run_bft_scenario(cfg);
+  EXPECT_TRUE(r.termination);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.detectors_reliable);
+  // Someone saw both vectors (directly or via relays) and convicted the
+  // coordinator, or the split prevented round-1 decision and a later honest
+  // coordinator finished; in both cases agreement holds.  Conviction is
+  // expected on at least one correct process here because relays cross.
+  EXPECT_TRUE(r.declared_faulty.count(0) > 0);
+}
+
+TEST(BftConsensus, LyingInitUndetectableButBounded) {
+  // An irrelevant initial value cannot be detected (paper §1), but Vector
+  // Validity still guarantees ≥ n−2F entries from correct processes.
+  BftScenarioConfig cfg = base(4, 1, 51);
+  cfg.faults = {fault(1, Behavior::kLieInit)};
+  BftScenarioResult r = run_bft_scenario(cfg);
+  EXPECT_TRUE(r.termination);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.vector_validity);
+  EXPECT_GE(r.min_correct_entries, 2u);  // n − 2F = 2
+  // And indeed nobody convicted the liar.
+  EXPECT_EQ(r.declared_faulty.count(1), 0u);
+}
+
+TEST(BftConsensus, TwoFaultsWithinBoundN7) {
+  BftScenarioConfig cfg = base(7, 2, 52);
+  cfg.faults = {fault(0, Behavior::kCorruptVector),
+                fault(3, Behavior::kMute, Round{1})};
+  expect_all_good(run_bft_scenario(cfg), "two faults n=7");
+}
+
+TEST(BftConsensus, MixedByzantineAndCrash) {
+  BftScenarioConfig cfg = base(7, 2, 53);
+  cfg.faults = {fault(1, Behavior::kBadSignature)};
+  FaultSpec crash = fault(4, Behavior::kCrash);
+  crash.at = 50'000;
+  cfg.faults.push_back(crash);
+  expect_all_good(run_bft_scenario(cfg), "byzantine + crash");
+}
+
+TEST(BftConsensus, TurbulentNetworkStillSafe) {
+  BftScenarioConfig cfg = base(4, 1, 54);
+  cfg.latency = sim::turbulent_until(200'000);
+  cfg.faults = {fault(2, Behavior::kCorruptVector)};
+  expect_all_good(run_bft_scenario(cfg), "turbulence");
+}
+
+TEST(BftConsensus, DeterministicReplay) {
+  BftScenarioConfig cfg = base(4, 1, 55);
+  cfg.faults = {fault(0, Behavior::kEquivocate)};
+  BftScenarioResult a = run_bft_scenario(cfg);
+  BftScenarioResult b = run_bft_scenario(cfg);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (auto& [i, d] : a.decisions) {
+    EXPECT_EQ(d.entries, b.decisions.at(i).entries);
+    EXPECT_EQ(d.time, b.decisions.at(i).time);
+  }
+  EXPECT_EQ(a.records.size(), b.records.size());
+}
+
+TEST(BftConsensus, DecidedVectorsCarryQuorumEntries) {
+  BftScenarioResult r = run_bft_scenario(base(10, 3, 56));
+  expect_all_good(r, "n=10");
+  for (auto& [i, d] : r.decisions) {
+    std::size_t non_null = 0;
+    for (const auto& e : d.entries) non_null += e.has_value();
+    EXPECT_GE(non_null, 7u);  // quorum = n − F
+  }
+}
+
+// Property sweep over sizes, fault mixes and seeds.
+struct SweepParam {
+  std::uint32_t n;
+  std::uint32_t f;
+  Behavior behavior;
+  std::uint64_t seed;
+};
+
+class BftSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BftSweep, SafetyLivenessValidityReliability) {
+  const SweepParam p = GetParam();
+  BftScenarioConfig cfg = base(p.n, p.f, p.seed);
+  // The adversary controls the first f processes (including the round-1
+  // coordinator — the worst case).
+  for (std::uint32_t i = 0; i < p.f; ++i) {
+    cfg.faults.push_back(fault(i, p.behavior));
+  }
+  BftScenarioResult r = run_bft_scenario(cfg);
+  EXPECT_TRUE(r.termination)
+      << "n=" << p.n << " f=" << p.f << " " << behavior_name(p.behavior)
+      << " seed=" << p.seed;
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.vector_validity);
+  EXPECT_TRUE(r.detectors_reliable);
+  EXPECT_GE(r.min_correct_entries, p.n - 2 * p.f);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  const Behavior behaviors[] = {
+      Behavior::kMute,          Behavior::kCorruptVector,
+      Behavior::kBadSignature,  Behavior::kDuplicateCurrent,
+      Behavior::kEquivocate,    Behavior::kPrematureDecide,
+  };
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    const std::uint32_t f = bft::max_tolerated_faults(n);
+    for (Behavior b : behaviors) {
+      for (std::uint64_t seed : {61u, 62u}) {
+        out.push_back({n, f, b, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxResilience, BftSweep,
+                         ::testing::ValuesIn(sweep_params()),
+                         [](const auto& info) {
+                           const SweepParam& p = info.param;
+                           std::string b = behavior_name(p.behavior);
+                           for (char& c : b)
+                             if (c == '-') c = '_';
+                           return "n" + std::to_string(p.n) + "_f" +
+                                  std::to_string(p.f) + "_" + b + "_s" +
+                                  std::to_string(p.seed);
+                         });
+
+}  // namespace
+}  // namespace modubft

@@ -1,0 +1,205 @@
+// Tests for the certified-message wire format: canonical encoding,
+// digest-chained signatures, pruning invariance, defensive decoding.
+#include <gtest/gtest.h>
+
+#include "bft/message.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac_signer.hpp"
+
+namespace modubft::bft {
+namespace {
+
+MessageCore make_core(BftKind kind, std::uint32_t sender, std::uint32_t round) {
+  MessageCore core;
+  core.kind = kind;
+  core.sender = ProcessId{sender};
+  core.round = Round{round};
+  if (kind == BftKind::kInit) core.init_value = 42;
+  if (kind == BftKind::kCurrent || kind == BftKind::kDecide) {
+    core.est = {Value{1}, std::nullopt, Value{3}};
+  }
+  return core;
+}
+
+SignedMessage sign_msg(const crypto::SignatureSystem& sys, MessageCore core,
+                       Certificate cert = {}) {
+  SignedMessage msg;
+  msg.core = std::move(core);
+  msg.cert = std::move(cert);
+  msg.sig = sys.signers[msg.core.sender.value]->sign(
+      signing_bytes(msg.core, msg.cert));
+  return msg;
+}
+
+TEST(BftMessage, CoreRoundTrip) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage msg = sign_msg(sys, make_core(BftKind::kCurrent, 1, 4));
+  SignedMessage back = decode_message(encode_message(msg));
+  EXPECT_EQ(back.core, msg.core);
+  EXPECT_EQ(back.sig, msg.sig);
+  EXPECT_FALSE(back.cert.pruned);
+  EXPECT_TRUE(back.cert.members.empty());
+}
+
+TEST(BftMessage, NestedCertificateRoundTrip) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  SignedMessage init1 = sign_msg(sys, make_core(BftKind::kInit, 1, 0));
+  Certificate cert;
+  cert.members = {init0, init1};
+  SignedMessage cur = sign_msg(sys, make_core(BftKind::kCurrent, 0, 1), cert);
+
+  SignedMessage back = decode_message(encode_message(cur));
+  ASSERT_EQ(back.cert.members.size(), 2u);
+  EXPECT_EQ(back.cert.members[0].core, init0.core);
+  EXPECT_EQ(back.cert.members[1].core, init1.core);
+  EXPECT_EQ(cert_digest(back.cert), cert_digest(cur.cert));
+}
+
+TEST(BftMessage, DigestInvariantUnderPruning) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  Certificate inner;
+  inner.members = {init0};
+  SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 1), inner);
+
+  Certificate outer_full;
+  outer_full.members = {next};
+
+  // Prune the *nested* certificate: the outer digest must not change.
+  Certificate outer_pruned = outer_full;
+  outer_pruned.members[0].cert = prune(next.cert);
+  EXPECT_EQ(cert_digest(outer_full), cert_digest(outer_pruned));
+}
+
+TEST(BftMessage, SignatureSurvivesNestedPruning) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  Certificate inner;
+  inner.members = {init0};
+  SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 1), inner);
+
+  Certificate outer;
+  outer.members = {next};
+  SignedMessage cur = sign_msg(sys, make_core(BftKind::kCurrent, 2, 1), outer);
+
+  // Prune the NEXT's certificate inside the CURRENT's certificate.
+  SignedMessage shrunk = cur;
+  shrunk.cert.members[0].cert = prune(next.cert);
+
+  // Top-level signature still verifies on the pruned form.
+  EXPECT_TRUE(sys.verifier->verify(
+      cur.core.sender, signing_bytes(shrunk.core, shrunk.cert), shrunk.sig));
+  // And the nested NEXT's own signature also still verifies.
+  const SignedMessage& nested = shrunk.cert.members[0];
+  EXPECT_TRUE(sys.verifier->verify(
+      nested.core.sender, signing_bytes(nested.core, nested.cert), nested.sig));
+}
+
+TEST(BftMessage, PruningShrinksEncoding) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(4, 1);
+  Certificate inner;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    inner.members.push_back(sign_msg(sys, make_core(BftKind::kInit, i, 0)));
+  }
+  SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 1), inner);
+  SignedMessage pruned = next;
+  pruned.cert = prune(next.cert);
+  EXPECT_LT(encoded_size(pruned), encoded_size(next));
+}
+
+TEST(BftMessage, TamperedCertificateChangesDigest) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  Certificate cert;
+  cert.members = {init0};
+  crypto::Digest before = cert_digest(cert);
+  cert.members[0].core.init_value = 43;  // falsify a witnessed value
+  EXPECT_NE(before, cert_digest(cert));
+}
+
+TEST(BftMessage, DecodeRejectsTruncation) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  Bytes buf = encode_message(sign_msg(sys, make_core(BftKind::kInit, 0, 0)));
+  for (std::size_t cut : {1u, 5u, 10u}) {
+    Bytes shorter(buf.begin(), buf.end() - static_cast<long>(cut));
+    EXPECT_THROW(decode_message(shorter), SerialError) << "cut=" << cut;
+  }
+}
+
+TEST(BftMessage, DecodeRejectsTrailingGarbage) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  Bytes buf = encode_message(sign_msg(sys, make_core(BftKind::kInit, 0, 0)));
+  buf.push_back(0);
+  EXPECT_THROW(decode_message(buf), SerialError);
+}
+
+TEST(BftMessage, DecodeRejectsUnknownKind) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage msg = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  Bytes buf = encode_message(msg);
+  // The core is length-prefixed at offset 0; kind is its first byte.
+  buf[4] = 99;
+  EXPECT_THROW(decode_message(buf), SerialError);
+}
+
+TEST(BftMessage, DecodeRejectsDeepNesting) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(2, 1);
+  SignedMessage msg = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  for (int i = 0; i < 40; ++i) {
+    Certificate cert;
+    cert.members = {msg};
+    msg = sign_msg(sys, make_core(BftKind::kNext, 0, 1), cert);
+  }
+  Bytes buf = encode_message(msg);
+  DecodeLimits limits;
+  limits.max_depth = 32;
+  EXPECT_THROW(decode_message(buf, limits), SerialError);
+}
+
+TEST(BftMessage, DecodeRejectsOversizedVector) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(2, 1);
+  MessageCore core = make_core(BftKind::kCurrent, 0, 1);
+  core.est.assign(5000, std::nullopt);
+  SignedMessage msg = sign_msg(sys, core);
+  EXPECT_THROW(decode_message(encode_message(msg)), SerialError);
+}
+
+TEST(BftMessage, DecodeRejectsHugeMemberCount) {
+  // Hand-craft a frame whose certificate claims 2^31 members.
+  Writer w;
+  w.bytes(encode_core(make_core(BftKind::kNext, 0, 1)));
+  w.boolean(false);            // inline certificate
+  w.u32(0x80000000u);          // absurd member count
+  Bytes buf = std::move(w).take();
+  EXPECT_THROW(decode_message(buf), SerialError);
+}
+
+TEST(BftMessage, PrunedCertificateRoundTrip) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
+  Certificate cert;
+  cert.members = {init0};
+  Certificate pruned = prune(cert);
+  SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 2), pruned);
+
+  SignedMessage back = decode_message(encode_message(next));
+  ASSERT_TRUE(back.cert.pruned);
+  EXPECT_EQ(back.cert.digest, cert_digest(cert));
+}
+
+TEST(BftMessage, KindNames) {
+  EXPECT_STREQ(kind_name(BftKind::kInit), "INIT");
+  EXPECT_STREQ(kind_name(BftKind::kCurrent), "CURRENT");
+  EXPECT_STREQ(kind_name(BftKind::kNext), "NEXT");
+  EXPECT_STREQ(kind_name(BftKind::kDecide), "DECIDE");
+}
+
+TEST(BftMessage, EncodedSizeMatchesEncoding) {
+  crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
+  SignedMessage msg = sign_msg(sys, make_core(BftKind::kCurrent, 1, 4));
+  EXPECT_EQ(encoded_size(msg), encode_message(msg).size());
+}
+
+}  // namespace
+}  // namespace modubft::bft

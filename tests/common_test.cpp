@@ -1,0 +1,202 @@
+// Unit tests for the common substrate: hex, serialization, RNG, contracts.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+
+namespace modubft {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  EXPECT_EQ(string_of(bytes_of("hello")), "hello");
+  EXPECT_TRUE(bytes_of("").empty());
+}
+
+TEST(Serial, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+  w.boolean(false);
+  w.bytes({1, 2, 3});
+  w.str("consensus");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "consensus");
+  EXPECT_TRUE(r.at_end());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serial, TruncatedInputThrows) {
+  Writer w;
+  w.u32(42);
+  Bytes buf = w.data();
+  buf.pop_back();
+  Reader r(buf);
+  EXPECT_THROW(r.u32(), SerialError);
+}
+
+TEST(Serial, TruncatedBytesThrows) {
+  Writer w;
+  w.u32(100);  // length prefix claiming 100 bytes with no payload
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), SerialError);
+}
+
+TEST(Serial, BadBooleanThrows) {
+  Writer w;
+  w.u8(2);
+  Reader r(w.data());
+  EXPECT_THROW(r.boolean(), SerialError);
+}
+
+TEST(Serial, SeqLenCapEnforced) {
+  Writer w;
+  w.u32(5000);
+  Reader r(w.data());
+  EXPECT_THROW(r.seq_len(4096), SerialError);
+}
+
+TEST(Serial, TrailingGarbageDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SerialError);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApprox) {
+  Rng r(13);
+  double sum = 0;
+  const int k = 20000;
+  for (int i = 0; i < k; ++i) sum += r.next_exponential(100.0);
+  EXPECT_NEAR(sum / k, 100.0, 5.0);
+}
+
+TEST(Rng, BoolProbabilityApprox) {
+  Rng r(17);
+  int hits = 0;
+  const int k = 20000;
+  for (int i = 0; i < k; ++i) hits += r.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / k, 0.25, 0.02);
+}
+
+TEST(Rng, BoolDegenerateProbabilities) {
+  Rng r(19);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+  EXPECT_FALSE(r.next_bool(-1.0));
+  EXPECT_TRUE(r.next_bool(2.0));
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng root(23);
+  Rng a = root.split(1);
+  Rng b = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Check, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(MODUBFT_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(MODUBFT_EXPECTS(1 == 1));
+}
+
+TEST(Ids, ProcessIdOrderingAndHash) {
+  ProcessId a{1}, b{2};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, (ProcessId{1}));
+  EXPECT_NE(std::hash<ProcessId>{}(a), std::hash<ProcessId>{}(b));
+}
+
+TEST(Ids, RoundNavigation) {
+  Round r{3};
+  EXPECT_EQ(r.next().value, 4u);
+  EXPECT_EQ(r.prev().value, 2u);
+  EXPECT_EQ(Round{0}.prev().value, 0u);
+}
+
+TEST(Ids, StreamFormatting) {
+  std::ostringstream os;
+  os << ProcessId{0} << ' ' << Round{5};
+  EXPECT_EQ(os.str(), "p1 r5");
+}
+
+}  // namespace
+}  // namespace modubft

@@ -1,0 +1,242 @@
+// Tests for Bracha reliable broadcast (the footnote-1 masking approach).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+#include "rb/bracha.hpp"
+#include "sim/simulation.hpp"
+
+namespace modubft::rb {
+namespace {
+
+/// An equivocating sender for instance `self`: INITIAL(a) to low ids,
+/// INITIAL(b) to high ids, while participating honestly in other instances.
+class EquivocatingSender final : public sim::Actor {
+ public:
+  EquivocatingSender(BrachaConfig config, Bytes a, Bytes b)
+      : honest_(config, std::nullopt, DeliverFn{}),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+
+  void on_start(sim::Context& ctx) override {
+    for (std::uint32_t j = 0; j < ctx.n(); ++j) {
+      Writer w;
+      w.u8(1);  // INITIAL
+      w.u32(ctx.id().value);
+      w.bytes(j < ctx.n() / 2 ? a_ : b_);
+      ctx.send(ProcessId{j}, std::move(w).take());
+    }
+  }
+
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override {
+    honest_.on_message(ctx, from, payload);  // echo/ready like anyone else
+  }
+
+ private:
+  BrachaActor honest_;
+  Bytes a_;
+  Bytes b_;
+};
+
+struct RbRun {
+  // deliveries[receiver][instance] = message
+  std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> deliveries;
+};
+
+TEST(Bracha, ValidityAllCorrect) {
+  BrachaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = 4;
+  sim_cfg.seed = 1;
+  sim::Simulation world(sim_cfg);
+
+  RbRun run;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    world.set_actor(ProcessId{i},
+                    std::make_unique<BrachaActor>(
+                        cfg, bytes_of("msg-from-" + std::to_string(i)),
+                        [&run, i](ProcessId inst, const Bytes& m) {
+                          run.deliveries[i][inst.value] = m;
+                        }));
+  }
+  world.run();
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(run.deliveries[i].size(), 4u) << "receiver " << i;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(string_of(run.deliveries[i][s]),
+                "msg-from-" + std::to_string(s));
+    }
+  }
+}
+
+TEST(Bracha, SilentSenderDeliversNothingForThatInstance) {
+  BrachaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = 4;
+  sim_cfg.seed = 2;
+  sim::Simulation world(sim_cfg);
+
+  RbRun run;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    std::optional<Bytes> msg;
+    if (i != 2) msg = bytes_of("m" + std::to_string(i));
+    world.set_actor(ProcessId{i},
+                    std::make_unique<BrachaActor>(
+                        cfg, msg,
+                        [&run, i](ProcessId inst, const Bytes& m) {
+                          run.deliveries[i][inst.value] = m;
+                        }));
+  }
+  world.run();
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(run.deliveries[i].count(2), 0u);
+    EXPECT_EQ(run.deliveries[i].size(), 3u);
+  }
+}
+
+TEST(Bracha, EquivocationIsMaskedNotDetected) {
+  // Footnote 1 in action: the equivocating sender is *masked* — correct
+  // processes either deliver the same one of its two messages or nothing —
+  // but no correct process learns anything about who misbehaved (the API
+  // has no faulty set at all).
+  for (std::uint64_t seed : {3ull, 4ull, 5ull, 6ull}) {
+    BrachaConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+
+    sim::SimConfig sim_cfg;
+    sim_cfg.n = 4;
+    sim_cfg.seed = seed;
+    sim::Simulation world(sim_cfg);
+
+    RbRun run;
+    world.set_actor(ProcessId{0},
+                    std::make_unique<EquivocatingSender>(cfg, bytes_of("AAA"),
+                                                         bytes_of("BBB")));
+    for (std::uint32_t i = 1; i < 4; ++i) {
+      world.set_actor(ProcessId{i},
+                      std::make_unique<BrachaActor>(
+                          cfg, bytes_of("m" + std::to_string(i)),
+                          [&run, i](ProcessId inst, const Bytes& m) {
+                            run.deliveries[i][inst.value] = m;
+                          }));
+    }
+    world.run();
+
+    // Consistency for instance 0 across correct receivers.
+    std::optional<Bytes> seen;
+    for (std::uint32_t i = 1; i < 4; ++i) {
+      auto it = run.deliveries[i].find(0);
+      if (it == run.deliveries[i].end()) continue;
+      if (!seen.has_value()) seen = it->second;
+      EXPECT_EQ(it->second, *seen) << "seed " << seed;
+    }
+    // Totality: all-or-none.
+    std::size_t delivered_count = 0;
+    for (std::uint32_t i = 1; i < 4; ++i) {
+      delivered_count += run.deliveries[i].count(0);
+    }
+    EXPECT_TRUE(delivered_count == 0 || delivered_count == 3)
+        << "seed " << seed << ": " << delivered_count;
+    // The honest instances are untouched by the attack.
+    for (std::uint32_t i = 1; i < 4; ++i) {
+      for (std::uint32_t s = 1; s < 4; ++s) {
+        ASSERT_TRUE(run.deliveries[i].count(s));
+      }
+    }
+  }
+}
+
+TEST(Bracha, GarbageFramesIgnored) {
+  BrachaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+
+  class Garbler final : public sim::Actor {
+   public:
+    void on_start(sim::Context& ctx) override {
+      ctx.broadcast(Bytes{0xff, 0x01});
+      ctx.broadcast(Bytes{});
+      Writer w;
+      w.u8(2);       // ECHO
+      w.u32(99);     // instance out of range
+      w.bytes({1});
+      ctx.broadcast(std::move(w).take());
+    }
+    void on_message(sim::Context&, ProcessId, const Bytes&) override {}
+  };
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = 4;
+  sim_cfg.seed = 7;
+  sim::Simulation world(sim_cfg);
+
+  RbRun run;
+  world.set_actor(ProcessId{3}, std::make_unique<Garbler>());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    world.set_actor(ProcessId{i},
+                    std::make_unique<BrachaActor>(
+                        cfg, bytes_of("x" + std::to_string(i)),
+                        [&run, i](ProcessId inst, const Bytes& m) {
+                          run.deliveries[i][inst.value] = m;
+                        }));
+  }
+  world.run();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(run.deliveries[i].size(), 3u);
+  }
+}
+
+TEST(Bracha, ConfigRejectsBadResilience) {
+  BrachaConfig cfg;
+  cfg.n = 3;
+  cfg.f = 1;  // 3 ≤ 3f
+  EXPECT_THROW(BrachaActor(cfg, std::nullopt, DeliverFn{}),
+               modubft::ContractViolation);
+}
+
+TEST(Bracha, ReadyAmplificationDeliversLateJoiner) {
+  // A process that misses the sender's INITIAL (and thus never echoes)
+  // must still deliver via the f+1 READY amplification rule.  We force the
+  // miss with a targeted channel delay on sender → p4.
+  BrachaConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = 4;
+  sim_cfg.seed = 8;
+  sim::Simulation world(sim_cfg);
+
+  RbRun run;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    std::optional<Bytes> msg;
+    if (i == 0) msg = bytes_of("late");
+    world.set_actor(ProcessId{i},
+                    std::make_unique<BrachaActor>(
+                        cfg, msg,
+                        [&run, i](ProcessId inst, const Bytes& m) {
+                          run.deliveries[i][inst.value] = m;
+                        }));
+  }
+  world.delay_channel(ProcessId{0}, ProcessId{3}, 400'000, 100'000);
+  world.run();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(run.deliveries[i].count(0)) << "p" << i + 1;
+    EXPECT_EQ(string_of(run.deliveries[i][0]), "late");
+  }
+}
+
+}  // namespace
+}  // namespace modubft::rb

@@ -1,0 +1,217 @@
+// Tests for the replicated state machine built on repeated consensus.
+#include <gtest/gtest.h>
+
+#include "common/serial.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "faults/byzantine.hpp"
+#include "fd/oracle_fd.hpp"
+#include "sim/simulation.hpp"
+#include "smr/replica.hpp"
+
+namespace modubft::smr {
+namespace {
+
+std::vector<Command> sample_workload() {
+  return {
+      {1, Command::Op::kPut, "alpha", "1"},
+      {2, Command::Op::kPut, "beta", "2"},
+      {3, Command::Op::kPut, "alpha", "3"},  // overwrite
+      {4, Command::Op::kDel, "beta", ""},
+      {5, Command::Op::kPut, "gamma", "5"},
+  };
+}
+
+TEST(Command, CodecRoundTrip) {
+  Command cmd{7, Command::Op::kPut, "key", "value"};
+  Command back = decode_command(encode_command(cmd));
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.op, Command::Op::kPut);
+  EXPECT_EQ(back.key, "key");
+  EXPECT_EQ(back.value, "value");
+}
+
+TEST(Command, CodecRejectsBadOp) {
+  Command cmd{7, Command::Op::kPut, "k", "v"};
+  Bytes buf = encode_command(cmd);
+  buf[8] = 9;  // op byte
+  EXPECT_THROW(decode_command(buf), modubft::SerialError);
+}
+
+TEST(KvStore, AppliesCommands) {
+  KvStore store;
+  for (const Command& c : sample_workload()) store.apply(c);
+  EXPECT_EQ(store.get("alpha"), "3");
+  EXPECT_EQ(store.get("beta"), std::nullopt);
+  EXPECT_EQ(store.get("gamma"), "5");
+  EXPECT_EQ(store.applied_count(), 5u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+struct SmrRun {
+  std::vector<const Replica*> replicas;
+  sim::RunOutcome outcome;
+};
+
+// Runs an n-replica crash-backend cluster committing the sample workload.
+void run_crash_smr(std::uint32_t n, std::uint64_t seed,
+                   std::vector<std::optional<SimTime>> crash_times,
+                   std::vector<KvStore>* stores,
+                   std::vector<std::uint64_t>* committed) {
+  crash_times.resize(n);
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = n;
+  sim_cfg.seed = seed;
+  sim::Simulation world(sim_cfg);
+
+  std::vector<Replica*> replicas(n, nullptr);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fd::OracleConfig oracle;
+    auto detector =
+        std::make_shared<fd::OracleDetector>(crash_times, oracle);
+    ReplicaConfig cfg;
+    cfg.n = n;
+    cfg.backend = Backend::kCrashHurfinRaynal;
+    cfg.slots = 5;
+    cfg.detector = detector;
+    auto replica =
+        std::make_unique<Replica>(cfg, sample_workload(), CommitFn{});
+    replicas[i] = replica.get();
+    world.set_actor(ProcessId{i}, std::move(replica));
+    if (crash_times[i].has_value()) {
+      world.crash_at(ProcessId{i}, *crash_times[i]);
+    }
+  }
+  world.run();
+  stores->clear();
+  committed->clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (crash_times[i].has_value()) continue;
+    stores->push_back(replicas[i]->store());
+    committed->push_back(replicas[i]->committed_slots());
+  }
+}
+
+TEST(SmrCrash, AllReplicasConvergeFailureFree) {
+  std::vector<KvStore> stores;
+  std::vector<std::uint64_t> committed;
+  run_crash_smr(5, 1, {}, &stores, &committed);
+  ASSERT_EQ(stores.size(), 5u);
+  for (std::uint64_t c : committed) EXPECT_EQ(c, 5u);
+  for (const KvStore& s : stores) {
+    EXPECT_EQ(s.contents(), stores[0].contents());
+    EXPECT_EQ(s.applied_count(), 5u);
+  }
+  EXPECT_EQ(stores[0].get("alpha"), "3");
+  EXPECT_EQ(stores[0].get("beta"), std::nullopt);
+}
+
+TEST(SmrCrash, ConvergesDespiteCrash) {
+  std::vector<KvStore> stores;
+  std::vector<std::uint64_t> committed;
+  std::vector<std::optional<SimTime>> crashes(5, std::nullopt);
+  crashes[0] = SimTime{2000};  // early coordinator crashes mid-stream
+  run_crash_smr(5, 2, crashes, &stores, &committed);
+  ASSERT_EQ(stores.size(), 4u);
+  for (std::uint64_t c : committed) EXPECT_EQ(c, 5u);
+  for (const KvStore& s : stores) {
+    EXPECT_EQ(s.contents(), stores[0].contents());
+  }
+}
+
+TEST(SmrCrash, DeterministicReplay) {
+  std::vector<KvStore> a_stores, b_stores;
+  std::vector<std::uint64_t> a_c, b_c;
+  run_crash_smr(4, 7, {}, &a_stores, &a_c);
+  run_crash_smr(4, 7, {}, &b_stores, &b_c);
+  ASSERT_EQ(a_stores.size(), b_stores.size());
+  for (std::size_t i = 0; i < a_stores.size(); ++i) {
+    EXPECT_EQ(a_stores[i].contents(), b_stores[i].contents());
+  }
+}
+
+TEST(SmrByzantine, ConvergesWithByzantineReplica) {
+  constexpr std::uint32_t kN = 4;
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, 3);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = kN;
+  sim_cfg.seed = 3;
+  sim::Simulation world(sim_cfg);
+
+  bft::BftConfig bft_cfg;
+  bft_cfg.n = kN;
+  bft_cfg.f = 1;
+
+  std::vector<Replica*> replicas(kN, nullptr);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ReplicaConfig cfg;
+    cfg.n = kN;
+    cfg.backend = Backend::kByzantine;
+    cfg.slots = 5;
+    cfg.bft = bft_cfg;
+    cfg.signer = keys.signers[i].get();
+    cfg.verifier = keys.verifier;
+    auto replica =
+        std::make_unique<Replica>(cfg, sample_workload(), CommitFn{});
+    replicas[i] = replica.get();
+
+    if (i == 3) {
+      // p4 mutes from round 1 of every instance: a Byzantine replica.
+      // The Byzantine wrapper operates on BFT frames; here the frames are
+      // slot-tagged, so we use the simplest Byzantine behaviour at the
+      // replica level: crash-stop silence (mute w.r.t. every instance).
+      world.set_actor(ProcessId{i}, std::move(replica));
+      world.crash_at(ProcessId{i}, 0);
+    } else {
+      world.set_actor(ProcessId{i}, std::move(replica));
+    }
+  }
+  world.run();
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(replicas[i]->committed_slots(), 5u) << "replica " << i;
+    EXPECT_EQ(replicas[i]->store().contents(), replicas[0]->store().contents());
+  }
+  EXPECT_EQ(replicas[0]->store().get("alpha"), "3");
+  EXPECT_EQ(replicas[0]->store().get("gamma"), "5");
+}
+
+TEST(SmrByzantine, CommitCallbackSeesMonotonicSlots) {
+  constexpr std::uint32_t kN = 4;
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, 9);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = kN;
+  sim_cfg.seed = 9;
+  sim::Simulation world(sim_cfg);
+
+  bft::BftConfig bft_cfg;
+  bft_cfg.n = kN;
+  bft_cfg.f = 1;
+
+  std::vector<std::vector<std::uint64_t>> slots(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ReplicaConfig cfg;
+    cfg.n = kN;
+    cfg.backend = Backend::kByzantine;
+    cfg.slots = 3;
+    cfg.bft = bft_cfg;
+    cfg.signer = keys.signers[i].get();
+    cfg.verifier = keys.verifier;
+    world.set_actor(
+        ProcessId{i},
+        std::make_unique<Replica>(
+            cfg, sample_workload(),
+            [&slots, i](InstanceId slot, const Command*, const KvStore&) {
+              slots[i].push_back(slot.value);
+            }));
+  }
+  world.run();
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(slots[i].size(), 3u);
+    EXPECT_EQ(slots[i], (std::vector<std::uint64_t>{0, 1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace modubft::smr

@@ -1,0 +1,189 @@
+// Tests for signed-message Interactive Consistency (SM(f), Lamport–
+// Shostak–Pease) — the signatures-buy-resilience counterpart of EIG.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/serial.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "sync/sm_ic.hpp"
+
+namespace modubft::sync {
+namespace {
+
+struct SmRun {
+  std::map<std::uint32_t, std::vector<Value>> vectors;
+  SyncStats stats;
+};
+
+/// faulty[i]: 0 = correct, 1 = signing equivocator, 2 = crashed.
+SmRun run_sm(std::uint32_t n, std::uint32_t f, const std::vector<int>& faulty,
+             std::uint64_t seed = 5) {
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(n, seed);
+  SmRun run;
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int kind = i < faulty.size() ? faulty[i] : 0;
+    if (kind == 2) {
+      procs.push_back(nullptr);
+    } else if (kind == 1) {
+      procs.push_back(std::make_unique<SmEquivocator>(n, ProcessId{i},
+                                                      keys.signers[i].get()));
+    } else {
+      procs.push_back(std::make_unique<SmProcess>(
+          n, f, ProcessId{i}, 1000 + i, keys.signers[i].get(), keys.verifier,
+          [&run](ProcessId who, const std::vector<Value>& v) {
+            run.vectors.emplace(who.value, v);
+          }));
+    }
+  }
+  run.stats = run_lockstep_rounds(procs, SmProcess::rounds_for(f));
+  return run;
+}
+
+TEST(SmCodec, RoundTrip) {
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(2, 1);
+  ChainedValue cv;
+  cv.value = 42;
+  cv.chain.emplace_back(0, keys.signers[0]->sign(chain_preimage(42, {0})));
+  cv.chain.emplace_back(1, keys.signers[1]->sign(chain_preimage(42, {0, 1})));
+  auto back = decode_chained(encode_chained({cv}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].value, 42u);
+  ASSERT_EQ(back[0].chain.size(), 2u);
+  EXPECT_EQ(back[0].chain[1].first, 1u);
+  EXPECT_EQ(back[0].chain[1].second, cv.chain[1].second);
+}
+
+TEST(SmCodec, RejectsTruncation) {
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(1, 1);
+  ChainedValue cv;
+  cv.value = 1;
+  cv.chain.emplace_back(0, keys.signers[0]->sign(chain_preimage(1, {0})));
+  Bytes buf = encode_chained({cv});
+  buf.pop_back();
+  EXPECT_THROW(decode_chained(buf), SerialError);
+}
+
+TEST(SmIc, FailureFree) {
+  SmRun run = run_sm(4, 1, {});
+  ASSERT_EQ(run.vectors.size(), 4u);
+  const std::vector<Value> expected = {1000, 1001, 1002, 1003};
+  for (auto& [i, v] : run.vectors) EXPECT_EQ(v, expected);
+}
+
+TEST(SmIc, SigningEquivocatorUnmaskedAtN3) {
+  // The headline of signed messages: n = 3, f = 1 works — impossible for
+  // oral messages (3 ≤ 3f).  The equivocator's conflicting signed values
+  // are cross-relayed, every correct process sees both, and the entry
+  // resolves to the default identically everywhere.
+  SmRun run = run_sm(3, 1, {0, 1, 0});
+  ASSERT_EQ(run.vectors.size(), 2u);
+  const std::vector<Value>& ref = run.vectors.begin()->second;
+  for (auto& [i, v] : run.vectors) EXPECT_EQ(v, ref);
+  EXPECT_EQ(ref[1], kEigDefault);  // equivocation ⇒ default
+  EXPECT_EQ(ref[0], 1000u);
+  EXPECT_EQ(ref[2], 1002u);
+}
+
+TEST(SmIc, CrashedOriginDefaults) {
+  SmRun run = run_sm(4, 1, {0, 0, 2, 0});
+  ASSERT_EQ(run.vectors.size(), 3u);
+  const std::vector<Value>& ref = run.vectors.begin()->second;
+  for (auto& [i, v] : run.vectors) EXPECT_EQ(v, ref);
+  EXPECT_EQ(ref[2], kEigDefault);
+}
+
+TEST(SmIc, TwoFaultsN4) {
+  // n = 4, f = 2: far beyond the oral-messages bound (4 ≤ 3·2), fine with
+  // signatures (n ≥ f + 2).
+  SmRun run = run_sm(4, 2, {0, 1, 2, 0});
+  ASSERT_EQ(run.vectors.size(), 2u);
+  const std::vector<Value>& ref = run.vectors.begin()->second;
+  for (auto& [i, v] : run.vectors) EXPECT_EQ(v, ref);
+  EXPECT_EQ(ref[0], 1000u);
+  EXPECT_EQ(ref[3], 1003u);
+  EXPECT_EQ(ref[1], kEigDefault);
+  EXPECT_EQ(ref[2], kEigDefault);
+}
+
+TEST(SmIc, ForgedChainRejected) {
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(3, 7);
+  std::map<std::uint32_t, std::vector<Value>> vectors;
+
+  // p2 tries to inject a value "from p1" without p1's signature by signing
+  // it itself in position 0 of the chain with a mismatched id.
+  class Forger final : public SyncProcess {
+   public:
+    Forger(std::uint32_t n, const crypto::Signer* self_signer)
+        : n_(n), signer_(self_signer) {}
+    std::vector<Outgoing> on_round(std::uint32_t round,
+                                   const std::vector<Incoming>&) override {
+      std::vector<Outgoing> out;
+      if (round != 1) return out;
+      ChainedValue cv;
+      cv.value = 31337;
+      // Chain claims origin p1 (id 0) but carries p2's signature.
+      cv.chain.emplace_back(0, signer_->sign(chain_preimage(31337, {0})));
+      Bytes payload = encode_chained({cv});
+      for (std::uint32_t j = 0; j < n_; ++j) {
+        out.push_back(Outgoing{ProcessId{j}, payload});
+      }
+      return out;
+    }
+    void on_finish(const std::vector<Incoming>&) override {}
+   private:
+    std::uint32_t n_;
+    const crypto::Signer* signer_;
+  };
+
+  std::vector<std::unique_ptr<SyncProcess>> procs;
+  procs.push_back(std::make_unique<SmProcess>(
+      3, 1, ProcessId{0}, 1000, keys.signers[0].get(), keys.verifier,
+      [&vectors](ProcessId who, const std::vector<Value>& v) {
+        vectors.emplace(who.value, v);
+      }));
+  procs.push_back(std::make_unique<Forger>(3, keys.signers[1].get()));
+  procs.push_back(std::make_unique<SmProcess>(
+      3, 1, ProcessId{2}, 1002, keys.signers[2].get(), keys.verifier,
+      [&vectors](ProcessId who, const std::vector<Value>& v) {
+        vectors.emplace(who.value, v);
+      }));
+  run_lockstep_rounds(procs, 2);
+
+  ASSERT_EQ(vectors.size(), 2u);
+  for (auto& [i, v] : vectors) {
+    EXPECT_EQ(v[0], 1000u) << "forged entry accepted";  // p1's true value
+    EXPECT_EQ(v[1], kEigDefault);  // the forger sent nothing honest
+  }
+}
+
+TEST(SmIc, CrossoverAgainstEigAsFGrows) {
+  // Signature chains grow linearly with f while the EIG tree grows like
+  // n^f, so EIG is *cheaper* at small f (32-byte signatures dominate) and
+  // SM wins decisively once the tree explodes — measured crossover between
+  // f = 1 and f = 2.
+  auto eig_bytes = [](std::uint32_t n, std::uint32_t f) {
+    std::map<std::uint32_t, std::vector<Value>> sink;
+    std::vector<std::unique_ptr<SyncProcess>> procs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      procs.push_back(std::make_unique<EigProcess>(
+          n, f, ProcessId{i}, 1000 + i,
+          [&sink](ProcessId who, const std::vector<Value>& v) {
+            sink.emplace(who.value, v);
+          }));
+    }
+    return run_lockstep_rounds(procs, f + 1).bytes;
+  };
+
+  SmRun sm1 = run_sm(7, 1, {});
+  EXPECT_LT(eig_bytes(7, 1), sm1.stats.bytes)
+      << "at f=1 the signature overhead should still dominate";
+
+  SmRun sm3 = run_sm(10, 3, {});
+  EXPECT_LT(sm3.stats.bytes * 2, eig_bytes(10, 3))
+      << "at f=3 the EIG tree should dwarf the signature chains";
+}
+
+}  // namespace
+}  // namespace modubft::sync

@@ -1,0 +1,186 @@
+// Tests for the TCP loopback cluster: framing, FIFO over real sockets, and
+// the consensus protocols end-to-end on the socket substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "bft/bft_consensus.hpp"
+#include "common/serial.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "faults/byzantine.hpp"
+#include "fd/oracle_fd.hpp"
+#include "transport/tcp_cluster.hpp"
+
+namespace modubft::transport {
+namespace {
+
+TEST(TcpCluster, FifoFramingOverSockets) {
+  class Pinger final : public sim::Actor {
+   public:
+    Pinger(std::atomic<int>* done, int count) : done_(done), count_(count) {}
+    void on_start(sim::Context& ctx) override {
+      for (int i = 0; i < count_; ++i) {
+        Writer w;
+        w.u32(static_cast<std::uint32_t>(i));
+        // Vary sizes to exercise partial reads and coalesced writes.
+        w.raw(Bytes(static_cast<std::size_t>(i % 97), 0xab));
+        ctx.send(ProcessId{1}, std::move(w).take());
+      }
+    }
+    void on_message(sim::Context& ctx, ProcessId, const Bytes& payload) override {
+      Reader r(payload);
+      EXPECT_EQ(r.u32(), 0xdeadbeefu);
+      done_->store(1);
+      ctx.stop();
+    }
+   private:
+    std::atomic<int>* done_;
+    int count_;
+  };
+
+  class Checker final : public sim::Actor {
+   public:
+    explicit Checker(int count) : count_(count) {}
+    void on_message(sim::Context& ctx, ProcessId from, const Bytes& payload) override {
+      if (from != ProcessId{0}) return;
+      Reader r(payload);
+      EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(next_)) << "FIFO broken";
+      EXPECT_EQ(r.remaining(), static_cast<std::size_t>(next_ % 97));
+      ++next_;
+      if (next_ == count_) {
+        Writer w;
+        w.u32(0xdeadbeef);
+        ctx.send(ProcessId{0}, std::move(w).take());
+        ctx.stop();
+      }
+    }
+   private:
+    int count_;
+    int next_ = 0;
+  };
+
+  TcpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.budget = std::chrono::milliseconds(8000);
+  TcpCluster cluster(cfg);
+  std::atomic<int> done{0};
+  cluster.set_actor(ProcessId{0}, std::make_unique<Pinger>(&done, 500));
+  cluster.set_actor(ProcessId{1}, std::make_unique<Checker>(500));
+  EXPECT_TRUE(cluster.run());
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_GE(cluster.frames_sent(), 501u);
+}
+
+TEST(TcpCluster, HurfinRaynalOverSockets) {
+  constexpr std::uint32_t kN = 5;
+  TcpClusterConfig cfg;
+  cfg.n = kN;
+  cfg.budget = std::chrono::milliseconds(10'000);
+  TcpCluster cluster(cfg);
+
+  std::mutex mu;
+  std::map<std::uint32_t, consensus::Decision> decisions;
+  auto detector = std::make_shared<fd::OracleDetector>(
+      std::vector<std::optional<SimTime>>(kN, std::nullopt),
+      fd::OracleConfig{});
+
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    cluster.set_actor(
+        ProcessId{i},
+        std::make_unique<consensus::HurfinRaynalActor>(
+            kN, 700 + i, detector,
+            [&mu, &decisions, i](ProcessId, const consensus::Decision& d) {
+              std::lock_guard<std::mutex> lock(mu);
+              decisions.emplace(i, d);
+            }));
+  }
+  EXPECT_TRUE(cluster.run());
+  ASSERT_EQ(decisions.size(), kN);
+  for (auto& [i, d] : decisions) {
+    EXPECT_EQ(d.value, decisions.begin()->second.value);
+  }
+}
+
+TEST(TcpCluster, BftConsensusOverSockets) {
+  constexpr std::uint32_t kN = 4;
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, 33);
+
+  bft::BftConfig proto;
+  proto.n = kN;
+  proto.f = 1;
+  proto.muteness.initial_timeout = 1'000'000;  // wall clock: be generous
+  proto.suspicion_poll_period = 100'000;
+
+  TcpClusterConfig cfg;
+  cfg.n = kN;
+  cfg.budget = std::chrono::milliseconds(10'000);
+  TcpCluster cluster(cfg);
+
+  std::mutex mu;
+  std::map<std::uint32_t, bft::VectorDecision> decisions;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    cluster.set_actor(
+        ProcessId{i},
+        std::make_unique<bft::BftProcess>(
+            proto, 800 + i, keys.signers[i].get(), keys.verifier,
+            [&mu, &decisions, i](ProcessId, const bft::VectorDecision& d) {
+              std::lock_guard<std::mutex> lock(mu);
+              decisions.emplace(i, d);
+            }));
+  }
+  EXPECT_TRUE(cluster.run());
+  ASSERT_EQ(decisions.size(), kN);
+  const auto& ref = decisions.begin()->second.entries;
+  for (auto& [i, d] : decisions) EXPECT_EQ(d.entries, ref);
+}
+
+TEST(TcpCluster, ByzantineCorrupterOverSockets) {
+  constexpr std::uint32_t kN = 4;
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, 37);
+
+  bft::BftConfig proto;
+  proto.n = kN;
+  proto.f = 1;
+  proto.muteness.initial_timeout = 1'000'000;
+  proto.suspicion_poll_period = 100'000;
+
+  TcpClusterConfig cfg;
+  cfg.n = kN;
+  cfg.budget = std::chrono::milliseconds(10'000);
+  TcpCluster cluster(cfg);
+
+  std::mutex mu;
+  std::map<std::uint32_t, bft::VectorDecision> decisions;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    auto proc = std::make_unique<bft::BftProcess>(
+        proto, 800 + i, keys.signers[i].get(), keys.verifier,
+        [&mu, &decisions, i](ProcessId, const bft::VectorDecision& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          decisions.emplace(i, d);
+        });
+    if (i == 0) {
+      faults::FaultSpec spec;
+      spec.who = ProcessId{0};
+      spec.behavior = faults::Behavior::kCorruptVector;
+      cluster.set_actor(ProcessId{0},
+                        std::make_unique<faults::ByzantineActor>(
+                            std::move(proc), keys.signers[0].get(), spec, kN));
+    } else {
+      cluster.set_actor(ProcessId{i}, std::move(proc));
+    }
+  }
+  cluster.run();
+  std::lock_guard<std::mutex> lock(mu);
+  for (std::uint32_t i = 1; i < kN; ++i) {
+    ASSERT_TRUE(decisions.count(i)) << "p" << i + 1 << " did not decide";
+  }
+  for (std::uint32_t i = 2; i < kN; ++i) {
+    EXPECT_EQ(decisions.at(i).entries, decisions.at(1).entries);
+  }
+}
+
+}  // namespace
+}  // namespace modubft::transport

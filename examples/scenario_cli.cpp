@@ -10,23 +10,39 @@
 //                      [--audit]
 //   scenario_cli crash --n 5 --seed 1 --protocol hr|ct --crash 1:0
 //                      [--mistakes 0.2]
+//   scenario_cli tcp   --n 4 --f 1 --seed 3 --kill 0.05 --flip 0.02
+//                      [--fault 1:corrupt-vector] [--budget-ms 30000]
 //
 // Faults take `<process>:<behavior>` with 1-based process ids; behaviours:
 //   crash mute corrupt-vector wrong-round duplicate-current duplicate-next
 //   bad-signature strip-certificate substitute-next premature-decide
 //   equivocate lie-init spurious-current
+//
+// The `tcp` mode runs the transformed BFT protocol over real loopback
+// sockets (TcpCluster) with link faults injected below the framing layer:
+// --kill/--truncate/--flip/--delay set the per-frame probability of each
+// fault on every directed link, absorbed by the resilient transport.
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <map>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <fstream>
 
+#include "bft/bft_consensus.hpp"
 #include "bft/config.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "faults/byzantine.hpp"
+#include "faults/link_fault.hpp"
 #include "faults/scenario.hpp"
 #include "sim/trace.hpp"
+#include "transport/tcp_cluster.hpp"
 
 namespace {
 
@@ -38,7 +54,10 @@ using namespace modubft;
                "[--fault P:BEHAVIOR]... [--rsa] [--no-prune] [--turbulent] "
                "[--audit] [--trace FILE]\n"
             << "       scenario_cli crash --n N [--seed S] [--protocol hr|ct] "
-               "[--crash P:TIME_US]... [--mistakes PROB]\n";
+               "[--crash P:TIME_US]... [--mistakes PROB]\n"
+            << "       scenario_cli tcp   --n N --f F [--seed S] "
+               "[--kill P] [--truncate P] [--flip P] [--delay P] "
+               "[--fault P:BEHAVIOR]... [--budget-ms MS]\n";
   std::exit(2);
 }
 
@@ -232,11 +251,143 @@ int run_crash(int argc, char** argv) {
   return r.termination && r.agreement && r.validity ? 0 : 1;
 }
 
+int run_tcp(int argc, char** argv) {
+  std::uint32_t n = 0, f = 0;
+  std::uint64_t seed = 1;
+  std::chrono::milliseconds budget{30'000};
+  faults::LinkFaultSpec link;
+  std::vector<faults::FaultSpec> process_faults;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      n = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--f") {
+      f = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--kill") {
+      link.kill_prob = std::stod(next());
+    } else if (arg == "--truncate") {
+      link.truncate_prob = std::stod(next());
+    } else if (arg == "--flip") {
+      link.flip_prob = std::stod(next());
+    } else if (arg == "--delay") {
+      link.delay_prob = std::stod(next());
+    } else if (arg == "--budget-ms") {
+      budget = std::chrono::milliseconds(std::stoull(next()));
+    } else if (arg == "--fault") {
+      std::string spec = next();
+      auto colon = spec.find(':');
+      if (colon == std::string::npos) usage("fault must be P:BEHAVIOR");
+      const auto pid = std::stoul(spec.substr(0, colon));
+      auto behavior = parse_behavior(spec.substr(colon + 1));
+      if (!behavior || pid < 1) usage("unknown fault behaviour or process");
+      faults::FaultSpec fs;
+      fs.who = ProcessId{static_cast<std::uint32_t>(pid - 1)};
+      fs.behavior = *behavior;
+      process_faults.push_back(fs);
+    } else {
+      usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (n == 0) usage("--n is required");
+  if (f > bft::max_tolerated_faults(n)) usage("F exceeds min((n-1)/2,(n-1)/3)");
+
+  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(n, 33);
+
+  bft::BftConfig proto;
+  proto.n = n;
+  proto.f = f;
+  proto.muteness.initial_timeout = 2'000'000;  // wall clock, chaos is slow
+  proto.suspicion_poll_period = 100'000;
+
+  transport::TcpClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.budget = budget;
+  const bool any_link_fault = link.kill_prob > 0 || link.truncate_prob > 0 ||
+                              link.flip_prob > 0 || link.delay_prob > 0;
+  if (any_link_fault) cfg.faults = transport::LinkFaultPlan({link}, seed);
+  transport::TcpCluster cluster(cfg);
+
+  std::mutex mu;
+  std::map<std::uint32_t, bft::VectorDecision> decisions;
+  std::set<std::uint32_t> byzantine;
+  for (const faults::FaultSpec& fs : process_faults) byzantine.insert(fs.who.value);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto proc = std::make_unique<bft::BftProcess>(
+        proto, 800 + i, keys.signers[i].get(), keys.verifier,
+        [&mu, &decisions, i](ProcessId, const bft::VectorDecision& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          decisions.emplace(i, d);
+        });
+    bool wrapped = false;
+    for (const faults::FaultSpec& fs : process_faults) {
+      if (fs.who.value == i) {
+        cluster.set_actor(ProcessId{i},
+                          std::make_unique<faults::ByzantineActor>(
+                              std::move(proc), keys.signers[i].get(), fs, n));
+        wrapped = true;
+        break;
+      }
+    }
+    if (!wrapped) cluster.set_actor(ProcessId{i}, std::move(proc));
+  }
+
+  const bool clean = cluster.run();
+
+  std::lock_guard<std::mutex> lock(mu);
+  std::size_t correct = 0, correct_decided = 0;
+  bool agreement = true;
+  const bft::VectorDecision* reference = nullptr;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (byzantine.count(i)) continue;
+    ++correct;
+    auto it = decisions.find(i);
+    if (it == decisions.end()) continue;
+    ++correct_decided;
+    if (!reference) {
+      reference = &it->second;
+    } else if (it->second.entries != reference->entries) {
+      agreement = false;
+    }
+  }
+
+  const transport::TcpLinkStats stats = cluster.link_stats();
+  std::cout << "protocol:            transformed BFT over loopback TCP\n"
+            << "n / F / quorum:      " << n << " / " << f << " / " << n - f
+            << "\n"
+            << "decided:             " << correct_decided << "/" << correct
+            << " correct processes\n"
+            << "agreement:           " << (agreement ? "yes" : "NO") << "\n"
+            << "clean shutdown:      " << (clean ? "yes" : "NO") << " ("
+            << cluster.unstopped().size() << " unstopped)\n"
+            << "frames / bytes sent: " << cluster.frames_sent() << " / "
+            << cluster.bytes_sent() << "\n"
+            << "link faults:         kills " << stats.kills_injected
+            << ", truncates " << stats.truncates_injected << ", flips "
+            << stats.flips_injected << ", delays " << stats.delays_injected
+            << "\n"
+            << "recovery:            reconnects " << stats.reconnects
+            << ", retransmits " << stats.retransmits << ", checksum drops "
+            << stats.checksum_failures << ", dups suppressed "
+            << stats.dup_suppressed << "\n"
+            << "degraded links:      " << stats.degraded_links << "\n";
+  return correct_decided == correct && agreement ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage("missing mode");
   if (std::strcmp(argv[1], "bft") == 0) return run_bft(argc, argv);
   if (std::strcmp(argv[1], "crash") == 0) return run_crash(argc, argv);
-  usage("mode must be 'bft' or 'crash'");
+  if (std::strcmp(argv[1], "tcp") == 0) return run_tcp(argc, argv);
+  usage("mode must be 'bft', 'crash' or 'tcp'");
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the full test suite under them.  The transport chaos tests are
+# the main customers: they exercise concurrent reconnect/retransmit paths
+# where lifetime bugs would hide.
+#
+# Usage: scripts/run_sanitizers.sh [ctest-regex]
+#   scripts/run_sanitizers.sh             # everything
+#   scripts/run_sanitizers.sh tcp_chaos   # just the chaos tests
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-sanitize
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMODUBFT_SANITIZE=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error: any report is a test failure, not a log line.
+export ASAN_OPTIONS=halt_on_error=1:detect_leaks=1
+export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+
+cd "${BUILD_DIR}"
+if [[ $# -ge 1 ]]; then
+  ctest --output-on-failure -R "$1"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

@@ -1,0 +1,38 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace modubft {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected 0x82F63B78),
+// generated once at first use.
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = [] {
+    std::array<std::uint32_t, 256> out{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                            std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& t = table();
+  while (len-- > 0) {
+    state = t[(state ^ *p++) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace modubft

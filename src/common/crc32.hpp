@@ -1,0 +1,29 @@
+// CRC-32C (Castagnoli) over byte ranges.
+//
+// Used by the TCP transport to detect wire corruption at the frame level:
+// a flipped bit on a socket must be caught *below* the protocols, so the
+// reliable-channel contract can be re-established by retransmission
+// instead of surfacing as a mysterious signature failure.  Not
+// cryptographic — adversarial corruption is the signature module's job;
+// this guards against the (injected) fallible link.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace modubft {
+
+/// Incremental CRC-32C: feed `crc32c_init()`, update over ranges, finish
+/// with `crc32c_final()`.  One-shot helper below.
+std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                            std::size_t len);
+
+inline std::uint32_t crc32c_init() { return 0xFFFFFFFFu; }
+inline std::uint32_t crc32c_final(std::uint32_t state) { return ~state; }
+
+/// CRC-32C of a single contiguous range.
+inline std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c_final(crc32c_update(crc32c_init(), data, len));
+}
+
+}  // namespace modubft

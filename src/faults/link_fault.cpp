@@ -1,0 +1,23 @@
+#include "faults/link_fault.hpp"
+
+namespace modubft::faults {
+
+const char* link_fault_kind_name(LinkFaultKind kind) {
+  switch (kind) {
+    case LinkFaultKind::kNone:
+      return "none";
+    case LinkFaultKind::kKill:
+      return "kill";
+    case LinkFaultKind::kTruncate:
+      return "truncate";
+    case LinkFaultKind::kFlip:
+      return "flip";
+    case LinkFaultKind::kDelay:
+      return "delay";
+    case LinkFaultKind::kThrottle:
+      return "throttle";
+  }
+  return "unknown";
+}
+
+}  // namespace modubft::faults

@@ -1,0 +1,81 @@
+// Link-fault vocabulary: failures of the *channels*, not the processes.
+//
+// The paper's transformation assumes reliable-FIFO channels and puts every
+// process failure class into `fault_spec.hpp`.  This header is the
+// complementary taxonomy one layer below: faults of a directed link
+// p_i → p_j as a TCP connection would experience them — connection death
+// mid-stream, truncated frames, delayed or throttled writes, and flipped
+// payload bytes.  The transport (`transport/link_faults.hpp`) turns a set
+// of these specs plus a seed into a deterministic per-link schedule; the
+// resilient channel layer must absorb all of it and re-establish the
+// reliable-FIFO contract the protocols assume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace modubft::faults {
+
+/// One directed-link failure class (what a single injected event does).
+enum class LinkFaultKind : std::uint8_t {
+  kNone = 0,
+  /// Connection closed before the frame is written (mid-stream link death;
+  /// the sender must reconnect and resume).
+  kKill,
+  /// Only a prefix of the frame reaches the wire, then the connection dies
+  /// (partial write / crashed router).
+  kTruncate,
+  /// One byte of the wire image is flipped (corruption; the frame checksum
+  /// must catch it and force a retransmit).
+  kFlip,
+  /// The frame is held back for a while before being written (congestion).
+  kDelay,
+  /// The frame is written in small chunks (throttled link; exercises
+  /// partial reads on the receiver).
+  kThrottle,
+};
+
+const char* link_fault_kind_name(LinkFaultKind kind);
+
+/// Fault assignment for directed links.  `from`/`to` select one link;
+/// leaving either unset (nullopt) makes the spec apply to every link it
+/// matches (a wildcard), so a single spec can perturb the whole mesh.
+///
+/// Probabilities are per transmission *attempt* (retransmits are attempts
+/// too), drawn from a per-link generator derived from the plan seed, so a
+/// given seed always yields the same schedule for the same attempt
+/// sequence.  `kill_at_attempts` adds guaranteed, deterministic kills at
+/// the given attempt indices (0-based) — the chaos tests use it to ensure
+/// every link dies at least once regardless of traffic volume.
+struct LinkFaultSpec {
+  std::optional<ProcessId> from;  // nullopt = any sender
+  std::optional<ProcessId> to;    // nullopt = any receiver
+
+  double kill_prob = 0.0;
+  double truncate_prob = 0.0;
+  double flip_prob = 0.0;
+  double delay_prob = 0.0;
+  /// Mean of the exponential delay applied when a kDelay fires (µs).
+  std::uint32_t delay_mean_us = 500;
+  /// 0 = no throttling; otherwise every write is chopped into chunks of at
+  /// most this many bytes.
+  std::uint32_t throttle_chunk_bytes = 0;
+
+  /// Deterministic kill points: the connection is killed immediately
+  /// before these transmission attempts (0-based attempt index per link).
+  std::vector<std::uint64_t> kill_at_attempts;
+
+  /// Cap on randomly drawn disruptive faults (kills + truncations + flips)
+  /// per link, so an unlucky seed cannot starve a link forever.
+  /// Deterministic `kill_at_attempts` kills do not count against the cap.
+  std::uint64_t max_random_faults = 64;
+
+  bool matches(ProcessId f, ProcessId t) const {
+    return (!from || *from == f) && (!to || *to == t);
+  }
+};
+
+}  // namespace modubft::faults

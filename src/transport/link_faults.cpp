@@ -1,0 +1,111 @@
+#include "transport/link_faults.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace modubft::transport {
+
+namespace faults = modubft::faults;
+
+LinkFaultInjector::LinkFaultInjector(std::vector<faults::LinkFaultSpec> specs,
+                                     Rng rng)
+    : specs_(std::move(specs)),
+      random_faults_(specs_.size(), 0),
+      rng_(rng) {
+  for (const auto& spec : specs_) {
+    kill_at_.insert(spec.kill_at_attempts.begin(),
+                    spec.kill_at_attempts.end());
+  }
+}
+
+FrameFaultDecision LinkFaultInjector::next_attempt(std::size_t wire_len) {
+  MODUBFT_EXPECTS(wire_len > 4);  // at least a length prefix plus one byte
+  const std::uint64_t attempt = attempt_++;
+  FrameFaultDecision d;
+
+  if (kill_at_.count(attempt) > 0) {
+    d.kill_before = true;
+    events_.push_back({attempt, faults::LinkFaultKind::kKill, 0});
+  }
+
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const faults::LinkFaultSpec& spec = specs_[s];
+    // Draw every probability each attempt, in a fixed order, so the random
+    // stream stays aligned no matter which faults actually fire.
+    const bool kill = rng_.next_bool(spec.kill_prob);
+    const bool trunc = rng_.next_bool(spec.truncate_prob);
+    const bool flip = rng_.next_bool(spec.flip_prob);
+    const bool delay = rng_.next_bool(spec.delay_prob);
+
+    if (delay && d.delay_us == 0) {
+      d.delay_us = static_cast<std::uint32_t>(
+          rng_.next_exponential(static_cast<double>(spec.delay_mean_us)));
+      events_.push_back({attempt, faults::LinkFaultKind::kDelay, d.delay_us});
+    }
+    if (spec.throttle_chunk_bytes > 0 && d.throttle_chunk == 0) {
+      d.throttle_chunk = spec.throttle_chunk_bytes;
+      events_.push_back(
+          {attempt, faults::LinkFaultKind::kThrottle, d.throttle_chunk});
+    }
+
+    // One disruptive fault per attempt, kill > truncate > flip, and only
+    // while this spec has random-fault budget left.
+    if (d.disruptive() || random_faults_[s] >= spec.max_random_faults) {
+      continue;
+    }
+    if (kill) {
+      d.kill_before = true;
+      ++random_faults_[s];
+      events_.push_back({attempt, faults::LinkFaultKind::kKill, 0});
+    } else if (trunc) {
+      d.truncate = true;
+      d.truncate_prefix = static_cast<std::size_t>(
+          rng_.next_below(static_cast<std::uint64_t>(wire_len)));
+      ++random_faults_[s];
+      events_.push_back(
+          {attempt, faults::LinkFaultKind::kTruncate, d.truncate_prefix});
+    } else if (flip) {
+      d.flip = true;
+      // Skip the 4-byte length prefix: a corrupted length is only
+      // detectable after it has desynced the stream, so flipping it would
+      // test the receiver's stall timeout rather than the checksum.  The
+      // sequence number, CRC field and payload are all fair game.
+      d.flip_offset = 4 + static_cast<std::size_t>(rng_.next_below(
+                              static_cast<std::uint64_t>(wire_len - 4)));
+      ++random_faults_[s];
+      events_.push_back(
+          {attempt, faults::LinkFaultKind::kFlip, d.flip_offset});
+    }
+  }
+  return d;
+}
+
+LinkFaultPlan::LinkFaultPlan(std::vector<faults::LinkFaultSpec> specs,
+                             std::uint64_t seed)
+    : specs_(std::move(specs)), seed_(seed) {}
+
+std::unique_ptr<LinkFaultInjector> LinkFaultPlan::make_injector(
+    ProcessId from, ProcessId to) const {
+  std::vector<faults::LinkFaultSpec> matching;
+  for (const auto& spec : specs_) {
+    if (spec.matches(from, to)) matching.push_back(spec);
+  }
+  if (matching.empty()) return nullptr;
+  // Independent stream per directed link: equal seeds and equal links give
+  // equal schedules; distinct links give unrelated ones.
+  Rng root(seed_);
+  Rng link_rng = root.split(
+      (static_cast<std::uint64_t>(from.value) << 32) | (to.value + 1));
+  return std::make_unique<LinkFaultInjector>(std::move(matching), link_rng);
+}
+
+LinkFaultPlan LinkFaultPlan::kill_every_link(double kill_prob,
+                                             std::uint64_t seed) {
+  faults::LinkFaultSpec spec;
+  spec.kill_prob = kill_prob;
+  spec.kill_at_attempts = {0};
+  return LinkFaultPlan({spec}, seed);
+}
+
+}  // namespace modubft::transport

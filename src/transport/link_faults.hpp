@@ -1,0 +1,105 @@
+// Deterministic link-fault scheduling for the TCP transport.
+//
+// A `LinkFaultPlan` turns a set of `faults::LinkFaultSpec` (the vocabulary,
+// defined next to the process-fault taxonomy in `src/faults/`) plus a seed
+// into one `LinkFaultInjector` per directed link.  Each injector owns an
+// independent deterministic generator derived from (seed, from, to): given
+// the same seed and the same sequence of transmission attempts, it
+// produces the same fault schedule — which is what makes chaos runs
+// replayable and the schedule unit-testable without sockets.
+//
+// The injector sits *below* the resilient channel's framing: it decides,
+// per transmission attempt, whether the connection dies first, the frame
+// is truncated or byte-flipped on the wire, and how the write is delayed
+// or throttled.  Exactly one disruptive fault (kill > truncate > flip)
+// fires per attempt; delay and throttle compose with any of them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "faults/link_fault.hpp"
+
+namespace modubft::transport {
+
+/// What the injector decided for one transmission attempt.
+struct FrameFaultDecision {
+  bool kill_before = false;
+  bool truncate = false;
+  /// Number of wire bytes that still reach the peer when truncating.
+  std::size_t truncate_prefix = 0;
+  bool flip = false;
+  /// Absolute offset of the flipped byte in the wire image.
+  std::size_t flip_offset = 0;
+  std::uint32_t delay_us = 0;
+  /// 0 = write the frame in one piece.
+  std::uint32_t throttle_chunk = 0;
+
+  bool disruptive() const { return kill_before || truncate || flip; }
+};
+
+/// One scheduled fault, for audit and replay comparison.
+struct LinkFaultEvent {
+  std::uint64_t attempt = 0;
+  faults::LinkFaultKind kind = faults::LinkFaultKind::kNone;
+  /// kFlip: byte offset; kTruncate: prefix length; kDelay: microseconds.
+  std::uint64_t detail = 0;
+
+  bool operator==(const LinkFaultEvent&) const = default;
+};
+
+/// Per-directed-link fault source.  Not thread-safe: each link's sender
+/// consults its own injector from one thread.
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(std::vector<faults::LinkFaultSpec> specs, Rng rng);
+
+  /// Decides the faults for the next transmission attempt of a frame whose
+  /// wire image is `wire_len` bytes (headers included).
+  FrameFaultDecision next_attempt(std::size_t wire_len);
+
+  std::uint64_t attempts() const { return attempt_; }
+
+  /// Every fault fired so far, in attempt order.  Two injectors built from
+  /// the same (specs, seed, link) and driven through the same attempt
+  /// sequence produce equal event logs.
+  const std::vector<LinkFaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<faults::LinkFaultSpec> specs_;
+  std::vector<std::uint64_t> random_faults_;  // per spec, against the cap
+  std::unordered_set<std::uint64_t> kill_at_;
+  Rng rng_;
+  std::uint64_t attempt_ = 0;
+  std::vector<LinkFaultEvent> events_;
+};
+
+/// Seed + specs → injectors for every directed link.
+class LinkFaultPlan {
+ public:
+  LinkFaultPlan() = default;
+  LinkFaultPlan(std::vector<faults::LinkFaultSpec> specs, std::uint64_t seed);
+
+  bool empty() const { return specs_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Builds the injector for link from → to; returns nullptr when no spec
+  /// matches the link (the channel then skips injection entirely).
+  std::unique_ptr<LinkFaultInjector> make_injector(ProcessId from,
+                                                   ProcessId to) const;
+
+  /// Convenience: a wildcard plan that deterministically kills every link
+  /// at its first transmission attempt and adds `kill_prob` random kills —
+  /// the chaos-test workhorse.
+  static LinkFaultPlan kill_every_link(double kill_prob, std::uint64_t seed);
+
+ private:
+  std::vector<faults::LinkFaultSpec> specs_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace modubft::transport

@@ -1,0 +1,199 @@
+// Resilient directed link: re-establishes reliable FIFO over fallible TCP.
+//
+// One `ResilientChannel` owns the send side of a single directed link
+// p_self → p_peer.  The protocols above assume reliable-FIFO channels; a
+// raw TCP connection only provides that while it lives.  This layer makes
+// the contract survive connection death, truncation and corruption:
+//
+//   * every frame carries a per-link sequence number and a CRC-32C over
+//     header and payload;
+//   * sent-but-unacknowledged frames stay in a bounded retransmit buffer;
+//   * on any socket failure the channel redials with capped exponential
+//     backoff plus jitter, replays the resume handshake (the receiver
+//     answers with the next sequence number it expects), trims the buffer
+//     and retransmits the rest;
+//   * the receive side (in `TcpCluster`) suppresses duplicates and
+//     enforces in-order delivery, so a frame is delivered exactly once and
+//     in FIFO order no matter how many times it was transmitted;
+//   * sends never block the caller: frames queue, and a frame that cannot
+//     be transmitted within `send_timeout` is dropped and surfaced in the
+//     channel stats (`frames_dropped`, `degraded`) instead of hanging the
+//     protocol thread — an unreachable peer degrades into a crashed one,
+//     which the consensus layer already tolerates via F.
+//
+// A `LinkFaultInjector` (optional) perturbs every transmission attempt, so
+// chaos tests exercise exactly this machinery.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "transport/link_faults.hpp"
+
+namespace modubft::transport {
+
+/// First bytes on every connection: [magic][sender id], little-endian u32s.
+inline constexpr std::uint32_t kHelloMagic = 0x4D42'4654u;  // "MBFT"
+inline constexpr std::size_t kHelloBytes = 8;
+/// Data frame header: [u32 payload len][u64 seq][u32 crc], little-endian.
+/// The CRC covers len ‖ seq ‖ payload, so any corrupted header field or
+/// payload byte fails verification (a corrupted len additionally desyncs
+/// the stream — both cases tear the connection down and resume cleanly).
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Acknowledgement from receiver to sender: one little-endian u64 with the
+/// next expected sequence number (cumulative).  The resume reply sent
+/// right after the hello uses the same encoding.
+inline constexpr std::size_t kAckBytes = 8;
+
+struct FrameHeader {
+  std::uint32_t len = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Builds the full wire image (header + payload) for one frame.
+Bytes encode_frame(std::uint64_t seq, const Bytes& payload);
+
+/// Decodes the 16 header bytes (no validation beyond field extraction).
+FrameHeader decode_frame_header(const std::uint8_t hdr[kFrameHeaderBytes]);
+
+/// Recomputes the CRC over len ‖ seq ‖ payload and compares.
+bool verify_frame_crc(const FrameHeader& header, const Bytes& payload);
+
+Bytes encode_hello(std::uint32_t sender);
+/// Returns the sender id, or nullopt if the magic does not match.
+std::optional<std::uint32_t> decode_hello(const std::uint8_t hello[kHelloBytes]);
+
+/// Blocking loop around read(2) / send(2) until `len` bytes moved.
+/// Both return false on EOF or error (the connection is done).
+bool net_read_exact(int fd, void* buf, std::size_t len);
+bool net_write_all(int fd, const void* buf, std::size_t len);
+
+/// Reconnect/backoff/timeout policy shared by all links of a cluster.
+struct RetryPolicy {
+  std::chrono::milliseconds base_backoff{2};
+  std::chrono::milliseconds max_backoff{200};
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter of ± this fraction around the computed backoff.
+  double jitter = 0.5;
+  /// A queued frame not transmitted within this window is dropped (and
+  /// accounted) instead of blocking the link forever.
+  std::chrono::milliseconds send_timeout{5'000};
+  /// Deadline for the resume reply after dialing.
+  std::chrono::milliseconds handshake_timeout{2'000};
+  std::size_t max_queued_frames = 8'192;
+  std::size_t max_unacked_frames = 4'096;
+  /// Receiver sends a cumulative ack every this many delivered frames.
+  std::uint32_t ack_every = 16;
+};
+
+/// Snapshot of one channel's counters.
+struct ChannelStats {
+  std::uint64_t frames_sent = 0;   ///< frames fully written to a socket
+  std::uint64_t bytes_sent = 0;    ///< wire bytes fully written
+  std::uint64_t retransmits = 0;   ///< frames written more than once
+  std::uint64_t reconnects = 0;    ///< successful re-dials after the first
+  std::uint64_t dial_failures = 0; ///< failed dial or handshake attempts
+  std::uint64_t frames_dropped = 0;///< expired in queue or queue overflow
+  std::uint64_t kills_injected = 0;
+  std::uint64_t truncates_injected = 0;
+  std::uint64_t flips_injected = 0;
+  std::uint64_t delays_injected = 0;
+  bool degraded = false;           ///< at least one frame was dropped
+};
+
+class ResilientChannel {
+ public:
+  /// `dial` returns a connected socket to the peer (or -1); the channel
+  /// owns the returned fd and performs the hello/resume handshake itself.
+  using DialFn = std::function<int()>;
+
+  ResilientChannel(ProcessId self, ProcessId peer, DialFn dial,
+                   RetryPolicy policy, Rng jitter_rng,
+                   std::unique_ptr<LinkFaultInjector> injector);
+  ~ResilientChannel();
+
+  ResilientChannel(const ResilientChannel&) = delete;
+  ResilientChannel& operator=(const ResilientChannel&) = delete;
+
+  void start();
+  /// Signals the worker to finish; idempotent.  join() waits for it.
+  void shutdown();
+  void join();
+
+  /// Queues one payload for FIFO transmission.  Never blocks; returns
+  /// false (and counts a drop) when the channel is stopped or full.
+  bool enqueue(Bytes payload);
+
+  ChannelStats stats() const;
+
+  ProcessId peer() const { return peer_; }
+
+ private:
+  struct QueuedFrame {
+    Bytes payload;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct UnackedFrame {
+    std::uint64_t seq = 0;
+    Bytes wire;
+    bool transmitted = false;
+  };
+
+  void thread_main();
+  void expire_stale_locked(std::unique_lock<std::mutex>& lock);
+  bool try_connect(std::unique_lock<std::mutex>& lock);
+  void transmit_pending(std::unique_lock<std::mutex>& lock);
+  bool write_frame(UnackedFrame& frame);
+  /// Reads whatever acks are available without blocking; trims the
+  /// retransmit buffer.  Returns false when the connection died.
+  bool drain_acks();
+  void drop_connection();
+  void sleep_interruptible(std::chrono::microseconds d);
+  bool stopping() const;
+
+  const ProcessId self_;
+  const ProcessId peer_;
+  const DialFn dial_;
+  const RetryPolicy policy_;
+  Rng rng_;
+  std::unique_ptr<LinkFaultInjector> injector_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedFrame> queue_;
+  bool stop_ = false;
+
+  // Worker-thread state (no locking needed).
+  std::thread worker_;
+  int fd_ = -1;
+  std::deque<UnackedFrame> unacked_;
+  std::size_t next_unsent_ = 0;  ///< index into unacked_ for this connection
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint32_t consecutive_dial_failures_ = 0;
+  std::chrono::steady_clock::time_point next_dial_{};
+  bool ever_connected_ = false;
+  std::uint8_t ack_partial_[kAckBytes] = {};
+  std::size_t ack_partial_len_ = 0;
+
+  // Counters (atomics: written by worker and enqueue, read by stats()).
+  std::atomic<std::uint64_t> frames_sent_{0}, bytes_sent_{0}, retransmits_{0},
+      reconnects_{0}, dial_failures_{0}, frames_dropped_{0},
+      kills_injected_{0}, truncates_injected_{0}, flips_injected_{0},
+      delays_injected_{0};
+  std::atomic<bool> degraded_{false};
+};
+
+}  // namespace modubft::transport

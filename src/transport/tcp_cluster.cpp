@@ -7,11 +7,12 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstring>
 #include <optional>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace modubft::transport {
@@ -19,29 +20,9 @@ namespace modubft::transport {
 namespace {
 using Clock = std::chrono::steady_clock;
 
-bool read_exact(int fd, void* buf, std::size_t len) {
-  auto* p = static_cast<std::uint8_t*>(buf);
-  while (len > 0) {
-    const ssize_t got = ::read(fd, p, len);
-    if (got <= 0) return false;  // EOF or error: the connection is done
-    p += got;
-    len -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool write_all(int fd, const void* buf, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(buf);
-  while (len > 0) {
-    // MSG_NOSIGNAL: a peer that halted (decided and closed) must surface
-    // as a failed send, not a SIGPIPE.
-    const ssize_t put = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (put <= 0) return false;
-    p += put;
-    len -= static_cast<std::size_t>(put);
-  }
-  return true;
-}
+/// Label salt separating the channels' jitter streams from the fault
+/// injectors' streams (both are derived from the cluster seed).
+constexpr std::uint64_t kJitterSalt = 0x6a09e667f3bcc908ULL;
 
 void close_fd(int& fd) {
   if (fd >= 0) {
@@ -49,7 +30,25 @@ void close_fd(int& fd) {
     fd = -1;
   }
 }
+
+void encode_u64(std::uint8_t out[8], std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
 }  // namespace
+
+/// Receive-side state of one directed link sender → this node.  Survives
+/// connection replacement: expected_seq is what makes resumed links
+/// duplicate-free and FIFO.
+struct TcpCluster::RecvLink {
+  std::mutex mu;
+  int current_fd = -1;
+  std::uint64_t expected_seq = 0;
+  std::uint32_t since_ack = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t gap_resets = 0;
+  std::vector<std::uint64_t> audit;
+};
 
 struct TcpCluster::Node {
   ProcessId id;
@@ -58,11 +57,20 @@ struct TcpCluster::Node {
   std::unique_ptr<Rng> rng;
 
   int listen_fd = -1;
-  std::uint16_t port = 0;
-  // outbound[j]: my connection used exclusively for sends to p_{j+1}.
-  std::vector<int> outbound;
-  std::vector<std::unique_ptr<std::mutex>> out_mutex;
+  std::atomic<std::uint16_t> port{0};
+  std::thread accept_thread;
+
+  // channels[j]: resilient sender for my link to p_{j+1} (null for j == id).
+  std::vector<std::unique_ptr<ResilientChannel>> channels;
+  // recv_links[j]: receive state for the link p_{j+1} → me.
+  std::vector<std::unique_ptr<RecvLink>> recv_links;
+
+  std::mutex readers_mu;
   std::vector<std::thread> readers;
+
+  mutable std::mutex errors_mu;
+  std::vector<std::string> errors;
+  std::atomic<std::uint64_t> malformed_hellos{0};
 
   std::vector<TimerEntry> timers;
   std::unordered_set<std::uint64_t> cancelled;
@@ -127,35 +135,25 @@ TcpCluster::TcpCluster(TcpClusterConfig config) : config_(config) {
     node->id = ProcessId{i};
     node->rng = std::make_unique<Rng>(root.split(i + 1));
     node->cluster = this;
-    node->outbound.assign(config_.n, -1);
+    node->channels.resize(config_.n);
     for (std::uint32_t j = 0; j < config_.n; ++j) {
-      node->out_mutex.push_back(std::make_unique<std::mutex>());
+      node->recv_links.push_back(std::make_unique<RecvLink>());
     }
     nodes_.push_back(std::move(node));
   }
 }
 
-TcpCluster::~TcpCluster() {
-  for (auto& node : nodes_) {
-    node->stop_requested.store(true);
-    node->mailbox.close();
-    close_fd(node->listen_fd);
-    for (int& fd : node->outbound) close_fd(fd);
-  }
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  for (auto& node : nodes_) {
-    for (std::thread& t : node->readers) {
-      if (t.joinable()) t.join();
-    }
-  }
-}
+TcpCluster::~TcpCluster() { teardown(); }
 
 void TcpCluster::set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) {
   MODUBFT_EXPECTS(id.value < config_.n);
   MODUBFT_EXPECTS(!ran_);
   nodes_[id.value]->actor = std::move(actor);
+}
+
+void TcpCluster::record_error(Node& node, std::string message) {
+  std::lock_guard<std::mutex> lock(node.errors_mu);
+  node.errors.push_back(std::move(message));
 }
 
 bool TcpCluster::send_frame(Node& node, ProcessId to, const Bytes& payload) {
@@ -166,49 +164,145 @@ bool TcpCluster::send_frame(Node& node, ProcessId to, const Bytes& payload) {
     node.mailbox.push(Envelope{node.id, payload});
     return true;
   }
-  std::lock_guard<std::mutex> lock(*node.out_mutex[to.value]);
-  const int fd = node.outbound[to.value];
-  if (fd < 0) return false;
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  std::uint8_t hdr[4] = {
-      static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
-      static_cast<std::uint8_t>(len >> 16), static_cast<std::uint8_t>(len >> 24)};
-  if (!write_all(fd, hdr, 4)) return false;
-  if (!payload.empty() && !write_all(fd, payload.data(), payload.size())) {
-    return false;
+  ResilientChannel* channel = node.channels[to.value].get();
+  if (channel == nullptr) return false;
+  return channel->enqueue(payload);
+}
+
+void TcpCluster::accept_main(Node& node) {
+  for (;;) {
+    int fd = ::accept(node.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down: teardown in progress
+    }
+    if (shutting_down_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(node.readers_mu);
+    node.readers.emplace_back(
+        [this, &node, fd] { reader_main(node, fd); });
   }
-  frames_sent_.fetch_add(1);
-  bytes_sent_.fetch_add(payload.size() + 4);
-  return true;
 }
 
 void TcpCluster::reader_main(Node& node, int fd) {
-  // Hello: who is on the other end.
-  std::uint8_t hello[4];
-  if (!read_exact(fd, hello, 4)) {
+  // Hello: who is on the other end.  Reject anything that is not a
+  // well-formed peer identity — a malformed dialer must cost this node
+  // nothing but a log line.  The hello phase has a receive timeout: until
+  // the sender is identified this fd is not registered anywhere, so a
+  // silent dialer must not be able to pin this reader forever.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(config_.retry.handshake_timeout.count() /
+                                  1000);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (config_.retry.handshake_timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::uint8_t hello[kHelloBytes];
+  if (!net_read_exact(fd, hello, kHelloBytes)) {
     ::close(fd);
     return;
   }
-  std::uint32_t from = static_cast<std::uint32_t>(hello[0]) |
-                       static_cast<std::uint32_t>(hello[1]) << 8 |
-                       static_cast<std::uint32_t>(hello[2]) << 16 |
-                       static_cast<std::uint32_t>(hello[3]) << 24;
-  if (from >= config_.n) {
+  timeval forever{};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &forever, sizeof forever);
+  const std::optional<std::uint32_t> sender = decode_hello(hello);
+  if (!sender.has_value()) {
+    node.malformed_hellos.fetch_add(1);
+    record_error(node, "hello: bad magic from peer");
+    ::close(fd);
+    return;
+  }
+  if (*sender >= config_.n || *sender == node.id.value) {
+    node.malformed_hellos.fetch_add(1);
+    std::ostringstream os;
+    os << "hello: sender id " << *sender << " out of range (n="
+       << config_.n << ")";
+    record_error(node, os.str());
     ::close(fd);
     return;
   }
 
-  while (!node.stop_requested.load()) {
-    std::uint8_t hdr[4];
-    if (!read_exact(fd, hdr, 4)) break;
-    const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
-                              static_cast<std::uint32_t>(hdr[1]) << 8 |
-                              static_cast<std::uint32_t>(hdr[2]) << 16 |
-                              static_cast<std::uint32_t>(hdr[3]) << 24;
-    if (len > config_.max_frame_bytes) break;  // hostile frame size
-    Bytes payload(len);
-    if (len > 0 && !read_exact(fd, payload.data(), len)) break;
-    node.mailbox.push(Envelope{ProcessId{from}, std::move(payload)});
+  RecvLink& link = *node.recv_links[*sender];
+  {
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.current_fd >= 0) {
+      // A newer connection supersedes the old one; waking its reader with
+      // shutdown() (not close) avoids racing on a recycled descriptor.
+      ::shutdown(link.current_fd, SHUT_RDWR);
+    }
+    link.current_fd = fd;
+    link.since_ack = 0;
+    // Resume reply: tell the dialer where to pick the stream back up.
+    std::uint8_t ack[kAckBytes];
+    encode_u64(ack, link.expected_seq);
+    if (!net_write_all(fd, ack, kAckBytes)) {
+      link.current_fd = -1;
+      ::close(fd);
+      return;
+    }
+  }
+
+  const ProcessId from{*sender};
+  for (;;) {
+    std::uint8_t hdr[kFrameHeaderBytes];
+    if (!net_read_exact(fd, hdr, kFrameHeaderBytes)) break;
+    const FrameHeader h = decode_frame_header(hdr);
+    if (h.len > config_.max_frame_bytes) {
+      std::ostringstream os;
+      os << "frame from " << from << ": length " << h.len
+         << " exceeds max_frame_bytes=" << config_.max_frame_bytes;
+      record_error(node, os.str());
+      break;
+    }
+    Bytes payload(h.len);
+    if (h.len > 0) {
+      // A frame, once its header arrived, must complete promptly: if the
+      // length prefix was corrupted in flight the stream is desynced and
+      // this read would otherwise hang forever on a half-frame.
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      const bool got_payload = net_read_exact(fd, payload.data(), h.len);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &forever, sizeof forever);
+      if (!got_payload) break;
+    }
+
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.current_fd != fd) break;  // superseded mid-frame
+    if (!verify_frame_crc(h, payload)) {
+      // Wire corruption: tear the connection down; the sender still holds
+      // the frame unacked and will retransmit it on resume.
+      ++link.checksum_failures;
+      break;
+    }
+    if (h.seq < link.expected_seq) {
+      // Duplicate from a retransmit race: suppress, but re-ack so the
+      // sender can trim its buffer.
+      ++link.dup_suppressed;
+      std::uint8_t ack[kAckBytes];
+      encode_u64(ack, link.expected_seq);
+      net_write_all(fd, ack, kAckBytes);
+      continue;
+    }
+    if (h.seq > link.expected_seq) {
+      // A gap cannot happen on a healthy resumed stream; force a resync.
+      ++link.gap_resets;
+      break;
+    }
+    ++link.expected_seq;
+    if (config_.audit_deliveries) link.audit.push_back(h.seq);
+    node.mailbox.push(Envelope{from, std::move(payload)});
+    if (++link.since_ack >= config_.retry.ack_every) {
+      link.since_ack = 0;
+      std::uint8_t ack[kAckBytes];
+      encode_u64(ack, link.expected_seq);
+      net_write_all(fd, ack, kAckBytes);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.current_fd == fd) link.current_fd = -1;
   }
   ::close(fd);
 }
@@ -266,7 +360,8 @@ bool TcpCluster::run() {
   ran_ = true;
   for (auto& node : nodes_) MODUBFT_EXPECTS(node->actor != nullptr);
 
-  // 1. Listen sockets for everyone (ephemeral loopback ports).
+  // 1. Listen sockets for everyone (ephemeral loopback ports) before any
+  //    dial can happen, so reconnects never race the mesh setup.
   for (auto& node : nodes_) {
     node->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     MODUBFT_ASSERT(node->listen_fd >= 0);
@@ -281,47 +376,51 @@ bool TcpCluster::run() {
                           sizeof addr) == 0);
     socklen_t len = sizeof addr;
     ::getsockname(node->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
-    node->port = ntohs(addr.sin_port);
+    node->port.store(ntohs(addr.sin_port));
+    // Backlog 2n: every peer may redial while an old connection lingers.
     MODUBFT_ASSERT(::listen(node->listen_fd,
-                            static_cast<int>(config_.n)) == 0);
+                            static_cast<int>(2 * config_.n)) == 0);
   }
 
-  // 2. Full mesh: every node dials every peer; the dialer's connection is
-  //    used exclusively for its own sends.
+  // 2. Accept loops (they run for the whole cluster lifetime: reconnecting
+  //    links arrive as fresh inbound connections at any point).
+  for (auto& node : nodes_) {
+    node->accept_thread = std::thread([this, &node = *node] {
+      accept_main(node);
+    });
+  }
+
+  // 3. Resilient channels for the full mesh; they dial lazily on first
+  //    send and redial on any failure.
   for (auto& node : nodes_) {
     for (std::uint32_t j = 0; j < config_.n; ++j) {
       if (j == node->id.value) continue;
-      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      MODUBFT_ASSERT(fd >= 0);
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(nodes_[j]->port);
-      MODUBFT_ASSERT(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                               sizeof addr) == 0);
-      const std::uint32_t me = node->id.value;
-      std::uint8_t hello[4] = {static_cast<std::uint8_t>(me),
-                               static_cast<std::uint8_t>(me >> 8),
-                               static_cast<std::uint8_t>(me >> 16),
-                               static_cast<std::uint8_t>(me >> 24)};
-      MODUBFT_ASSERT(write_all(fd, hello, 4));
-      node->outbound[j] = fd;
+      const std::uint16_t peer_port = nodes_[j]->port.load();
+      auto dial = [peer_port]() -> int {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(peer_port);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr) != 0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      };
+      const std::uint64_t label =
+          (static_cast<std::uint64_t>(node->id.value) << 32) | (j + 1);
+      Rng jitter_root(config_.seed ^ kJitterSalt);
+      node->channels[j] = std::make_unique<ResilientChannel>(
+          node->id, ProcessId{j}, std::move(dial), config_.retry,
+          jitter_root.split(label),
+          config_.faults.make_injector(node->id, ProcessId{j}));
+      node->channels[j]->start();
     }
-  }
-
-  // 3. Accept the n−1 inbound connections per node and spawn readers.
-  for (auto& node : nodes_) {
-    for (std::uint32_t k = 0; k + 1 < config_.n; ++k) {
-      int fd = ::accept(node->listen_fd, nullptr, nullptr);
-      MODUBFT_ASSERT(fd >= 0);
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      node->readers.emplace_back(
-          [this, &node = *node, fd] { reader_main(node, fd); });
-    }
-    close_fd(node->listen_fd);
   }
 
   // 4. Run the actors.
@@ -345,26 +444,157 @@ bool TcpCluster::run() {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
+  // Snapshot the stragglers before teardown forces everyone to stop, so
+  // a budget expiry is diagnosable after run() returns.
+  for (auto& node : nodes_) {
+    if (!node->stopped.load()) unstopped_.push_back(node->id);
+  }
+
+  teardown();
+
+  if (!all_stopped) {
+    std::ostringstream os;
+    os << "TcpCluster: budget expired with unstopped nodes:";
+    for (ProcessId id : unstopped_) os << ' ' << id;
+    log_warn(os.str());
+  }
+  return all_stopped;
+}
+
+void TcpCluster::teardown() {
+  if (torn_down_) return;
+  torn_down_ = true;
+  shutting_down_.store(true);
+
+  // 1. Stop the actors.
   for (auto& node : nodes_) {
     node->stop_requested.store(true);
     node->mailbox.close();
   }
-  for (std::thread& t : threads_) t.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
   threads_.clear();
-  // Closing our outbound ends unblocks every peer's reader.
+
+  // 2. Stop the send side while receivers still drain, so no channel can
+  //    block on a full socket buffer.
   for (auto& node : nodes_) {
-    for (int& fd : node->outbound) close_fd(fd);
+    for (auto& channel : node->channels) {
+      if (channel) channel->shutdown();
+    }
   }
   for (auto& node : nodes_) {
-    for (std::thread& t : node->readers) t.join();
-    node->readers.clear();
+    for (auto& channel : node->channels) {
+      if (channel) channel->join();
+    }
   }
-  return all_stopped;
+
+  // 3. Stop accepting: shutdown() wakes the blocked accept, then join.
+  for (auto& node : nodes_) {
+    if (node->listen_fd >= 0) ::shutdown(node->listen_fd, SHUT_RDWR);
+  }
+  for (auto& node : nodes_) {
+    if (node->accept_thread.joinable()) node->accept_thread.join();
+    close_fd(node->listen_fd);
+  }
+
+  // 4. Wake and join the readers.
+  for (auto& node : nodes_) {
+    for (auto& link : node->recv_links) {
+      std::lock_guard<std::mutex> lock(link->mu);
+      if (link->current_fd >= 0) ::shutdown(link->current_fd, SHUT_RDWR);
+    }
+  }
+  for (auto& node : nodes_) {
+    std::vector<std::thread> readers;
+    {
+      std::lock_guard<std::mutex> lock(node->readers_mu);
+      readers.swap(node->readers);
+    }
+    for (std::thread& t : readers) t.join();
+  }
 }
 
 bool TcpCluster::stopped(ProcessId id) const {
   MODUBFT_EXPECTS(id.value < config_.n);
   return nodes_[id.value]->stopped.load();
+}
+
+std::vector<ProcessId> TcpCluster::unstopped() const { return unstopped_; }
+
+std::uint16_t TcpCluster::port(ProcessId id) const {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  return nodes_[id.value]->port.load();
+}
+
+std::vector<std::string> TcpCluster::errors(ProcessId id) const {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  Node& node = *nodes_[id.value];
+  std::lock_guard<std::mutex> lock(node.errors_mu);
+  return node.errors;
+}
+
+std::uint64_t TcpCluster::frames_sent() const {
+  std::uint64_t total = 0;
+  for (auto& node : nodes_) {
+    for (auto& channel : node->channels) {
+      if (channel) total += channel->stats().frames_sent;
+    }
+  }
+  return total;
+}
+
+std::uint64_t TcpCluster::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (auto& node : nodes_) {
+    for (auto& channel : node->channels) {
+      if (channel) total += channel->stats().bytes_sent;
+    }
+  }
+  return total;
+}
+
+TcpLinkStats TcpCluster::link_stats() const {
+  TcpLinkStats agg;
+  for (auto& node : nodes_) {
+    for (auto& channel : node->channels) {
+      if (!channel) continue;
+      const ChannelStats s = channel->stats();
+      agg.reconnects += s.reconnects;
+      agg.retransmits += s.retransmits;
+      agg.dial_failures += s.dial_failures;
+      agg.frames_dropped += s.frames_dropped;
+      agg.kills_injected += s.kills_injected;
+      agg.truncates_injected += s.truncates_injected;
+      agg.flips_injected += s.flips_injected;
+      agg.delays_injected += s.delays_injected;
+      agg.degraded_links += s.degraded ? 1 : 0;
+    }
+    for (auto& link : node->recv_links) {
+      std::lock_guard<std::mutex> lock(link->mu);
+      agg.checksum_failures += link->checksum_failures;
+      agg.dup_suppressed += link->dup_suppressed;
+      agg.gap_resets += link->gap_resets;
+    }
+    agg.malformed_hellos += node->malformed_hellos.load();
+  }
+  return agg;
+}
+
+ChannelStats TcpCluster::channel_stats(ProcessId from, ProcessId to) const {
+  MODUBFT_EXPECTS(from.value < config_.n && to.value < config_.n);
+  MODUBFT_EXPECTS(from != to);
+  const auto& channel = nodes_[from.value]->channels[to.value];
+  return channel ? channel->stats() : ChannelStats{};
+}
+
+std::vector<std::uint64_t> TcpCluster::delivered_seqs(ProcessId from,
+                                                      ProcessId to) const {
+  MODUBFT_EXPECTS(from.value < config_.n && to.value < config_.n);
+  MODUBFT_EXPECTS(from != to);
+  RecvLink& link = *nodes_[to.value]->recv_links[from.value];
+  std::lock_guard<std::mutex> lock(link.mu);
+  return link.audit;
 }
 
 }  // namespace modubft::transport

@@ -3,28 +3,41 @@
 // Runs the same Actor programs as the simulator and the in-memory threaded
 // cluster, but every channel is a TCP connection on the loopback
 // interface: real framing, real kernel buffering, real partial reads.
-// This is the closest substrate to a deployment and the final word on the
-// "manual networking" plumbing — nothing above this layer changes.
+// This is the closest substrate to a deployment and the robustness proving
+// ground — nothing above this layer changes.
 //
-// Topology: full mesh of unidirectional connections.  Every node dials
-// every peer once and uses that connection exclusively for its own sends
-// (i → j); inbound connections are identified by a hello frame carrying
-// the dialer's id.  TCP gives reliability and per-connection ordering, so
-// the model's reliable-FIFO channel assumption holds by construction.
+// Topology: full mesh of unidirectional links.  Every node dials every
+// peer and uses that connection exclusively for its own sends (i → j);
+// inbound connections are identified by a hello frame carrying the
+// dialer's id.  Unlike the first-generation transport, the reliable-FIFO
+// contract the protocols assume is *re-established by this layer* rather
+// than presumed from a single healthy TCP connection: each link is a
+// `ResilientChannel` with per-link sequence numbers, CRC-checked frames, a
+// bounded retransmit buffer, reconnect with capped exponential backoff,
+// and duplicate suppression on resume — so injected link faults
+// (`LinkFaultPlan`) or real socket failures are absorbed below the
+// protocol instead of silently breaking the model.
 //
-// Framing: hello = u32 sender id; then repeated [u32 length][payload].
+// Wire protocol (see resilient_channel.hpp for the byte-level encoders):
+//   hello  = [u32 magic][u32 sender id]
+//   resume = [u64 next expected seq]        (receiver → dialer)
+//   frame  = [u32 len][u64 seq][u32 crc32c(len‖seq‖payload)][payload]
+//   ack    = [u64 next expected seq]        (receiver → dialer, cumulative)
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "sim/actor.hpp"
+#include "transport/link_faults.hpp"
 #include "transport/mailbox.hpp"
+#include "transport/resilient_channel.hpp"
 
 namespace modubft::transport {
 
@@ -34,6 +47,30 @@ struct TcpClusterConfig {
   std::chrono::milliseconds budget{10'000};
   /// Maximum accepted frame size (defensive cap on the wire).
   std::uint32_t max_frame_bytes = 16u << 20;
+  /// Reconnect / retransmit / timeout policy applied to every link.
+  RetryPolicy retry;
+  /// Link faults injected below the framing layer (empty = healthy links).
+  LinkFaultPlan faults;
+  /// Records every delivered (link, seq) so tests can audit FIFO and
+  /// exactly-once delivery.  Off by default (unbounded memory per frame).
+  bool audit_deliveries = false;
+};
+
+/// Aggregate counters across every link of the cluster.
+struct TcpLinkStats {
+  std::uint64_t reconnects = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dial_failures = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t kills_injected = 0;
+  std::uint64_t truncates_injected = 0;
+  std::uint64_t flips_injected = 0;
+  std::uint64_t delays_injected = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t gap_resets = 0;
+  std::uint64_t malformed_hellos = 0;
+  std::uint64_t degraded_links = 0;
 };
 
 class TcpCluster {
@@ -47,14 +84,37 @@ class TcpCluster {
   void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor);
 
   /// Establishes the mesh, runs every node to completion (or budget
-  /// expiry).  Returns true iff all nodes stopped by themselves.
+  /// expiry).  Returns true iff all nodes stopped by themselves; on budget
+  /// expiry the stragglers are reported via unstopped() and a warning log.
   bool run();
 
   bool stopped(ProcessId id) const;
 
-  /// Total frames/bytes actually written to sockets.
-  std::uint64_t frames_sent() const { return frames_sent_.load(); }
-  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  /// Nodes that had not stopped when the run() budget expired (empty
+  /// after a clean run) — makes hung-transport failures diagnosable.
+  std::vector<ProcessId> unstopped() const;
+
+  /// Loopback port the node listens on (0 until run() binds it).  Exposed
+  /// so tests can poke the wire protocol directly.
+  std::uint16_t port(ProcessId id) const;
+
+  /// Per-node transport errors (malformed hellos, oversized frames, …).
+  std::vector<std::string> errors(ProcessId id) const;
+
+  /// Total frames/bytes actually written to sockets (retransmits count).
+  std::uint64_t frames_sent() const;
+  std::uint64_t bytes_sent() const;
+
+  /// Aggregate fault/recovery counters over all links.
+  TcpLinkStats link_stats() const;
+
+  /// Counters of the directed link from → to.
+  ChannelStats channel_stats(ProcessId from, ProcessId to) const;
+
+  /// Sequence numbers delivered on link from → to, in delivery order.
+  /// Requires config.audit_deliveries.
+  std::vector<std::uint64_t> delivered_seqs(ProcessId from,
+                                            ProcessId to) const;
 
  private:
   struct TimerEntry {
@@ -67,20 +127,25 @@ class TcpCluster {
     Bytes payload;
   };
 
+  struct RecvLink;
   struct Node;
   class NodeContext;
 
   void node_main(Node& node);
+  void accept_main(Node& node);
   void reader_main(Node& node, int fd);
   bool send_frame(Node& node, ProcessId to, const Bytes& payload);
+  void record_error(Node& node, std::string message);
+  void teardown();
 
   TcpClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<ProcessId> unstopped_;
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point epoch_{};
-  std::atomic<std::uint64_t> frames_sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<bool> shutting_down_{false};
   bool ran_ = false;
+  bool torn_down_ = false;
 };
 
 }  // namespace modubft::transport

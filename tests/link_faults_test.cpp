@@ -1,0 +1,151 @@
+// Unit tests for the link-fault vocabulary and its deterministic
+// scheduling: same seed → same schedule, distinct links → independent
+// schedules, caps and wildcards behave as specified.  No sockets here —
+// the injector is driven directly, which is exactly what makes chaos runs
+// replayable.
+#include <gtest/gtest.h>
+
+#include "faults/link_fault.hpp"
+#include "transport/link_faults.hpp"
+
+namespace modubft::transport {
+namespace {
+
+faults::LinkFaultSpec noisy_spec() {
+  faults::LinkFaultSpec spec;
+  spec.kill_prob = 0.08;
+  spec.truncate_prob = 0.05;
+  spec.flip_prob = 0.05;
+  spec.delay_prob = 0.2;
+  spec.delay_mean_us = 300;
+  spec.kill_at_attempts = {0, 17};
+  return spec;
+}
+
+TEST(LinkFaults, SameSeedSameSchedule) {
+  const LinkFaultPlan plan_a({noisy_spec()}, 42);
+  const LinkFaultPlan plan_b({noisy_spec()}, 42);
+  auto inj_a = plan_a.make_injector(ProcessId{0}, ProcessId{1});
+  auto inj_b = plan_b.make_injector(ProcessId{0}, ProcessId{1});
+  ASSERT_NE(inj_a, nullptr);
+  ASSERT_NE(inj_b, nullptr);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t wire_len = 16 + static_cast<std::size_t>(i % 113);
+    const FrameFaultDecision a = inj_a->next_attempt(wire_len);
+    const FrameFaultDecision b = inj_b->next_attempt(wire_len);
+    EXPECT_EQ(a.kill_before, b.kill_before) << "attempt " << i;
+    EXPECT_EQ(a.truncate, b.truncate) << "attempt " << i;
+    EXPECT_EQ(a.truncate_prefix, b.truncate_prefix) << "attempt " << i;
+    EXPECT_EQ(a.flip, b.flip) << "attempt " << i;
+    EXPECT_EQ(a.flip_offset, b.flip_offset) << "attempt " << i;
+    EXPECT_EQ(a.delay_us, b.delay_us) << "attempt " << i;
+  }
+  EXPECT_EQ(inj_a->events(), inj_b->events());
+  EXPECT_FALSE(inj_a->events().empty());
+}
+
+TEST(LinkFaults, DifferentSeedsDiverge) {
+  const LinkFaultPlan plan_a({noisy_spec()}, 1);
+  const LinkFaultPlan plan_b({noisy_spec()}, 2);
+  auto inj_a = plan_a.make_injector(ProcessId{0}, ProcessId{1});
+  auto inj_b = plan_b.make_injector(ProcessId{0}, ProcessId{1});
+  for (int i = 0; i < 500; ++i) {
+    inj_a->next_attempt(64);
+    inj_b->next_attempt(64);
+  }
+  // The deterministic kill points coincide, but the random parts of the
+  // schedules must not.
+  EXPECT_NE(inj_a->events(), inj_b->events());
+}
+
+TEST(LinkFaults, DistinctLinksGetIndependentSchedules) {
+  const LinkFaultPlan plan({noisy_spec()}, 7);
+  auto inj_ab = plan.make_injector(ProcessId{0}, ProcessId{1});
+  auto inj_ba = plan.make_injector(ProcessId{1}, ProcessId{0});
+  for (int i = 0; i < 500; ++i) {
+    inj_ab->next_attempt(64);
+    inj_ba->next_attempt(64);
+  }
+  EXPECT_NE(inj_ab->events(), inj_ba->events());
+}
+
+TEST(LinkFaults, DeterministicKillPointsFire) {
+  faults::LinkFaultSpec spec;
+  spec.kill_at_attempts = {0, 3};
+  const LinkFaultPlan plan({spec}, 5);
+  auto inj = plan.make_injector(ProcessId{2}, ProcessId{0});
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const FrameFaultDecision d = inj->next_attempt(32);
+    EXPECT_EQ(d.kill_before, i == 0 || i == 3) << "attempt " << i;
+  }
+  ASSERT_EQ(inj->events().size(), 2u);
+  EXPECT_EQ(inj->events()[0].kind, faults::LinkFaultKind::kKill);
+  EXPECT_EQ(inj->events()[0].attempt, 0u);
+  EXPECT_EQ(inj->events()[1].attempt, 3u);
+}
+
+TEST(LinkFaults, RandomFaultCapIsHonored) {
+  faults::LinkFaultSpec spec;
+  spec.kill_prob = 1.0;  // would kill every attempt without the cap
+  spec.max_random_faults = 3;
+  const LinkFaultPlan plan({spec}, 11);
+  auto inj = plan.make_injector(ProcessId{0}, ProcessId{1});
+  std::uint64_t kills = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (inj->next_attempt(32).kill_before) ++kills;
+  }
+  EXPECT_EQ(kills, 3u);
+}
+
+TEST(LinkFaults, SpecMatchingSelectsLinks) {
+  faults::LinkFaultSpec targeted;
+  targeted.from = ProcessId{0};
+  targeted.to = ProcessId{2};
+  targeted.kill_prob = 1.0;
+  const LinkFaultPlan plan({targeted}, 3);
+  EXPECT_NE(plan.make_injector(ProcessId{0}, ProcessId{2}), nullptr);
+  EXPECT_EQ(plan.make_injector(ProcessId{0}, ProcessId{1}), nullptr);
+  EXPECT_EQ(plan.make_injector(ProcessId{2}, ProcessId{0}), nullptr);
+
+  faults::LinkFaultSpec from_only;
+  from_only.from = ProcessId{1};
+  const LinkFaultPlan plan2({from_only}, 3);
+  EXPECT_NE(plan2.make_injector(ProcessId{1}, ProcessId{0}), nullptr);
+  EXPECT_NE(plan2.make_injector(ProcessId{1}, ProcessId{3}), nullptr);
+  EXPECT_EQ(plan2.make_injector(ProcessId{0}, ProcessId{1}), nullptr);
+}
+
+TEST(LinkFaults, ThrottleAndDelayComposeWithDisruption) {
+  faults::LinkFaultSpec spec;
+  spec.throttle_chunk_bytes = 8;
+  spec.kill_at_attempts = {0};
+  const LinkFaultPlan plan({spec}, 9);
+  auto inj = plan.make_injector(ProcessId{0}, ProcessId{1});
+  const FrameFaultDecision d = inj->next_attempt(64);
+  EXPECT_TRUE(d.kill_before);
+  EXPECT_EQ(d.throttle_chunk, 8u);
+}
+
+TEST(LinkFaults, KillEveryLinkHelperCoversAllLinks) {
+  const LinkFaultPlan plan = LinkFaultPlan::kill_every_link(0.0, 13);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      auto inj = plan.make_injector(ProcessId{i}, ProcessId{j});
+      ASSERT_NE(inj, nullptr);
+      EXPECT_TRUE(inj->next_attempt(32).kill_before);
+      EXPECT_FALSE(inj->next_attempt(32).kill_before);
+    }
+  }
+}
+
+TEST(LinkFaults, KindNamesAreStable) {
+  using faults::LinkFaultKind;
+  EXPECT_STREQ(faults::link_fault_kind_name(LinkFaultKind::kKill), "kill");
+  EXPECT_STREQ(faults::link_fault_kind_name(LinkFaultKind::kFlip), "flip");
+  EXPECT_STREQ(faults::link_fault_kind_name(LinkFaultKind::kTruncate),
+               "truncate");
+}
+
+}  // namespace
+}  // namespace modubft::transport

@@ -1,10 +1,17 @@
-// Tests for the TCP loopback cluster: framing, FIFO over real sockets, and
-// the consensus protocols end-to-end on the socket substrate.
+// Tests for the TCP loopback cluster: framing, FIFO over real sockets,
+// the consensus protocols end-to-end on the socket substrate, and the
+// hardened hello/frame parsing against malformed peers.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "bft/bft_consensus.hpp"
 #include "common/serial.hpp"
@@ -12,6 +19,7 @@
 #include "crypto/hmac_signer.hpp"
 #include "faults/byzantine.hpp"
 #include "fd/oracle_fd.hpp"
+#include "transport/resilient_channel.hpp"
 #include "transport/tcp_cluster.hpp"
 
 namespace modubft::transport {
@@ -180,6 +188,148 @@ TEST(TcpCluster, ByzantineCorrupterOverSockets) {
   for (std::uint32_t i = 2; i < kN; ++i) {
     EXPECT_EQ(decisions.at(i).entries, decisions.at(1).entries);
   }
+}
+
+// Actor that idles for a while and then stops — gives a hostile test
+// thread time to poke the node's wire protocol directly.
+class IdleActor final : public sim::Actor {
+ public:
+  explicit IdleActor(SimTime linger_us) : linger_us_(linger_us) {}
+  void on_start(sim::Context& ctx) override { ctx.set_timer(linger_us_); }
+  void on_timer(sim::Context& ctx, std::uint64_t) override { ctx.stop(); }
+  void on_message(sim::Context&, ProcessId, const Bytes&) override {}
+
+ private:
+  SimTime linger_us_;
+};
+
+int dial_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(TcpCluster, MalformedPeersAreRejectedCleanly) {
+  TcpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.budget = std::chrono::milliseconds(8'000);
+  TcpCluster cluster(cfg);
+  cluster.set_actor(ProcessId{0}, std::make_unique<IdleActor>(400'000));
+  cluster.set_actor(ProcessId{1}, std::make_unique<IdleActor>(400'000));
+
+  std::thread hostile([&cluster] {
+    // Wait for p1's listen socket to come up.
+    std::uint16_t port = 0;
+    for (int i = 0; i < 1'000 && port == 0; ++i) {
+      port = cluster.port(ProcessId{0});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_NE(port, 0);
+
+    // 1. Garbage magic.
+    int fd = dial_loopback(port);
+    ASSERT_GE(fd, 0);
+    const std::uint8_t junk[8] = {0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4};
+    ASSERT_TRUE(net_write_all(fd, junk, sizeof junk));
+    ::close(fd);
+
+    // 2. Valid magic, out-of-range sender id.
+    fd = dial_loopback(port);
+    ASSERT_GE(fd, 0);
+    const Bytes bad_id = encode_hello(7);  // n = 2: ids are 0 and 1
+    ASSERT_TRUE(net_write_all(fd, bad_id.data(), bad_id.size()));
+    ::close(fd);
+
+    // 3. A node must not accept a hello claiming to be itself.
+    fd = dial_loopback(port);
+    ASSERT_GE(fd, 0);
+    const Bytes self_id = encode_hello(0);
+    ASSERT_TRUE(net_write_all(fd, self_id.data(), self_id.size()));
+    ::close(fd);
+
+    // 4. Valid hello, then a frame whose length exceeds max_frame_bytes.
+    fd = dial_loopback(port);
+    ASSERT_GE(fd, 0);
+    const Bytes hello = encode_hello(1);
+    ASSERT_TRUE(net_write_all(fd, hello.data(), hello.size()));
+    std::uint8_t resume[kAckBytes];
+    ASSERT_TRUE(net_read_exact(fd, resume, kAckBytes));
+    std::uint8_t huge_hdr[kFrameHeaderBytes] = {};
+    huge_hdr[0] = 0xff;  // len = 0xffffffff
+    huge_hdr[1] = 0xff;
+    huge_hdr[2] = 0xff;
+    huge_hdr[3] = 0xff;
+    ASSERT_TRUE(net_write_all(fd, huge_hdr, kFrameHeaderBytes));
+    ::close(fd);
+  });
+
+  EXPECT_TRUE(cluster.run());
+  hostile.join();
+
+  const std::vector<std::string> errors = cluster.errors(ProcessId{0});
+  ASSERT_GE(errors.size(), 3u);
+  const TcpLinkStats stats = cluster.link_stats();
+  EXPECT_GE(stats.malformed_hellos, 3u);
+  bool saw_oversize = false;
+  for (const std::string& e : errors) {
+    if (e.find("max_frame_bytes") != std::string::npos) saw_oversize = true;
+  }
+  EXPECT_TRUE(saw_oversize) << "oversized frame was not reported";
+  // The malformed connections must not have hurt p0's own state.
+  EXPECT_TRUE(cluster.unstopped().empty());
+}
+
+TEST(TcpCluster, BudgetExpiryReportsUnstoppedNodes) {
+  class NeverStops final : public sim::Actor {
+   public:
+    void on_start(sim::Context& ctx) override {
+      ctx.set_timer(60'000'000);  // a timer far beyond the budget
+    }
+    void on_message(sim::Context&, ProcessId, const Bytes&) override {}
+  };
+
+  TcpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.budget = std::chrono::milliseconds(150);
+  TcpCluster cluster(cfg);
+  cluster.set_actor(ProcessId{0}, std::make_unique<IdleActor>(1'000));
+  cluster.set_actor(ProcessId{1}, std::make_unique<NeverStops>());
+  EXPECT_FALSE(cluster.run());
+  const std::vector<ProcessId> hung = cluster.unstopped();
+  ASSERT_EQ(hung.size(), 1u);
+  EXPECT_EQ(hung[0], ProcessId{1});
+  EXPECT_TRUE(cluster.stopped(ProcessId{0}));
+}
+
+TEST(TcpCluster, FrameCodecRoundTripsAndCatchesCorruption) {
+  const Bytes payload = bytes_of("frame body with some entropy 0123456789");
+  const Bytes wire = encode_frame(41, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+  const FrameHeader h = decode_frame_header(wire.data());
+  EXPECT_EQ(h.len, payload.size());
+  EXPECT_EQ(h.seq, 41u);
+  EXPECT_TRUE(verify_frame_crc(h, payload));
+
+  Bytes corrupted = payload;
+  corrupted[5] ^= 0x01;
+  EXPECT_FALSE(verify_frame_crc(h, corrupted));
+
+  FrameHeader bad_seq = h;
+  bad_seq.seq = 42;
+  EXPECT_FALSE(verify_frame_crc(bad_seq, payload));
+
+  FrameHeader bad_len = h;
+  bad_len.len = h.len - 1;
+  EXPECT_FALSE(verify_frame_crc(bad_len, Bytes(payload.begin(),
+                                               payload.end() - 1)));
 }
 
 }  // namespace

@@ -1,0 +1,281 @@
+// E15 — certificate fast path: memoized digests + verified-signature cache.
+//
+// The transformed protocol's dominating cost is re-verifying the same
+// signed messages as they reappear inside later certificates (ingress
+// check, est witness, entry witness, DECIDE evidence).  This bench builds
+// the multi-round message tree a real execution produces — INIT quorum →
+// coordinator CURRENT → relays → per-round NEXT votes with entry
+// witnesses → DECIDE — and measures repeated verification and encoding
+// throughput with the cache on vs off, at n ∈ {4, 7, 10} and round depths
+// 1..10.
+//
+// Run with --benchmark_format=json to get machine-readable output; each
+// cached run exports cache_hits / cache_misses / hit_pct counters.
+// Acceptance headline: BM_RepeatedCertVerify at n = 7 must be ≥3× faster
+// with the cache than without.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bft/analyzer.hpp"
+#include "bft/message.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "crypto/rsa64.hpp"
+#include "crypto/verify_cache.hpp"
+
+namespace {
+
+using namespace modubft;
+
+enum class Scheme { kHmac, kRsa64 };
+
+struct Workload {
+  crypto::SignatureSystem sys;
+  std::uint32_t n = 0;
+  std::uint32_t q = 0;
+  std::uint32_t rounds = 0;
+  bft::MemberPtr coord;                            // round-1 CURRENT
+  std::vector<bft::MemberPtr> relays;              // q−1 relayed CURRENTs
+  std::vector<std::vector<bft::MemberPtr>> votes;  // votes[r]: round-r NEXTs
+  bft::SignedMessage decide;
+};
+
+bft::SignedMessage sign_msg(const Workload& w, bft::MessageCore core,
+                            bft::Certificate cert) {
+  bft::SignedMessage msg;
+  msg.core = std::move(core);
+  msg.cert = std::move(cert);
+  msg.sig = w.sys.signers[msg.core.sender.value]->sign(
+      bft::signing_bytes(msg.core, msg.cert));
+  return msg;
+}
+
+/// Wire-format self-check: the arithmetic size and a decode → re-encode
+/// round trip must match the canonical encoding byte for byte.  Aborts the
+/// bench if the fast path ever drifted from the wire format.
+void check_wire_identity(const bft::SignedMessage& msg) {
+  const Bytes wire = bft::encode_message(msg);
+  if (bft::encoded_size(msg) != wire.size() ||
+      bft::encode_message(bft::decode_message(wire)) != wire) {
+    std::fprintf(stderr, "wire-format identity violated\n");
+    std::abort();
+  }
+}
+
+Workload make_workload(Scheme scheme, std::uint32_t n, std::uint32_t rounds) {
+  Workload w;
+  w.n = n;
+  w.q = n - (n - 1) / 3;  // quorum n − F for the declared resilience
+  w.rounds = rounds;
+  w.sys = scheme == Scheme::kRsa64
+              ? crypto::Rsa64Scheme{}.make_system(n, 7)
+              : crypto::HmacScheme{}.make_system(n, 7);
+
+  // INIT quorum and the matching estimate vector.
+  bft::Certificate inits;
+  bft::VectorValue vect(n, std::nullopt);
+  for (std::uint32_t i = 0; i < w.q; ++i) {
+    bft::MessageCore core;
+    core.kind = bft::BftKind::kInit;
+    core.sender = ProcessId{i};
+    core.round = Round{0};
+    core.init_value = 100 + i;
+    inits.add(sign_msg(w, std::move(core), {}));
+    vect[i] = 100 + i;
+  }
+
+  // Coordinator CURRENT, then q−1 relays sharing it copy-free.
+  {
+    bft::MessageCore core;
+    core.kind = bft::BftKind::kCurrent;
+    core.sender = ProcessId{0};
+    core.round = Round{1};
+    core.est = vect;
+    w.coord = std::make_shared<const bft::SignedMessage>(
+        sign_msg(w, std::move(core), std::move(inits)));
+  }
+  for (std::uint32_t i = 1; i < w.q; ++i) {
+    bft::Certificate relay_cert;
+    relay_cert.add(w.coord);
+    bft::MessageCore core;
+    core.kind = bft::BftKind::kCurrent;
+    core.sender = ProcessId{i};
+    core.round = Round{1};
+    core.est = vect;
+    w.relays.push_back(std::make_shared<const bft::SignedMessage>(
+        sign_msg(w, std::move(core), std::move(relay_cert))));
+  }
+
+  // Per-round NEXT votes; round r ≥ 2 carries the round-(r−1) quorum as its
+  // entry witness, sharing the vote messages instead of copying them.
+  w.votes.resize(rounds + 1);
+  for (std::uint32_t r = 1; r <= rounds; ++r) {
+    for (std::uint32_t i = 0; i < w.q; ++i) {
+      bft::Certificate witness;
+      if (r >= 2) {
+        for (const bft::MemberPtr& prev : w.votes[r - 1]) witness.add(prev);
+      }
+      bft::MessageCore core;
+      core.kind = bft::BftKind::kNext;
+      core.sender = ProcessId{i};
+      core.round = Round{r};
+      w.votes[r].push_back(std::make_shared<const bft::SignedMessage>(
+          sign_msg(w, std::move(core), std::move(witness))));
+    }
+  }
+
+  // DECIDE evidenced by the CURRENT quorum (coordinator + relays).
+  {
+    bft::Certificate evidence;
+    evidence.add(w.coord);
+    for (const bft::MemberPtr& m : w.relays) evidence.add(m);
+    bft::MessageCore core;
+    core.kind = bft::BftKind::kDecide;
+    core.sender = ProcessId{1};
+    core.round = Round{1};
+    core.est = vect;
+    w.decide = sign_msg(w, std::move(core), std::move(evidence));
+  }
+
+  check_wire_identity(*w.coord);
+  check_wire_identity(*w.votes[rounds].front());
+  check_wire_identity(w.decide);
+  return w;
+}
+
+std::shared_ptr<const crypto::Verifier> pick_verifier(
+    const Workload& w, bool cached,
+    std::shared_ptr<const crypto::CachingVerifier>* cache_out) {
+  if (!cached) return w.sys.verifier;
+  auto cache = std::make_shared<const crypto::CachingVerifier>(w.sys.verifier);
+  *cache_out = cache;
+  return cache;
+}
+
+/// One full pass of the verification work a correct process performs on the
+/// workload.  Returns the number of analyzer checks that ran (for items/s).
+std::size_t verify_pass(const bft::CertAnalyzer& analyzer, const Workload& w,
+                        benchmark::State& state) {
+  std::size_t checks = 0;
+  auto expect = [&](const bft::Verdict& v) {
+    ++checks;
+    if (!v) state.SkipWithError(("unexpected verdict: " + v.detail).c_str());
+  };
+  auto expect_sig = [&](const bft::SignedMessage& m) {
+    ++checks;
+    if (!analyzer.signature_ok(m)) state.SkipWithError("bad signature");
+  };
+
+  expect_sig(*w.coord);
+  expect(analyzer.current_wf(*w.coord));
+  for (const bft::MemberPtr& m : w.relays) {
+    expect_sig(*m);
+    expect(analyzer.current_wf(*m));
+  }
+  for (std::uint32_t r = 1; r <= w.rounds; ++r) {
+    for (const bft::MemberPtr& vote : w.votes[r]) {
+      expect_sig(*vote);
+      expect(analyzer.entry_wf(vote->cert, Round{r}));
+    }
+  }
+  expect_sig(w.decide);
+  expect(analyzer.decide_wf(w.decide));
+  return checks;
+}
+
+void export_cache_counters(
+    benchmark::State& state,
+    const std::shared_ptr<const crypto::CachingVerifier>& cache) {
+  if (!cache) return;
+  const crypto::VerifyCacheStats s = cache->stats();
+  state.counters["cache_hits"] = static_cast<double>(s.hits);
+  state.counters["cache_misses"] = static_cast<double>(s.misses);
+  state.counters["hit_pct"] = 100.0 * s.hit_rate();
+}
+
+// --------------------------------------------------------------- verify
+
+void repeated_verify(benchmark::State& state, Scheme scheme) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto rounds = static_cast<std::uint32_t>(state.range(1));
+  const bool cached = state.range(2) != 0;
+
+  Workload w = make_workload(scheme, n, rounds);
+  std::shared_ptr<const crypto::CachingVerifier> cache;
+  bft::CertAnalyzer analyzer(w.n, w.q, pick_verifier(w, cached, &cache));
+
+  std::size_t checks = 0;
+  for (auto _ : state) {
+    checks += verify_pass(analyzer, w, state);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checks));
+  export_cache_counters(state, cache);
+}
+
+void BM_RepeatedCertVerify(benchmark::State& state) {
+  repeated_verify(state, Scheme::kHmac);
+}
+BENCHMARK(BM_RepeatedCertVerify)
+    ->ArgNames({"n", "rounds", "cache"})
+    ->ArgsProduct({{4, 7, 10}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {0, 1}});
+
+void BM_RepeatedCertVerifyRsa64(benchmark::State& state) {
+  repeated_verify(state, Scheme::kRsa64);
+}
+BENCHMARK(BM_RepeatedCertVerifyRsa64)
+    ->ArgNames({"n", "rounds", "cache"})
+    ->ArgsProduct({{7}, {1, 5, 10}, {0, 1}});
+
+// --------------------------------------------------- decode + verify
+
+void BM_DecodeThenVerify(benchmark::State& state) {
+  // The ingress pipeline: decode the wire bytes, then run the analyzer.
+  // Decoding allocates fresh Certificates, so per-message digest memos
+  // start cold every iteration; only the signature cache persists.
+  const auto rounds = static_cast<std::uint32_t>(state.range(0));
+  const bool cached = state.range(1) != 0;
+
+  Workload w = make_workload(Scheme::kHmac, 7, rounds);
+  std::shared_ptr<const crypto::CachingVerifier> cache;
+  bft::CertAnalyzer analyzer(w.n, w.q, pick_verifier(w, cached, &cache));
+
+  const Bytes wire = bft::encode_message(w.decide);
+  for (auto _ : state) {
+    bft::SignedMessage msg = bft::decode_message(wire);
+    if (!analyzer.signature_ok(msg) || !analyzer.decide_wf(msg)) {
+      state.SkipWithError("DECIDE failed verification");
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+  export_cache_counters(state, cache);
+}
+BENCHMARK(BM_DecodeThenVerify)
+    ->ArgNames({"rounds", "cache"})
+    ->ArgsProduct({{1, 10}, {0, 1}});
+
+// ---------------------------------------------------------------- encode
+
+void BM_EncodeDecide(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto rounds = static_cast<std::uint32_t>(state.range(1));
+  Workload w = make_workload(Scheme::kHmac, n, rounds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bft::encode_message(w.decide));
+  }
+  // encoded_size is arithmetic — no throwaway encode behind this counter.
+  state.counters["wire_bytes"] = static_cast<double>(bft::encoded_size(w.decide));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(bft::encoded_size(w.decide)));
+}
+BENCHMARK(BM_EncodeDecide)
+    ->ArgNames({"n", "rounds"})
+    ->ArgsProduct({{4, 7, 10}, {1, 10}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -97,7 +97,7 @@ bft::SignedMessage sample_current(std::uint32_t n,
     bft::SignedMessage m;
     m.core = core;
     m.sig = sys.signers[i]->sign(bft::signing_bytes(m.core, m.cert));
-    cert.members.push_back(std::move(m));
+    cert.add(std::move(m));
     vect[i] = 100 + i;
   }
   bft::SignedMessage cur;

@@ -2,7 +2,10 @@
 # Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer
 # and runs the full test suite under them.  The transport chaos tests are
 # the main customers: they exercise concurrent reconnect/retransmit paths
-# where lifetime bugs would hide.
+# where lifetime bugs would hide.  The certificate fast path is the other:
+# Reader views alias decode buffers and certificates share immutable
+# members, so bft_fastpath_test and perf_smoke_cert_fastpath (both in the
+# default ctest set) run here to catch any dangling view or aliasing bug.
 #
 # Usage: scripts/run_sanitizers.sh [ctest-regex]
 #   scripts/run_sanitizers.sh             # everything

@@ -26,7 +26,11 @@ ProcessId bft_coordinator_of(Round r, std::uint32_t n) {
 
 CertAnalyzer::CertAnalyzer(std::uint32_t n, std::uint32_t quorum,
                            std::shared_ptr<const crypto::Verifier> verifier)
-    : n_(n), quorum_(quorum), verifier_(std::move(verifier)) {
+    : n_(n),
+      quorum_(quorum),
+      verifier_(std::move(verifier)),
+      cache_(std::dynamic_pointer_cast<const crypto::CachingVerifier>(
+          verifier_)) {
   MODUBFT_EXPECTS(n_ >= 2);
   MODUBFT_EXPECTS(quorum_ >= 1 && quorum_ <= n_);
   MODUBFT_EXPECTS(verifier_ != nullptr);
@@ -37,9 +41,17 @@ bool CertAnalyzer::signature_ok(const SignedMessage& msg) const {
                            msg.sig);
 }
 
-bool CertAnalyzer::member_signature_ok(const SignedMessage& msg) const {
-  if (msg.core.sender.value >= n_) return false;
-  return signature_ok(msg);
+bool CertAnalyzer::member_signature_ok(const Certificate& parent,
+                                       std::size_t i) const {
+  const SignedMessage& m = parent.member(i);
+  if (m.core.sender.value >= n_) return false;
+  if (cache_) {
+    return cache_->verify_digest(
+        m.core.sender, parent.member_signing_digest(i), m.sig,
+        [&m] { return signing_bytes(m.core, m.cert); });
+  }
+  return verifier_->verify(m.core.sender, signing_bytes(m.core, m.cert),
+                           m.sig);
 }
 
 Verdict CertAnalyzer::init_wf(const SignedMessage& msg) const {
@@ -78,9 +90,10 @@ Verdict CertAnalyzer::est_wf_depth(const Certificate& cert,
   // Case A: a quorum of INITs witnessing exactly the non-null entries.
   std::set<ProcessId> witnesses;
   bool init_mismatch = false;
-  for (const SignedMessage& m : cert.members) {
+  for (std::size_t i = 0; i < cert.size(); ++i) {
+    const SignedMessage& m = cert.member(i);
     if (m.core.kind != BftKind::kInit) continue;
-    if (!member_signature_ok(m)) {
+    if (!member_signature_ok(cert, i)) {
       return Verdict::fail(FaultKind::kBadCertificate,
                            "INIT member with invalid signature");
     }
@@ -111,17 +124,20 @@ Verdict CertAnalyzer::est_wf_depth(const Certificate& cert,
   // Case B: an adoption chain — exactly one CURRENT carrying the same
   // vector, itself well-formed.
   const SignedMessage* chain = nullptr;
-  for (const SignedMessage& m : cert.members) {
+  std::size_t chain_i = 0;
+  for (std::size_t i = 0; i < cert.size(); ++i) {
+    const SignedMessage& m = cert.member(i);
     if (m.core.kind != BftKind::kCurrent) continue;
     if (chain != nullptr)
       return Verdict::fail(FaultKind::kBadCertificate,
                            "ambiguous est evidence (several CURRENTs)");
     chain = &m;
+    chain_i = i;
   }
   if (chain == nullptr)
     return Verdict::fail(FaultKind::kBadCertificate,
                          "insufficient est evidence");
-  if (!member_signature_ok(*chain))
+  if (!member_signature_ok(cert, chain_i))
     return Verdict::fail(FaultKind::kBadCertificate,
                          "CURRENT member with invalid signature");
   if (chain->core.est != v)
@@ -145,10 +161,11 @@ Verdict CertAnalyzer::entry_wf_depth(const Certificate& cert, Round r,
 
   // Quorum of NEXTs for the previous round.
   std::set<ProcessId> next_senders;
-  for (const SignedMessage& m : cert.members) {
+  for (std::size_t i = 0; i < cert.size(); ++i) {
+    const SignedMessage& m = cert.member(i);
     if (m.core.kind != BftKind::kNext) continue;
     if (m.core.round != r.prev()) continue;
-    if (!member_signature_ok(m)) {
+    if (!member_signature_ok(cert, i)) {
       return Verdict::fail(FaultKind::kBadCertificate,
                            "NEXT member with invalid signature");
     }
@@ -159,17 +176,20 @@ Verdict CertAnalyzer::entry_wf_depth(const Certificate& cert, Round r,
   // Relay form: a single nested CURRENT of the same round carries the
   // witness transitively.
   const SignedMessage* chain = nullptr;
-  for (const SignedMessage& m : cert.members) {
+  std::size_t chain_i = 0;
+  for (std::size_t i = 0; i < cert.size(); ++i) {
+    const SignedMessage& m = cert.member(i);
     if (m.core.kind != BftKind::kCurrent) continue;
     if (chain != nullptr)
       return Verdict::fail(FaultKind::kBadCertificate,
                            "ambiguous round evidence (several CURRENTs)");
     chain = &m;
+    chain_i = i;
   }
   if (chain == nullptr || chain->core.round != r)
     return Verdict::fail(FaultKind::kBadCertificate,
                          "insufficient round evidence");
-  if (!member_signature_ok(*chain))
+  if (!member_signature_ok(cert, chain_i))
     return Verdict::fail(FaultKind::kBadCertificate,
                          "CURRENT member with invalid signature");
   return entry_wf_depth(chain->cert, r, depth + 1);
@@ -203,14 +223,14 @@ Verdict CertAnalyzer::current_wf_depth(const SignedMessage& msg,
   if (msg.cert.pruned)
     return Verdict::fail(FaultKind::kBadCertificate,
                          "relayed CURRENT with pruned certificate");
-  if (msg.cert.members.size() != 1 ||
-      msg.cert.members[0].core.kind != BftKind::kCurrent) {
+  if (msg.cert.size() != 1 ||
+      msg.cert.member(0).core.kind != BftKind::kCurrent) {
     return Verdict::fail(
         FaultKind::kBadCertificate,
         "relayed CURRENT must carry exactly the adopted CURRENT");
   }
-  const SignedMessage& adopted = msg.cert.members[0];
-  if (!member_signature_ok(adopted))
+  const SignedMessage& adopted = msg.cert.member(0);
+  if (!member_signature_ok(msg.cert, 0))
     return Verdict::fail(FaultKind::kBadCertificate,
                          "adopted CURRENT with invalid signature");
   if (adopted.core.round != msg.core.round)
@@ -239,15 +259,16 @@ Verdict CertAnalyzer::next_wf(const SignedMessage& msg,
   const Round r = msg.core.round;
   std::set<ProcessId> current_senders;
   std::set<ProcessId> next_senders;
-  for (const SignedMessage& m : msg.cert.members) {
+  for (std::size_t i = 0; i < msg.cert.size(); ++i) {
+    const SignedMessage& m = msg.cert.member(i);
     if (m.core.round != r) continue;  // older-round context is ignorable
     if (m.core.kind == BftKind::kCurrent) {
-      if (!member_signature_ok(m))
+      if (!member_signature_ok(msg.cert, i))
         return Verdict::fail(FaultKind::kBadCertificate,
                              "CURRENT member with invalid signature");
       current_senders.insert(m.core.sender);
     } else if (m.core.kind == BftKind::kNext) {
-      if (!member_signature_ok(m))
+      if (!member_signature_ok(msg.cert, i))
         return Verdict::fail(FaultKind::kBadCertificate,
                              "NEXT member with invalid signature");
       next_senders.insert(m.core.sender);
@@ -295,7 +316,8 @@ Verdict CertAnalyzer::decide_wf(const SignedMessage& msg) const {
                          "DECIDE certificate pruned");
 
   std::set<ProcessId> senders;
-  for (const SignedMessage& m : msg.cert.members) {
+  for (std::size_t i = 0; i < msg.cert.size(); ++i) {
+    const SignedMessage& m = msg.cert.member(i);
     if (m.core.kind != BftKind::kCurrent) continue;
     if (m.core.round != msg.core.round) continue;
     if (m.core.est != msg.core.est) {
@@ -303,7 +325,7 @@ Verdict CertAnalyzer::decide_wf(const SignedMessage& msg) const {
                            "DECIDE certificate contains a CURRENT for a "
                            "different vector");
     }
-    if (!member_signature_ok(m))
+    if (!member_signature_ok(msg.cert, i))
       return Verdict::fail(FaultKind::kBadCertificate,
                            "CURRENT member with invalid signature");
     if (Verdict v = current_wf_depth(m, 1); !v) {
@@ -329,8 +351,8 @@ const SignedMessage* CertAnalyzer::chain_base(
     if (m->core.kind != BftKind::kCurrent) return nullptr;
     const ProcessId coord = bft_coordinator_of(m->core.round, n_);
     if (m->core.sender == coord) return m;
-    if (m->cert.pruned || m->cert.members.size() != 1) return nullptr;
-    m = &m->cert.members[0];
+    if (m->cert.pruned || m->cert.size() != 1) return nullptr;
+    m = &m->cert.member(0);
   }
   return nullptr;
 }

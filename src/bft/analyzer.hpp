@@ -40,6 +40,7 @@
 #include "bft/message.hpp"
 #include "bft/verdict.hpp"
 #include "crypto/signature.hpp"
+#include "crypto/verify_cache.hpp"
 
 namespace modubft::bft {
 
@@ -78,11 +79,16 @@ class CertAnalyzer {
                        std::uint32_t depth) const;
   Verdict entry_wf_depth(const Certificate& cert, Round r,
                          std::uint32_t depth) const;
-  bool member_signature_ok(const SignedMessage& msg) const;
+  /// Verifies the signature of `parent.member(i)`.  When the verifier is a
+  /// CachingVerifier, the lookup uses the parent's memoized signing digest
+  /// for the member, so a previously-verified member costs one hash-map
+  /// probe — no re-encoding, no hashing, no signature arithmetic.
+  bool member_signature_ok(const Certificate& parent, std::size_t i) const;
 
   std::uint32_t n_;
   std::uint32_t quorum_;
   std::shared_ptr<const crypto::Verifier> verifier_;
+  std::shared_ptr<const crypto::CachingVerifier> cache_;  // verifier_, typed
 };
 
 /// Rotating-coordinator rule shared with the crash protocol.

@@ -11,10 +11,18 @@ BftProcess::BftProcess(BftConfig config, Value proposal,
                        VectorDecideFn on_decide)
     : config_(config),
       proposal_(proposal),
-      signature_(signer, verifier),
+      vcache_(config.verify_cache
+                  ? std::make_shared<crypto::CachingVerifier>(
+                        verifier, config.verify_cache_capacity)
+                  : nullptr),
+      signature_(signer, vcache_
+                             ? std::shared_ptr<const crypto::Verifier>(vcache_)
+                             : verifier),
       muteness_(config.n, signer->id(), config.muteness),
-      analyzer_(std::make_shared<CertAnalyzer>(config.n, config.quorum(),
-                                               verifier)),
+      analyzer_(std::make_shared<CertAnalyzer>(
+          config.n, config.quorum(),
+          vcache_ ? std::shared_ptr<const crypto::Verifier>(vcache_)
+                  : verifier)),
       nonmute_(config.n, signer->id(), analyzer_),
       cert_(config_),
       on_decide_(std::move(on_decide)) {
@@ -64,8 +72,10 @@ void BftProcess::on_message(sim::Context& ctx, ProcessId from,
   // Messages already attributed to faulty processes are discarded.
   if (nonmute_.is_faulty(from)) return;
 
-  const SignedMessage& msg = in.msg;
-  switch (msg.core.kind) {
+  // From here on the message is shared immutable state: certificates built
+  // from it hold this same allocation instead of deep-copying.
+  MemberPtr msg = std::make_shared<const SignedMessage>(std::move(in.msg));
+  switch (msg->core.kind) {
     case BftKind::kInit:
     case BftKind::kDecide:
       // Validated immediately: INIT starts the peer's automaton and DECIDE
@@ -74,7 +84,7 @@ void BftProcess::on_message(sim::Context& ctx, ProcessId from,
       return;
     case BftKind::kCurrent:
     case BftKind::kNext:
-      if (msg.core.round.value > round_.value) {
+      if (msg->core.round.value > round_.value) {
         // Future round: buffer until our own quorum evidence legitimizes it
         // (footnote 5 adapted to the arbitrary-failure setting).  Bounded
         // against Byzantine flooding: honest processes are never more than
@@ -82,10 +92,10 @@ void BftProcess::on_message(sim::Context& ctx, ProcessId from,
         // caps below only ever drop hostile traffic.
         constexpr std::uint32_t kMaxRoundsAhead = 1024;
         constexpr std::size_t kMaxBufferedPerRound = 4096;
-        if (msg.core.round.value - round_.value > kMaxRoundsAhead) return;
-        std::vector<SignedMessage>& slot = future_[msg.core.round.value];
+        if (msg->core.round.value - round_.value > kMaxRoundsAhead) return;
+        std::vector<MemberPtr>& slot = future_[msg->core.round.value];
         if (slot.size() >= kMaxBufferedPerRound) return;
-        slot.push_back(msg);
+        slot.push_back(std::move(msg));
         return;
       }
       process_validated(ctx, msg);
@@ -93,13 +103,12 @@ void BftProcess::on_message(sim::Context& ctx, ProcessId from,
   }
 }
 
-void BftProcess::process_validated(sim::Context& ctx,
-                                   const SignedMessage& msg) {
+void BftProcess::process_validated(sim::Context& ctx, const MemberPtr& msg) {
   // Non-muteness module: run the sender's Figure 4 monitor.
-  Verdict v = nonmute_.observe(msg.core.sender, msg, ctx.now());
+  Verdict v = nonmute_.observe(msg->core.sender, *msg, ctx.now());
   if (!v) {
     if (v.kind != FaultKind::kNone) {
-      log_debug("BFT ", ctx.id(), " declares ", msg.core.sender,
+      log_debug("BFT ", ctx.id(), " declares ", msg->core.sender,
                 " faulty: ", fault_kind_name(v.kind), " — ", v.detail);
       // Losing the coordinator to the faulty set can unblock us right away.
       check_suspicion(ctx);
@@ -107,7 +116,7 @@ void BftProcess::process_validated(sim::Context& ctx,
     return;
   }
 
-  switch (msg.core.kind) {
+  switch (msg->core.kind) {
     case BftKind::kInit:
       apply_init(ctx, msg);
       break;
@@ -123,22 +132,22 @@ void BftProcess::process_validated(sim::Context& ctx,
       MessageCore relay;
       relay.kind = BftKind::kDecide;
       relay.sender = ctx.id();
-      relay.round = msg.core.round;
-      relay.est = msg.core.est;
-      send_signed(ctx, std::move(relay), msg.cert);
-      decide(ctx, msg.core.est, msg.core.round);
+      relay.round = msg->core.round;
+      relay.est = msg->core.est;
+      send_signed(ctx, std::move(relay), msg->cert);
+      decide(ctx, msg->core.est, msg->core.round);
       break;
     }
   }
 }
 
-void BftProcess::apply_init(sim::Context& ctx, const SignedMessage& msg) {
+void BftProcess::apply_init(sim::Context& ctx, const MemberPtr& msg) {
   if (decided()) return;
   if (round_.value != 0) return;  // INIT phase is over; straggler INIT
-  const ProcessId j = msg.core.sender;
+  const ProcessId j = msg->core.sender;
   if (est_vect_[j.value].has_value()) return;  // already recorded
   // Fig 3 lines 7-8: record the value and extend the certificate.
-  est_vect_[j.value] = msg.core.init_value;
+  est_vect_[j.value] = msg->core.init_value;
   cert_.add_init(msg);
   if (cert_.init_count() >= config_.quorum()) {
     begin_round(ctx, Round{1});
@@ -174,25 +183,25 @@ void BftProcess::begin_round(sim::Context& ctx, Round r) {
 void BftProcess::drain_buffer(sim::Context& ctx) {
   auto it = future_.find(round_.value);
   if (it == future_.end()) return;
-  std::vector<SignedMessage> pending = std::move(it->second);
+  std::vector<MemberPtr> pending = std::move(it->second);
   future_.erase(it);
   const Round at = round_;
-  for (const SignedMessage& msg : pending) {
+  for (const MemberPtr& msg : pending) {
     if (decided() || round_ != at) break;  // a replay advanced or ended us
-    if (nonmute_.is_faulty(msg.core.sender)) continue;
+    if (nonmute_.is_faulty(msg->core.sender)) continue;
     process_validated(ctx, msg);
   }
 }
 
-void BftProcess::apply_current(sim::Context& ctx, const SignedMessage& msg) {
+void BftProcess::apply_current(sim::Context& ctx, const MemberPtr& msg) {
   if (decided()) return;
-  if (msg.core.round != round_) return;  // stale: monitor bookkeeping only
+  if (msg->core.round != round_) return;  // stale: monitor bookkeeping only
 
-  if (!adopted_current_.has_value()) {
+  if (!adopted_current_) {
     // Line 17: adopt the first valid CURRENT of the round.
     adopted_current_ = msg;
-    est_vect_ = msg.core.est;
-    cert_.adopt_est(msg.cert);
+    est_vect_ = msg->core.est;
+    cert_.adopt_est(msg->cert);
     cert_.add_current(msg);
     // Lines 18-19: relay it, provided we have not yet voted NEXT and are
     // not the coordinator.
@@ -205,7 +214,7 @@ void BftProcess::apply_current(sim::Context& ctx, const SignedMessage& msg) {
       core.est = est_vect_;
       send_signed(ctx, std::move(core), cert_.relay_of(msg));
     }
-  } else if (msg.core.est == est_vect_) {
+  } else if (msg->core.est == est_vect_) {
     cert_.add_current(msg);
   } else {
     // Two well-formed CURRENTs with different vectors in one round: both
@@ -241,10 +250,10 @@ void BftProcess::apply_current(sim::Context& ctx, const SignedMessage& msg) {
   check_change_mind(ctx);
 }
 
-void BftProcess::apply_next(sim::Context& ctx, const SignedMessage& msg) {
+void BftProcess::apply_next(sim::Context& ctx, const MemberPtr& msg) {
   if (decided()) return;
-  if (msg.core.round != round_) return;  // stale for the protocol
-  cert_.add_next(msg);                   // line 27
+  if (msg->core.round != round_) return;  // stale for the protocol
+  cert_.add_next(msg);                    // line 27
   check_change_mind(ctx);
   check_round_exit(ctx);
 }

@@ -31,6 +31,7 @@
 
 #include "bft/modules.hpp"
 #include "consensus/value.hpp"
+#include "crypto/verify_cache.hpp"
 #include "sim/actor.hpp"
 
 namespace modubft::bft {
@@ -64,12 +65,16 @@ class BftProcess final : public sim::Actor {
   const CertificationModule& certification() const { return cert_; }
   const SendStats& send_stats() const { return send_stats_; }
 
+  /// The shared verified-signature cache, or nullptr when disabled
+  /// (config.verify_cache = false).  Exposed for benchmarks and tests.
+  const crypto::CachingVerifier* verify_cache() const { return vcache_.get(); }
+
  private:
   void begin_round(sim::Context& ctx, Round r);
-  void process_validated(sim::Context& ctx, const SignedMessage& msg);
-  void apply_init(sim::Context& ctx, const SignedMessage& msg);
-  void apply_current(sim::Context& ctx, const SignedMessage& msg);
-  void apply_next(sim::Context& ctx, const SignedMessage& msg);
+  void process_validated(sim::Context& ctx, const MemberPtr& msg);
+  void apply_init(sim::Context& ctx, const MemberPtr& msg);
+  void apply_current(sim::Context& ctx, const MemberPtr& msg);
+  void apply_next(sim::Context& ctx, const MemberPtr& msg);
   void check_suspicion(sim::Context& ctx);
   void check_change_mind(sim::Context& ctx);
   void check_round_exit(sim::Context& ctx);
@@ -81,6 +86,10 @@ class BftProcess final : public sim::Actor {
   BftConfig config_;
   Value proposal_;
 
+  // When enabled, both the signature module and the analyzer verify
+  // through this one cache, so ingress checks and certificate-member
+  // checks deduplicate against each other.
+  std::shared_ptr<crypto::CachingVerifier> vcache_;
   SignatureModule signature_;
   MutenessModule muteness_;
   std::shared_ptr<const CertAnalyzer> analyzer_;
@@ -95,10 +104,10 @@ class BftProcess final : public sim::Actor {
   std::optional<VectorDecision> decision_;
 
   // The adopted CURRENT of this round (for equivocation evidence).
-  std::optional<SignedMessage> adopted_current_;
+  MemberPtr adopted_current_;
 
   // FIFO-preserving buffer of future-round messages (footnote 5).
-  std::map<std::uint32_t, std::vector<SignedMessage>> future_;
+  std::map<std::uint32_t, std::vector<MemberPtr>> future_;
 
   SendStats send_stats_;
 };

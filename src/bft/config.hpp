@@ -47,6 +47,18 @@ struct BftConfig {
   /// service may raise it, up to the protocol's own ⌊(n−1)/2⌋ limit.
   std::optional<std::uint32_t> certification_bound;
 
+  /// Certificate fast path: share one bounded LRU of verified signatures
+  /// between the signature module and the certificate analyzer, so a
+  /// member already verified (at ingress or inside an earlier certificate)
+  /// is never re-verified by the signature scheme.  Observationally
+  /// equivalent to verification without the cache — a hit requires the
+  /// same signer, the same signed bytes (pinned by SHA-256) and a
+  /// byte-identical signature.
+  bool verify_cache = true;
+
+  /// Entry bound of the verified-signature LRU.
+  std::uint32_t verify_cache_capacity = 4096;
+
   /// Period of the ◇M / faulty-coordinator poll.
   SimTime suspicion_poll_period = 10'000;
 

@@ -27,17 +27,19 @@ void LockstepProtocol::rp_start(ModuleServices& services, sim::Context& ctx) {
 void LockstepProtocol::rp_deliver(ModuleServices& services, sim::Context& ctx,
                                   const SignedMessage& msg) {
   if (done_ || msg.core.round != round_) return;  // stale votes: model-only
-  collected_.members.push_back(msg);
-  if (collected_.members.size() < config_.quorum()) return;
+  collected_.add(msg);
+  if (collected_.size() < config_.quorum()) return;
 
   // Barrier crossed: this round's quorum becomes the next round's witness.
+  // Unpruned votes are shared, not copied; prune() is O(1) once the vote's
+  // certificate digest is memoized.
   witness_ = Certificate{};
-  for (const SignedMessage& m : collected_.members) {
-    SignedMessage copy = m;
-    if (config_.prune_witness && !copy.cert.empty() && !copy.cert.pruned) {
-      copy.cert = prune(copy.cert);
+  for (const MemberPtr& m : collected_.members()) {
+    if (config_.prune_witness && !m->cert.empty() && !m->cert.pruned) {
+      witness_.add(SignedMessage{m->core, prune(m->cert), m->sig});
+    } else {
+      witness_.add(m);
     }
-    witness_.members.push_back(std::move(copy));
   }
   collected_ = Certificate{};
 

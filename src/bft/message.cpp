@@ -20,6 +20,32 @@ bool MessageCore::operator==(const MessageCore& other) const {
          est == other.est;
 }
 
+Certificate Certificate::of(std::initializer_list<SignedMessage> members) {
+  Certificate cert;
+  cert.reserve(members.size());
+  for (const SignedMessage& m : members) cert.add(m);
+  return cert;
+}
+
+void Certificate::add(SignedMessage m) {
+  add(std::make_shared<const SignedMessage>(std::move(m)));
+}
+
+void Certificate::add(MemberPtr m) {
+  members_.push_back(std::move(m));
+  invalidate_digests();
+}
+
+void Certificate::replace(std::size_t i, SignedMessage m) {
+  members_.at(i) = std::make_shared<const SignedMessage>(std::move(m));
+  invalidate_digests();
+}
+
+void Certificate::invalidate_digests() {
+  digest_cache_.reset();
+  member_sig_digests_.clear();
+}
+
 Bytes encode_core(const MessageCore& core) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(core.kind));
@@ -34,18 +60,36 @@ Bytes encode_core(const MessageCore& core) {
   return std::move(w).take();
 }
 
+const crypto::Digest& Certificate::inline_digest() const {
+  if (!digest_cache_) {
+    crypto::Sha256 h;
+    for (const MemberPtr& m : members_) {
+      Bytes core = encode_core(m->core);
+      Writer frame;
+      frame.bytes(core);
+      frame.raw(crypto::digest_bytes(cert_digest(m->cert)));
+      frame.bytes(m->sig);
+      h.update(frame.data());
+    }
+    digest_cache_ = h.finish();
+  }
+  return *digest_cache_;
+}
+
+const crypto::Digest& Certificate::member_signing_digest(std::size_t i) const {
+  if (member_sig_digests_.size() != members_.size())
+    member_sig_digests_.assign(members_.size(), std::nullopt);
+  std::optional<crypto::Digest>& slot = member_sig_digests_.at(i);
+  if (!slot) {
+    const SignedMessage& m = *members_[i];
+    slot = crypto::sha256(signing_bytes(m.core, m.cert));
+  }
+  return *slot;
+}
+
 crypto::Digest cert_digest(const Certificate& cert) {
   if (cert.pruned) return cert.digest;
-  crypto::Sha256 h;
-  for (const SignedMessage& m : cert.members) {
-    Bytes core = encode_core(m.core);
-    Writer frame;
-    frame.bytes(core);
-    frame.raw(crypto::digest_bytes(cert_digest(m.cert)));
-    frame.bytes(m.sig);
-    h.update(frame.data());
-  }
-  return h.finish();
+  return cert.inline_digest();
 }
 
 Bytes signing_bytes(const MessageCore& core, const Certificate& cert) {
@@ -72,8 +116,8 @@ void encode_cert_into(Writer& w, const Certificate& cert) {
     w.raw(crypto::digest_bytes(cert.digest));
     return;
   }
-  w.u32(static_cast<std::uint32_t>(cert.members.size()));
-  for (const SignedMessage& m : cert.members) encode_message_into(w, m);
+  w.u32(static_cast<std::uint32_t>(cert.members().size()));
+  for (const MemberPtr& m : cert.members()) encode_message_into(w, *m);
 }
 
 void encode_message_into(Writer& w, const SignedMessage& msg) {
@@ -82,8 +126,7 @@ void encode_message_into(Writer& w, const SignedMessage& msg) {
   w.bytes(msg.sig);
 }
 
-MessageCore decode_core(const Bytes& buf, const DecodeLimits& limits) {
-  Reader r(buf);
+MessageCore decode_core_from(Reader r, const DecodeLimits& limits) {
   MessageCore core;
   const std::uint8_t kind = r.u8();
   if (kind < 1 || kind > 4) throw SerialError("unknown message kind");
@@ -115,9 +158,9 @@ Certificate decode_cert_from(Reader& r, const DecodeLimits& limits,
     return cert;
   }
   const std::uint32_t count = r.seq_len(limits.max_members);
-  cert.members.reserve(count);
+  cert.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    cert.members.push_back(decode_message_from(r, limits, depth + 1));
+    cert.add(decode_message_from(r, limits, depth + 1));
   }
   return cert;
 }
@@ -125,13 +168,33 @@ Certificate decode_cert_from(Reader& r, const DecodeLimits& limits,
 SignedMessage decode_message_from(Reader& r, const DecodeLimits& limits,
                                   std::uint32_t depth) {
   SignedMessage msg;
-  Bytes core_bytes = r.bytes();
-  msg.core = decode_core(core_bytes, limits);
+  // The core decodes from a sub-view aliasing the frame — no copy.
+  msg.core = decode_core_from(r.nested(), limits);
   msg.cert = decode_cert_from(r, limits, depth);
   msg.sig = r.bytes();
   if (msg.sig.size() > limits.max_sig_bytes)
     throw SerialError("oversized signature");
   return msg;
+}
+
+std::size_t encoded_core_size(const MessageCore& core) {
+  // kind + sender + round + init_value + est length prefix + 9 bytes per
+  // est entry (presence flag + value) — mirrors encode_core exactly.
+  return 1 + 4 + 4 + 8 + 4 + 9 * core.est.size();
+}
+
+std::size_t encoded_cert_size(const Certificate& cert);
+
+std::size_t encoded_message_size(const SignedMessage& msg) {
+  return 4 + encoded_core_size(msg.core) + encoded_cert_size(msg.cert) + 4 +
+         msg.sig.size();
+}
+
+std::size_t encoded_cert_size(const Certificate& cert) {
+  if (cert.pruned) return 1 + cert.digest.size();
+  std::size_t total = 1 + 4;
+  for (const MemberPtr& m : cert.members()) total += encoded_message_size(*m);
+  return total;
 }
 
 }  // namespace
@@ -150,7 +213,7 @@ SignedMessage decode_message(const Bytes& buf, const DecodeLimits& limits) {
 }
 
 std::size_t encoded_size(const SignedMessage& msg) {
-  return encode_message(msg).size();
+  return encoded_message_size(msg);
 }
 
 }  // namespace modubft::bft

@@ -34,6 +34,8 @@
 // which the non-muteness module converts into a "faulty sender" verdict.
 #pragma once
 
+#include <initializer_list>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -62,15 +64,86 @@ const char* kind_name(BftKind k);
 
 struct SignedMessage;
 
+/// Shared-immutable handle to a certificate member.  Certificates built
+/// from other certificates (build / relay_of / adopt_est) share member
+/// storage instead of deep-copying, and a member reached through a
+/// Certificate can never be mutated in place — which is what makes the
+/// digest memoization below sound.
+using MemberPtr = std::shared_ptr<const SignedMessage>;
+
 /// A certificate: either an inline set of signed messages, or (pruned) just
 /// the SHA-256 digest of that set's canonical form.
-struct Certificate {
+///
+/// Members are held behind `shared_ptr<const SignedMessage>` and mutated
+/// only through the narrow API below (`add`, `replace`, `mutate_member`),
+/// every path of which drops the memoized digests.  Two caches ride on that
+/// immutability:
+///
+///   * the certificate's own canonical digest (`cert_digest` becomes O(1)
+///     for an already-hashed member set — `signing_bytes` and `prune` hit
+///     it on every call);
+///   * per-member signing digests — SHA-256(encode_core(core) ‖
+///     cert_digest(cert)) — the key under which the verified-signature
+///     cache (crypto::CachingVerifier) looks a member up without rehashing.
+///
+/// Caches are not synchronized: a certificate is owned by one actor at a
+/// time, like all protocol state.  The wire format is untouched — caches
+/// never travel, and encoding is byte-for-byte what it always was.
+class Certificate {
+ public:
   bool pruned = false;
-  crypto::Digest digest{};             // meaningful iff pruned
-  std::vector<SignedMessage> members;  // meaningful iff !pruned
+  crypto::Digest digest{};  // meaningful iff pruned
 
-  bool empty() const { return !pruned && members.empty(); }
+  Certificate() = default;
+
+  bool empty() const { return !pruned && members_.empty(); }
   static Certificate empty_cert() { return Certificate{}; }
+
+  /// Builds an inline certificate from copies of the given messages.
+  static Certificate of(std::initializer_list<SignedMessage> members);
+
+  const std::vector<MemberPtr>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+  const SignedMessage& member(std::size_t i) const { return *members_[i]; }
+  const MemberPtr& member_ptr(std::size_t i) const { return members_[i]; }
+
+  void reserve(std::size_t n) { members_.reserve(n); }
+
+  /// Appends a member (copy-free for the MemberPtr overload).
+  void add(SignedMessage m);
+  void add(MemberPtr m);
+
+  /// Replaces member `i` wholesale, invalidating the memoized digests.
+  void replace(std::size_t i, SignedMessage m);
+
+  /// Rebuilds member `i` as a mutated copy — the only way to "edit" a
+  /// member (used by tamper tests).  Invalidates the memoized digests.
+  template <typename Fn>
+  void mutate_member(std::size_t i, Fn&& fn) {
+    SignedMessage copy = member(i);
+    fn(copy);
+    replace(i, std::move(copy));
+  }
+
+  /// Drops the memoized digests of this certificate (not of nested ones).
+  /// Exposed so benchmarks can measure the cold path.
+  void invalidate_digests();
+
+  /// True iff the canonical digest of an inline member set is memoized
+  /// (always false for pruned certificates, whose digest is explicit).
+  bool digest_cached() const { return digest_cache_.has_value(); }
+
+  /// Memoized canonical digest of the inline member set.
+  const crypto::Digest& inline_digest() const;
+
+  /// Memoized SHA-256 of member i's signing bytes — the exact preimage its
+  /// signature covers, and the verified-signature cache key.
+  const crypto::Digest& member_signing_digest(std::size_t i) const;
+
+ private:
+  std::vector<MemberPtr> members_;
+  mutable std::optional<crypto::Digest> digest_cache_;
+  mutable std::vector<std::optional<crypto::Digest>> member_sig_digests_;
 };
 
 /// The signed part of a message, minus certificate and signature.
@@ -97,7 +170,8 @@ Bytes encode_core(const MessageCore& core);
 
 /// Canonical digest of a certificate.  Invariant under pruning of nested
 /// certificates: a pruned certificate and the inline certificate it was
-/// pruned from have equal digests.
+/// pruned from have equal digests.  O(1) for a certificate whose member set
+/// has already been hashed (the digest is memoized inside Certificate).
 crypto::Digest cert_digest(const Certificate& cert);
 
 /// The exact byte string a signature covers.
@@ -120,7 +194,8 @@ struct DecodeLimits {
 /// Decodes a SignedMessage; throws SerialError on any malformed input.
 SignedMessage decode_message(const Bytes& buf, const DecodeLimits& limits = {});
 
-/// Byte size of the encoded form (for the E6 size experiments).
+/// Byte size of the encoded form (for the E6 size experiments).  Computed
+/// arithmetically from the structure — no throwaway encode is materialized.
 std::size_t encoded_size(const SignedMessage& msg);
 
 }  // namespace modubft::bft

@@ -125,60 +125,80 @@ void NonMutenessModule::declare_faulty(ProcessId culprit, FaultKind kind,
 CertificationModule::CertificationModule(const BftConfig& config)
     : config_(config) {}
 
+void CertificationModule::add_init(MemberPtr m) {
+  est_cert_.add(std::move(m));
+}
+
 void CertificationModule::add_init(const SignedMessage& m) {
-  est_cert_.members.push_back(m);
+  add_init(std::make_shared<const SignedMessage>(m));
 }
 
 void CertificationModule::adopt_est(const Certificate& cert) {
-  est_cert_ = cert;
+  est_cert_ = cert;  // shares members (and memoized digests) with the source
+}
+
+void CertificationModule::add_current(MemberPtr m) {
+  current_cert_.add(std::move(m));
 }
 
 void CertificationModule::add_current(const SignedMessage& m) {
-  current_cert_.members.push_back(m);
+  add_current(std::make_shared<const SignedMessage>(m));
+}
+
+void CertificationModule::add_next(MemberPtr m) {
+  next_cert_.add(std::move(m));
 }
 
 void CertificationModule::add_next(const SignedMessage& m) {
-  next_cert_.members.push_back(m);
+  add_next(std::make_shared<const SignedMessage>(m));
+}
+
+void CertificationModule::add_conflicting_current(MemberPtr m) {
+  conflict_cert_.add(std::move(m));
 }
 
 void CertificationModule::add_conflicting_current(const SignedMessage& m) {
-  conflict_cert_.members.push_back(m);
+  add_conflicting_current(std::make_shared<const SignedMessage>(m));
 }
 
 void CertificationModule::reset_round() {
   next_cert_ = Certificate{};
   current_cert_ = Certificate{};
   conflict_cert_ = Certificate{};
+  pruned_pool_.clear();
 }
 
 std::size_t CertificationModule::init_count() const {
   std::set<ProcessId> senders;
-  for (const SignedMessage& m : est_cert_.members) {
-    if (m.core.kind == BftKind::kInit) senders.insert(m.core.sender);
+  for (const MemberPtr& m : est_cert_.members()) {
+    if (m->core.kind == BftKind::kInit) senders.insert(m->core.sender);
   }
   return senders.size();
 }
 
 std::set<ProcessId> CertificationModule::rec_from() const {
   std::set<ProcessId> out;
-  for (const SignedMessage& m : current_cert_.members) out.insert(m.core.sender);
-  for (const SignedMessage& m : next_cert_.members) out.insert(m.core.sender);
-  for (const SignedMessage& m : conflict_cert_.members) out.insert(m.core.sender);
+  for (const MemberPtr& m : current_cert_.members()) out.insert(m->core.sender);
+  for (const MemberPtr& m : next_cert_.members()) out.insert(m->core.sender);
+  for (const MemberPtr& m : conflict_cert_.members()) out.insert(m->core.sender);
   return out;
 }
 
-SignedMessage CertificationModule::policy_copy(const SignedMessage& m) const {
+MemberPtr CertificationModule::policy_member(const MemberPtr& m) const {
   // Pruning policy: the §5.1 checks only read the *cores* of NEXT messages
   // found inside certificates, so their own certificates can travel as
   // digests.  INITs have empty certificates and CURRENT bodies are needed
   // for adoption/relay chains, so both stay inline.
-  if (config_.prune_nested_next && m.core.kind == BftKind::kNext &&
-      !m.cert.empty() && !m.cert.pruned) {
-    SignedMessage copy = m;
-    copy.cert = prune(m.cert);
-    return copy;
+  if (!(config_.prune_nested_next && m->core.kind == BftKind::kNext &&
+        !m->cert.empty() && !m->cert.pruned)) {
+    return m;
   }
-  return m;
+  auto [it, inserted] = pruned_pool_.try_emplace(m);
+  if (inserted) {
+    it->second = std::make_shared<const SignedMessage>(
+        SignedMessage{m->core, prune(m->cert), m->sig});
+  }
+  return it->second;
 }
 
 Certificate CertificationModule::build(
@@ -187,17 +207,21 @@ Certificate CertificationModule::build(
   for (const Certificate* part : parts) {
     MODUBFT_EXPECTS(part != nullptr);
     MODUBFT_EXPECTS(!part->pruned);
-    for (const SignedMessage& m : part->members) {
-      out.members.push_back(policy_copy(m));
+    for (const MemberPtr& m : part->members()) {
+      out.add(policy_member(m));
     }
   }
   return out;
 }
 
-Certificate CertificationModule::relay_of(const SignedMessage& adopted) const {
+Certificate CertificationModule::relay_of(const MemberPtr& adopted) const {
   Certificate out;
-  out.members.push_back(adopted);  // the full adopted CURRENT, never pruned
+  out.add(adopted);  // the full adopted CURRENT, never pruned
   return out;
+}
+
+Certificate CertificationModule::relay_of(const SignedMessage& adopted) const {
+  return relay_of(std::make_shared<const SignedMessage>(adopted));
 }
 
 }  // namespace modubft::bft

@@ -9,6 +9,7 @@
 // composition.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -102,21 +103,31 @@ class NonMutenessModule {
 /// Reliable certification module: stores the certificate variables
 /// (est_cert, next_cert, current_cert) and builds outgoing certificates,
 /// applying the nested-NEXT pruning policy.
+///
+/// Assembly is copy-free: certificate members are shared immutable
+/// messages (MemberPtr), so adopting a certificate, building an outgoing
+/// one and wrapping a relay all share structure instead of deep-copying.
+/// Pruned variants produced by the policy are interned per member, so the
+/// same vote pruned into many outgoing certificates is materialized once.
 class CertificationModule {
  public:
   explicit CertificationModule(const BftConfig& config);
 
   // --- certificate variables (paper Fig 3 boxed assignments) ---
-  void add_init(const SignedMessage& m);        // line 8
+  void add_init(MemberPtr m);                   // line 8
+  void add_init(const SignedMessage& m);
   void adopt_est(const Certificate& cert);      // line 17
-  void add_current(const SignedMessage& m);     // line 16
-  void add_next(const SignedMessage& m);        // line 27
+  void add_current(MemberPtr m);                // line 16
+  void add_current(const SignedMessage& m);
+  void add_next(MemberPtr m);                   // line 27
+  void add_next(const SignedMessage& m);
   void reset_round();                           // line 13
 
   /// A well-formed CURRENT whose vector conflicts with the adopted one
   /// (equivocation evidence).  It is a received vote — it counts toward
   /// REC_FROM and travels in NEXT justifications — but it must not count
   /// toward the decision quorum.
+  void add_conflicting_current(MemberPtr m);
   void add_conflicting_current(const SignedMessage& m);
   const Certificate& conflict_cert() const { return conflict_cert_; }
 
@@ -125,28 +136,34 @@ class CertificationModule {
   const Certificate& current_cert() const { return current_cert_; }
 
   std::size_t init_count() const;
-  std::size_t current_count() const { return current_cert_.members.size(); }
-  std::size_t next_count() const { return next_cert_.members.size(); }
+  std::size_t current_count() const { return current_cert_.size(); }
+  std::size_t next_count() const { return next_cert_.size(); }
 
   /// Distinct round-r vote senders across current_cert ∪ next_cert — the
   /// REC_FROM_i replacement of §5.1.
   std::set<ProcessId> rec_from() const;
 
   /// Concatenates certificates into an outgoing one, pruning nested NEXT
-  /// certificates per the configured policy.
+  /// certificates per the configured policy.  Members are shared, not
+  /// copied; pruned variants come from the interning pool.
   Certificate build(std::initializer_list<const Certificate*> parts) const;
 
   /// Wraps a single adopted message as a relay certificate (line 19).
+  Certificate relay_of(const MemberPtr& adopted) const;
   Certificate relay_of(const SignedMessage& adopted) const;
 
  private:
-  SignedMessage policy_copy(const SignedMessage& m) const;
+  MemberPtr policy_member(const MemberPtr& m) const;
 
   const BftConfig& config_;
   Certificate est_cert_;
   Certificate next_cert_;
   Certificate current_cert_;
   Certificate conflict_cert_;
+  /// Interned pruned variants, keyed by the original member (the key keeps
+  /// the original alive, so pointer identity cannot be recycled).  Cleared
+  /// at round reset together with the votes it prunes.
+  mutable std::map<MemberPtr, MemberPtr> pruned_pool_;
 };
 
 }  // namespace modubft::bft

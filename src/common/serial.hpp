@@ -78,19 +78,27 @@ class Writer {
 
 /// Sequentially decodes a byte buffer written by Writer.
 /// Every accessor throws SerialError instead of reading out of bounds.
+///
+/// A Reader is a non-owning view (pointer + length): `nested()` carves a
+/// length-prefixed sub-view out of the same buffer without copying, so
+/// nested structures (e.g. a message core inside a signed message) decode
+/// straight from the original allocation.  The viewed buffer must outlive
+/// the Reader and every sub-Reader derived from it.
 class Reader {
  public:
-  explicit Reader(const Bytes& buf) : buf_(buf) {}
+  explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   std::uint8_t u8() {
     need(1);
-    return buf_[pos_++];
+    return data_[pos_++];
   }
 
   std::uint16_t u16() {
     need(2);
-    std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_]) |
-                      static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
     pos_ += 2;
     return v;
   }
@@ -99,7 +107,7 @@ class Reader {
     need(4);
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 4;
     return v;
   }
@@ -108,7 +116,7 @@ class Reader {
     need(8);
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 8;
     return v;
   }
@@ -122,8 +130,7 @@ class Reader {
   Bytes bytes() {
     std::uint32_t len = u32();
     need(len);
-    Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    Bytes out(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return out;
   }
@@ -131,10 +138,20 @@ class Reader {
   std::string str() {
     std::uint32_t len = u32();
     need(len);
-    std::string out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                    buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    std::string out(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return out;
+  }
+
+  /// Reads a length prefix and returns a sub-Reader aliasing the next `len`
+  /// bytes of this buffer — the copy-free counterpart of `bytes()` for
+  /// nested length-prefixed structures.  Advances past the sub-range.
+  Reader nested() {
+    std::uint32_t len = u32();
+    need(len);
+    Reader sub(data_ + pos_, len);
+    pos_ += len;
+    return sub;
   }
 
   /// Reads a sequence length and validates it against a sanity cap so a
@@ -145,8 +162,8 @@ class Reader {
     return len;
   }
 
-  bool at_end() const { return pos_ == buf_.size(); }
-  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool at_end() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
   /// Decoders for complete messages call this to reject trailing garbage —
   /// a canonical encoding has exactly one valid byte string per value.
@@ -156,10 +173,11 @@ class Reader {
 
  private:
   void need(std::size_t n) const {
-    if (buf_.size() - pos_ < n) throw SerialError("truncated input");
+    if (size_ - pos_ < n) throw SerialError("truncated input");
   }
 
-  const Bytes& buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

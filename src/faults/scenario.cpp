@@ -38,6 +38,7 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
   proto.n = config.n;
   proto.f = config.f;
   proto.prune_nested_next = config.prune;
+  proto.verify_cache = config.verify_cache;
   proto.certification_bound = config.certification_bound;
   proto.stop_on_decide = config.stop_on_decide;
   proto.muteness = config.muteness;
@@ -165,6 +166,12 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
     result.max_message_bytes = std::max(
         result.max_message_bytes, views[i]->send_stats().max_message_bytes);
     result.protocol_bytes += views[i]->send_stats().bytes;
+    if (const crypto::CachingVerifier* cache = views[i]->verify_cache()) {
+      const crypto::VerifyCacheStats s = cache->stats();
+      result.verify_cache_stats.hits += s.hits;
+      result.verify_cache_stats.misses += s.misses;
+      result.verify_cache_stats.evictions += s.evictions;
+    }
   }
 
   return result;

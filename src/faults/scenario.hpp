@@ -15,6 +15,7 @@
 
 #include "bft/bft_consensus.hpp"
 #include "consensus/value.hpp"
+#include "crypto/verify_cache.hpp"
 #include "faults/fault_spec.hpp"
 #include "fd/oracle_fd.hpp"
 #include "sim/simulation.hpp"
@@ -33,6 +34,10 @@ struct BftScenarioConfig {
   std::vector<FaultSpec> faults;
   Scheme scheme = Scheme::kHmac;
   bool prune = true;
+  /// Certificate fast path: toggle the shared verified-signature cache
+  /// (bft::BftConfig::verify_cache).  Behaviour must be identical either
+  /// way; the equivalence tests assert it.
+  bool verify_cache = true;
   /// Optional certification-bound override (see bft::BftConfig).
   std::optional<std::uint32_t> certification_bound;
   /// false = audit mode: processes keep their detection modules running
@@ -74,6 +79,10 @@ struct BftScenarioResult {
   sim::Stats net;
   std::uint64_t max_message_bytes = 0;
   std::uint64_t protocol_bytes = 0;  // sum of per-process send bytes
+
+  /// Verified-signature cache counters summed over correct processes
+  /// (all zero when verify_cache is off).
+  crypto::VerifyCacheStats verify_cache_stats;
 };
 
 BftScenarioResult run_bft_scenario(const BftScenarioConfig& config);

@@ -35,7 +35,7 @@ SignedMessage SplitBrainCoordinator::make_current(
   VectorValue vect(n_, std::nullopt);
   for (std::uint32_t j : quorum) {
     const SignedMessage& init = inits_.at(ProcessId{j});
-    cert.members.push_back(init);
+    cert.add(init);
     vect[j] = init.core.init_value;
   }
   MessageCore core;

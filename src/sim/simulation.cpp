@@ -117,7 +117,7 @@ void Simulation::deliver(ProcessId from, ProcessId to, const Bytes& payload,
                          SimTime send_time) {
   if (!live(to)) return;
   stats_.messages_delivered += 1;
-  if (tap_) tap_(Delivery{send_time, now_, from, to, payload.size()});
+  if (tap_) tap_(Delivery{send_time, now_, from, to, payload.size(), &payload});
   SimContext ctx(*this, to);
   state_[to.value].actor->on_message(ctx, from, payload);
 }

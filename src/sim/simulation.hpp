@@ -52,6 +52,9 @@ struct Delivery {
   ProcessId from;
   ProcessId to;
   std::size_t size = 0;
+  /// Wire bytes of the delivered message.  Non-owning: valid only for the
+  /// duration of the tap call (copy if you need to keep it).
+  const Bytes* payload = nullptr;
 };
 
 struct SimConfig {

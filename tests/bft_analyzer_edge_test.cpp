@@ -41,8 +41,7 @@ class EdgeFixture : public ::testing::Test {
   }
 
   Certificate init_quorum() const {
-    Certificate cert;
-    cert.members = {init_msg(0), init_msg(1), init_msg(2)};
+    Certificate cert = Certificate::of({init_msg(0), init_msg(1), init_msg(2)});
     return cert;
   }
 
@@ -76,11 +75,9 @@ TEST_F(EdgeFixture, RelayRingNeverReachingCoordinatorRejected) {
   // innermost certificate, not loop.
   Certificate empty;
   SignedMessage inner = current_msg(3, 1, base_vector(), empty);
-  Certificate c1;
-  c1.members = {inner};
+  Certificate c1 = Certificate::of({inner});
   SignedMessage mid = current_msg(2, 1, base_vector(), c1);
-  Certificate c2;
-  c2.members = {mid};
+  Certificate c2 = Certificate::of({mid});
   SignedMessage outer = current_msg(3, 1, base_vector(), c2);
 
   Verdict v = analyzer_.current_wf(outer);
@@ -91,16 +88,14 @@ TEST_F(EdgeFixture, RelayRingNeverReachingCoordinatorRejected) {
 
 TEST_F(EdgeFixture, EstEvidenceWithTwoCurrentsAmbiguous) {
   SignedMessage coord = current_msg(0, 1, base_vector(), init_quorum());
-  Certificate cert;
-  cert.members = {coord, coord};
+  Certificate cert = Certificate::of({coord, coord});
   Verdict v = analyzer_.est_wf(cert, base_vector());
   EXPECT_FALSE(v);
   EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
 }
 
 TEST_F(EdgeFixture, EntryEvidencePrunedRejected) {
-  Certificate nexts;
-  nexts.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  Certificate nexts = Certificate::of({next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)});
   Certificate pruned = prune(nexts);
   Verdict v = analyzer_.entry_wf(pruned, Round{2});
   EXPECT_FALSE(v);
@@ -110,11 +105,9 @@ TEST_F(EdgeFixture, EntryEvidencePrunedRejected) {
 TEST_F(EdgeFixture, DecideCertWithWrongRoundCurrentsRejected) {
   // Q CURRENTs exist, but for round 1 while the DECIDE claims round 2.
   SignedMessage coord = current_msg(0, 1, base_vector(), init_quorum());
-  Certificate relay_cert;
-  relay_cert.members = {coord};
-  Certificate cert;
-  cert.members = {coord, current_msg(2, 1, base_vector(), relay_cert),
-                  current_msg(3, 1, base_vector(), relay_cert)};
+  Certificate relay_cert = Certificate::of({coord});
+  Certificate cert = Certificate::of({coord, current_msg(2, 1, base_vector(), relay_cert),
+                  current_msg(3, 1, base_vector(), relay_cert)});
   MessageCore dec;
   dec.kind = BftKind::kDecide;
   dec.sender = ProcessId{2};
@@ -127,8 +120,7 @@ TEST_F(EdgeFixture, DecideCertWithWrongRoundCurrentsRejected) {
 
 TEST_F(EdgeFixture, DecideCertDuplicateSendersDoNotCount) {
   SignedMessage coord = current_msg(0, 1, base_vector(), init_quorum());
-  Certificate cert;
-  cert.members = {coord, coord, coord};  // one sender, three copies
+  Certificate cert = Certificate::of({coord, coord, coord});  // one sender, three copies
   MessageCore dec;
   dec.kind = BftKind::kDecide;
   dec.sender = ProcessId{2};
@@ -140,8 +132,7 @@ TEST_F(EdgeFixture, DecideCertDuplicateSendersDoNotCount) {
 TEST_F(EdgeFixture, NextJustificationIgnoresOtherRoundVotes) {
   // Round-2 NEXT whose certificate holds a quorum of *round-1* NEXTs: that
   // witnesses entry into round 2, not an end-of-round-2 situation.
-  Certificate old_nexts;
-  old_nexts.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  Certificate old_nexts = Certificate::of({next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)});
   SignedMessage nm = next_msg(3, 2, old_nexts);
   // From q1 (sender voted CURRENT in round 2) the change-mind path needs
   // round-2 evidence, which is absent.
@@ -167,19 +158,17 @@ TEST_F(EdgeFixture, InitQuorumWithForeignExtraMembersStillWellFormed) {
   // Honest certificates may carry NEXT members alongside the INITs (the
   // line-24 union); the est check must ignore them rather than choke.
   Certificate cert = init_quorum();
-  cert.members.push_back(next_msg(1, 1));
+  cert.add(next_msg(1, 1));
   EXPECT_TRUE(analyzer_.est_wf(cert, base_vector()));
 }
 
 TEST_F(EdgeFixture, SignatureOverPrunedCertStillBindsContents) {
   // A signer cannot claim a different certificate after the fact: the
   // digest in the signing preimage pins it.
-  Certificate nexts;
-  nexts.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  Certificate nexts = Certificate::of({next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)});
   SignedMessage nm = next_msg(3, 2, nexts);
   SignedMessage swapped = nm;
-  Certificate other;
-  other.members = {next_msg(0, 1)};
+  Certificate other = Certificate::of({next_msg(0, 1)});
   swapped.cert = other;
   EXPECT_FALSE(analyzer_.signature_ok(swapped));
   swapped.cert = prune(nexts);
@@ -188,7 +177,9 @@ TEST_F(EdgeFixture, SignatureOverPrunedCertStillBindsContents) {
 
 TEST_F(EdgeFixture, MemberWithOutOfRangeSenderRejected) {
   Certificate cert = init_quorum();
-  cert.members[0].core.sender = ProcessId{77};  // breaks sig too
+  cert.mutate_member(0, [](SignedMessage& m) {
+    m.core.sender = ProcessId{77};  // breaks sig too
+  });
   Verdict v = analyzer_.est_wf(cert, base_vector());
   EXPECT_FALSE(v);
 }

@@ -42,8 +42,7 @@ class AnalyzerFixture : public ::testing::Test {
   }
 
   Certificate init_quorum() const {
-    Certificate cert;
-    cert.members = {init_msg(0, 100), init_msg(1, 101), init_msg(2, 102)};
+    Certificate cert = Certificate::of({init_msg(0, 100), init_msg(1, 101), init_msg(2, 102)});
     return cert;
   }
 
@@ -98,8 +97,7 @@ TEST_F(AnalyzerFixture, EstWfAcceptsQuorumOfInits) {
 }
 
 TEST_F(AnalyzerFixture, EstWfRejectsTooFewInits) {
-  Certificate cert;
-  cert.members = {init_msg(0, 100), init_msg(1, 101)};
+  Certificate cert = Certificate::of({init_msg(0, 100), init_msg(1, 101)});
   VectorValue v = {Value{100}, Value{101}, std::nullopt, std::nullopt};
   EXPECT_FALSE(analyzer_.est_wf(cert, v));
 }
@@ -120,7 +118,8 @@ TEST_F(AnalyzerFixture, EstWfRejectsUnwitnessedEntry) {
 
 TEST_F(AnalyzerFixture, EstWfRejectsForgedInitMember) {
   Certificate cert = init_quorum();
-  cert.members[0].core.init_value = 55;  // tamper after signing
+  cert.mutate_member(0,
+                     [](SignedMessage& m) { m.core.init_value = 55; });
   VectorValue v = base_vector();
   v[0] = Value{55};
   Verdict verdict = analyzer_.est_wf(cert, v);
@@ -134,14 +133,12 @@ TEST_F(AnalyzerFixture, EstWfRejectsWrongArity) {
 
 TEST_F(AnalyzerFixture, EstWfAcceptsAdoptionChain) {
   // A relayed adoption: est_cert = {coordinator CURRENT}.
-  Certificate chain;
-  chain.members = {coord_current()};
+  Certificate chain = Certificate::of({coord_current()});
   EXPECT_TRUE(analyzer_.est_wf(chain, base_vector()));
 }
 
 TEST_F(AnalyzerFixture, EstWfRejectsChainWithDifferentVector) {
-  Certificate chain;
-  chain.members = {coord_current()};
+  Certificate chain = Certificate::of({coord_current()});
   VectorValue other = base_vector();
   other[0] = Value{1};
   EXPECT_FALSE(analyzer_.est_wf(chain, other));
@@ -152,35 +149,31 @@ TEST_F(AnalyzerFixture, EntryWfRoundOneNeedsNothing) {
 }
 
 TEST_F(AnalyzerFixture, EntryWfAcceptsNextQuorum) {
-  Certificate cert;
-  cert.members = {next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)};
+  Certificate cert = Certificate::of({next_msg(0, 1), next_msg(1, 1), next_msg(2, 1)});
   EXPECT_TRUE(analyzer_.entry_wf(cert, Round{2}));
 }
 
 TEST_F(AnalyzerFixture, EntryWfCountsDistinctSendersOnly) {
-  Certificate cert;
-  cert.members = {next_msg(0, 1), next_msg(0, 1), next_msg(2, 1)};
+  Certificate cert = Certificate::of({next_msg(0, 1), next_msg(0, 1), next_msg(2, 1)});
   EXPECT_FALSE(analyzer_.entry_wf(cert, Round{2}));
 }
 
 TEST_F(AnalyzerFixture, EntryWfRejectsWrongRoundNexts) {
-  Certificate cert;
-  cert.members = {next_msg(0, 2), next_msg(1, 2), next_msg(2, 2)};
+  Certificate cert = Certificate::of({next_msg(0, 2), next_msg(1, 2), next_msg(2, 2)});
   EXPECT_FALSE(analyzer_.entry_wf(cert, Round{2}));  // wants round-1 NEXTs
 }
 
 TEST_F(AnalyzerFixture, EntryWfAcceptsPrunedNextMembers) {
   // NEXT members whose own certificates are pruned still witness the round:
   // only their cores are read.
-  Certificate inner;
-  inner.members = {init_msg(0, 100)};
+  Certificate inner = Certificate::of({init_msg(0, 100)});
   Certificate cert;
   for (std::uint32_t i = 0; i < 3; ++i) {
     SignedMessage nm = next_msg(i, 1, inner);
     nm.cert = prune(nm.cert);
     // Note: signature was made over (core ‖ digest(inner)) so it still
     // verifies after pruning.
-    cert.members.push_back(nm);
+    cert.add(nm);
   }
   EXPECT_TRUE(analyzer_.entry_wf(cert, Round{2}));
 }
@@ -206,8 +199,7 @@ TEST_F(AnalyzerFixture, CurrentWfRelayForm) {
   relay.sender = ProcessId{2};
   relay.round = Round{1};
   relay.est = base_vector();
-  Certificate cert;
-  cert.members = {coord_current()};
+  Certificate cert = Certificate::of({coord_current()});
   EXPECT_TRUE(analyzer_.current_wf(sign(relay, cert)));
 }
 
@@ -218,8 +210,7 @@ TEST_F(AnalyzerFixture, CurrentWfRejectsRelaySubstitutedVector) {
   relay.round = Round{1};
   relay.est = base_vector();
   relay.est[2] = Value{666};  // differs from the adopted CURRENT
-  Certificate cert;
-  cert.members = {coord_current()};
+  Certificate cert = Certificate::of({coord_current()});
   Verdict v = analyzer_.current_wf(sign(relay, cert));
   EXPECT_FALSE(v);
 }
@@ -245,9 +236,9 @@ TEST_F(AnalyzerFixture, CurrentWfCoordinatorRoundTwo) {
   core.round = Round{2};
   core.est = base_vector();
   Certificate cert = init_quorum();
-  cert.members.push_back(next_msg(0, 1));
-  cert.members.push_back(next_msg(1, 1));
-  cert.members.push_back(next_msg(3, 1));
+  cert.add(next_msg(0, 1));
+  cert.add(next_msg(1, 1));
+  cert.add(next_msg(3, 1));
   EXPECT_TRUE(analyzer_.current_wf(sign(core, cert)));
 
   // Without the NEXT quorum the round number is uncertified.
@@ -261,8 +252,7 @@ TEST_F(AnalyzerFixture, NextWfSuspicionPathFromQ0) {
 }
 
 TEST_F(AnalyzerFixture, NextWfRejectsCurrentEvidenceFromQ0) {
-  Certificate cert;
-  cert.members = {coord_current()};
+  Certificate cert = Certificate::of({coord_current()});
   SignedMessage nm = next_msg(2, 1, cert);
   Verdict v = analyzer_.next_wf(nm, PeerPhase::kQ0);
   EXPECT_FALSE(v);
@@ -270,23 +260,20 @@ TEST_F(AnalyzerFixture, NextWfRejectsCurrentEvidenceFromQ0) {
 }
 
 TEST_F(AnalyzerFixture, NextWfChangeMindFromQ1) {
-  Certificate cert;
-  cert.members = {coord_current(), next_msg(1, 1), next_msg(3, 1)};
+  Certificate cert = Certificate::of({coord_current(), next_msg(1, 1), next_msg(3, 1)});
   // REC_FROM = {p1 (CURRENT), p2, p4} — quorum reached, ≥1 CURRENT.
   SignedMessage nm = next_msg(2, 1, cert);
   EXPECT_TRUE(analyzer_.next_wf(nm, PeerPhase::kQ1));
 }
 
 TEST_F(AnalyzerFixture, NextWfRejectsThinChangeMind) {
-  Certificate cert;
-  cert.members = {coord_current(), next_msg(1, 1)};  // REC_FROM = 2 < 3
+  Certificate cert = Certificate::of({coord_current(), next_msg(1, 1)});  // REC_FROM = 2 < 3
   SignedMessage nm = next_msg(2, 1, cert);
   EXPECT_FALSE(analyzer_.next_wf(nm, PeerPhase::kQ1));
 }
 
 TEST_F(AnalyzerFixture, NextWfEndOfRoundFromEitherPhase) {
-  Certificate cert;
-  cert.members = {next_msg(0, 1), next_msg(1, 1), next_msg(3, 1)};
+  Certificate cert = Certificate::of({next_msg(0, 1), next_msg(1, 1), next_msg(3, 1)});
   SignedMessage nm = next_msg(2, 1, cert);
   EXPECT_TRUE(analyzer_.next_wf(nm, PeerPhase::kQ0));
   EXPECT_TRUE(analyzer_.next_wf(nm, PeerPhase::kQ1));
@@ -308,8 +295,7 @@ TEST_F(AnalyzerFixture, DecideWfAcceptsQuorum) {
     core.sender = ProcessId{sender};
     core.round = Round{1};
     core.est = base_vector();
-    Certificate cert;
-    cert.members = {c0};
+    Certificate cert = Certificate::of({c0});
     return sign(core, cert);
   };
   MessageCore dec;
@@ -317,8 +303,7 @@ TEST_F(AnalyzerFixture, DecideWfAcceptsQuorum) {
   dec.sender = ProcessId{2};
   dec.round = Round{1};
   dec.est = base_vector();
-  Certificate cert;
-  cert.members = {c0, relay(2), relay(3)};
+  Certificate cert = Certificate::of({c0, relay(2), relay(3)});
   EXPECT_TRUE(analyzer_.decide_wf(sign(dec, cert)));
 }
 
@@ -329,8 +314,7 @@ TEST_F(AnalyzerFixture, DecideWfRejectsThinQuorum) {
   dec.sender = ProcessId{2};
   dec.round = Round{1};
   dec.est = base_vector();
-  Certificate cert;
-  cert.members = {c0};
+  Certificate cert = Certificate::of({c0});
   Verdict v = analyzer_.decide_wf(sign(dec, cert));
   EXPECT_FALSE(v);
   EXPECT_EQ(v.kind, FaultKind::kBadCertificate);
@@ -344,8 +328,7 @@ TEST_F(AnalyzerFixture, DecideWfRejectsMismatchedVector) {
   dec.round = Round{1};
   dec.est = base_vector();
   dec.est[0] = Value{31337};
-  Certificate cert;
-  cert.members = {c0, c0, c0};
+  Certificate cert = Certificate::of({c0, c0, c0});
   EXPECT_FALSE(analyzer_.decide_wf(sign(dec, cert)));
 }
 
@@ -381,8 +364,7 @@ TEST_F(AnalyzerFixture, ChainBaseFindsCoordinator) {
   relay.sender = ProcessId{2};
   relay.round = Round{1};
   relay.est = base_vector();
-  Certificate cert;
-  cert.members = {c0};
+  Certificate cert = Certificate::of({c0});
   SignedMessage relayed = sign(relay, cert);
   const SignedMessage* base = analyzer_.chain_base(relayed);
   ASSERT_NE(base, nullptr);
@@ -469,8 +451,7 @@ TEST_F(AnalyzerFixture, MonitorFinalAfterDecide) {
     core.sender = ProcessId{sender};
     core.round = Round{1};
     core.est = base_vector();
-    Certificate cert;
-    cert.members = {c0};
+    Certificate cert = Certificate::of({c0});
     return sign(core, cert);
   };
   MessageCore dec;
@@ -478,8 +459,7 @@ TEST_F(AnalyzerFixture, MonitorFinalAfterDecide) {
   dec.sender = ProcessId{2};
   dec.round = Round{1};
   dec.est = base_vector();
-  Certificate cert;
-  cert.members = {c0, relay(2), relay(3)};
+  Certificate cert = Certificate::of({c0, relay(2), relay(3)});
   EXPECT_TRUE(mon.observe(sign(dec, cert)));
   EXPECT_EQ(mon.state(), PeerMonitor::State::kFinal);
 

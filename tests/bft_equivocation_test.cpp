@@ -20,6 +20,8 @@
 #include "bft/bft_consensus.hpp"
 #include "common/serial.hpp"
 #include "crypto/hmac_signer.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/verify_cache.hpp"
 #include "faults/split_brain.hpp"
 #include "sim/simulation.hpp"
 
@@ -33,9 +35,14 @@ constexpr std::uint32_t kQuorum = kN - kF;
 struct Snapshot {
   std::map<std::uint32_t, VectorDecision> decisions;
   std::vector<std::vector<FaultRecord>> records;
+  /// Digest of the full delivery trace (from ‖ to ‖ wire bytes, in
+  /// delivery order).  Byte-identical traffic ⇒ equal digests.
+  crypto::Digest wire_digest{};
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
-Snapshot run_attack(std::uint64_t seed) {
+Snapshot run_attack(std::uint64_t seed, bool verify_cache = true) {
   crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, seed);
 
   sim::SimConfig sim_cfg;
@@ -46,8 +53,16 @@ Snapshot run_attack(std::uint64_t seed) {
   BftConfig proto;
   proto.n = kN;
   proto.f = kF;
+  proto.verify_cache = verify_cache;
 
   Snapshot snap;
+  crypto::Sha256 trace;
+  world.set_delivery_tap([&trace](const sim::Delivery& d) {
+    const std::uint8_t ends[2] = {static_cast<std::uint8_t>(d.from.value),
+                                  static_cast<std::uint8_t>(d.to.value)};
+    trace.update(ends, sizeof ends);
+    trace.update(*d.payload);
+  });
   std::vector<const BftProcess*> views(kN, nullptr);
 
   world.set_actor(ProcessId{0},
@@ -67,7 +82,12 @@ Snapshot run_attack(std::uint64_t seed) {
   snap.records.resize(kN);
   for (std::uint32_t i = 1; i < kN; ++i) {
     snap.records[i] = views[i]->nonmuteness().records();
+    if (const crypto::CachingVerifier* cache = views[i]->verify_cache()) {
+      snap.cache_hits += cache->stats().hits;
+      snap.cache_misses += cache->stats().misses;
+    }
   }
+  snap.wire_digest = trace.finish();
   return snap;
 }
 
@@ -92,7 +112,7 @@ TEST(Equivocation, BothVariantsAreIndividuallyWellFormed) {
     Certificate cert;
     VectorValue vect(kN, std::nullopt);
     for (std::uint32_t j : quorum) {
-      cert.members.push_back(make_init(j));
+      cert.add(make_init(j));
       vect[j] = 1000 + j;
     }
     MessageCore core;
@@ -136,6 +156,44 @@ TEST(Equivocation, AttackIsDetectedAndMasked) {
       }
     }
     EXPECT_TRUE(equivocation_seen) << "seed " << seed;
+  }
+}
+
+// Certificate fast path: the verified-signature cache is an optimization,
+// never a semantic change.  Under the strongest adversary in this suite the
+// cached and uncached runs must be indistinguishable on the wire and in
+// every verdict.
+TEST(Equivocation, VerifyCacheOnOffEquivalentUnderAttack) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    Snapshot on = run_attack(seed, /*verify_cache=*/true);
+    Snapshot off = run_attack(seed, /*verify_cache=*/false);
+
+    // Byte-identical traffic: same messages, same order, same encoding.
+    EXPECT_EQ(on.wire_digest, off.wire_digest) << "seed " << seed;
+
+    // Same decisions...
+    ASSERT_EQ(on.decisions.size(), off.decisions.size()) << "seed " << seed;
+    for (auto& [i, d] : on.decisions) {
+      auto it = off.decisions.find(i);
+      ASSERT_NE(it, off.decisions.end()) << "seed " << seed << " p" << i + 1;
+      EXPECT_EQ(d.entries, it->second.entries) << "seed " << seed;
+      EXPECT_EQ(d.round, it->second.round) << "seed " << seed;
+    }
+
+    // ...and the same fault verdicts, in the same order.
+    for (std::uint32_t i = 1; i < kN; ++i) {
+      ASSERT_EQ(on.records[i].size(), off.records[i].size())
+          << "seed " << seed << " p" << i + 1;
+      for (std::size_t k = 0; k < on.records[i].size(); ++k) {
+        EXPECT_EQ(on.records[i][k].culprit, off.records[i][k].culprit);
+        EXPECT_EQ(on.records[i][k].kind, off.records[i][k].kind);
+      }
+    }
+
+    // The cached run actually exercised the cache; the uncached one never
+    // touched it.
+    EXPECT_GT(on.cache_hits, 0u) << "seed " << seed;
+    EXPECT_EQ(off.cache_hits + off.cache_misses, 0u) << "seed " << seed;
   }
 }
 

@@ -38,60 +38,57 @@ TEST(BftMessage, CoreRoundTrip) {
   EXPECT_EQ(back.core, msg.core);
   EXPECT_EQ(back.sig, msg.sig);
   EXPECT_FALSE(back.cert.pruned);
-  EXPECT_TRUE(back.cert.members.empty());
+  EXPECT_TRUE(back.cert.members().empty());
 }
 
 TEST(BftMessage, NestedCertificateRoundTrip) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
   SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
   SignedMessage init1 = sign_msg(sys, make_core(BftKind::kInit, 1, 0));
-  Certificate cert;
-  cert.members = {init0, init1};
+  Certificate cert = Certificate::of({init0, init1});
   SignedMessage cur = sign_msg(sys, make_core(BftKind::kCurrent, 0, 1), cert);
 
   SignedMessage back = decode_message(encode_message(cur));
-  ASSERT_EQ(back.cert.members.size(), 2u);
-  EXPECT_EQ(back.cert.members[0].core, init0.core);
-  EXPECT_EQ(back.cert.members[1].core, init1.core);
+  ASSERT_EQ(back.cert.size(), 2u);
+  EXPECT_EQ(back.cert.member(0).core, init0.core);
+  EXPECT_EQ(back.cert.member(1).core, init1.core);
   EXPECT_EQ(cert_digest(back.cert), cert_digest(cur.cert));
 }
 
 TEST(BftMessage, DigestInvariantUnderPruning) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
   SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
-  Certificate inner;
-  inner.members = {init0};
+  Certificate inner = Certificate::of({init0});
   SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 1), inner);
 
-  Certificate outer_full;
-  outer_full.members = {next};
+  Certificate outer_full = Certificate::of({next});
 
   // Prune the *nested* certificate: the outer digest must not change.
   Certificate outer_pruned = outer_full;
-  outer_pruned.members[0].cert = prune(next.cert);
+  outer_pruned.mutate_member(
+      0, [&](SignedMessage& m) { m.cert = prune(next.cert); });
   EXPECT_EQ(cert_digest(outer_full), cert_digest(outer_pruned));
 }
 
 TEST(BftMessage, SignatureSurvivesNestedPruning) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
   SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
-  Certificate inner;
-  inner.members = {init0};
+  Certificate inner = Certificate::of({init0});
   SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 1), inner);
 
-  Certificate outer;
-  outer.members = {next};
+  Certificate outer = Certificate::of({next});
   SignedMessage cur = sign_msg(sys, make_core(BftKind::kCurrent, 2, 1), outer);
 
   // Prune the NEXT's certificate inside the CURRENT's certificate.
   SignedMessage shrunk = cur;
-  shrunk.cert.members[0].cert = prune(next.cert);
+  shrunk.cert.mutate_member(
+      0, [&](SignedMessage& m) { m.cert = prune(next.cert); });
 
   // Top-level signature still verifies on the pruned form.
   EXPECT_TRUE(sys.verifier->verify(
       cur.core.sender, signing_bytes(shrunk.core, shrunk.cert), shrunk.sig));
   // And the nested NEXT's own signature also still verifies.
-  const SignedMessage& nested = shrunk.cert.members[0];
+  const SignedMessage& nested = shrunk.cert.member(0);
   EXPECT_TRUE(sys.verifier->verify(
       nested.core.sender, signing_bytes(nested.core, nested.cert), nested.sig));
 }
@@ -100,7 +97,7 @@ TEST(BftMessage, PruningShrinksEncoding) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(4, 1);
   Certificate inner;
   for (std::uint32_t i = 0; i < 4; ++i) {
-    inner.members.push_back(sign_msg(sys, make_core(BftKind::kInit, i, 0)));
+    inner.add(sign_msg(sys, make_core(BftKind::kInit, i, 0)));
   }
   SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 1), inner);
   SignedMessage pruned = next;
@@ -111,10 +108,11 @@ TEST(BftMessage, PruningShrinksEncoding) {
 TEST(BftMessage, TamperedCertificateChangesDigest) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
   SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
-  Certificate cert;
-  cert.members = {init0};
+  Certificate cert = Certificate::of({init0});
   crypto::Digest before = cert_digest(cert);
-  cert.members[0].core.init_value = 43;  // falsify a witnessed value
+  // Falsify a witnessed value.  mutate_member is the only way to edit a
+  // member, and it drops the memoized digest computed just above.
+  cert.mutate_member(0, [](SignedMessage& m) { m.core.init_value = 43; });
   EXPECT_NE(before, cert_digest(cert));
 }
 
@@ -147,8 +145,7 @@ TEST(BftMessage, DecodeRejectsDeepNesting) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(2, 1);
   SignedMessage msg = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
   for (int i = 0; i < 40; ++i) {
-    Certificate cert;
-    cert.members = {msg};
+    Certificate cert = Certificate::of({msg});
     msg = sign_msg(sys, make_core(BftKind::kNext, 0, 1), cert);
   }
   Bytes buf = encode_message(msg);
@@ -178,8 +175,7 @@ TEST(BftMessage, DecodeRejectsHugeMemberCount) {
 TEST(BftMessage, PrunedCertificateRoundTrip) {
   crypto::SignatureSystem sys = crypto::HmacScheme{}.make_system(3, 1);
   SignedMessage init0 = sign_msg(sys, make_core(BftKind::kInit, 0, 0));
-  Certificate cert;
-  cert.members = {init0};
+  Certificate cert = Certificate::of({init0});
   Certificate pruned = prune(cert);
   SignedMessage next = sign_msg(sys, make_core(BftKind::kNext, 1, 2), pruned);
 

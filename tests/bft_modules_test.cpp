@@ -179,13 +179,13 @@ TEST_F(CertModuleFixture, ResetRoundClearsVoteCertsOnly) {
 TEST_F(CertModuleFixture, BuildPrunesNestedNextCerts) {
   CertificationModule cert(config_);
   Certificate inner;
-  inner.members.push_back(make(BftKind::kInit, 0, 0));
+  inner.add(make(BftKind::kInit, 0, 0));
   cert.add_next(make(BftKind::kNext, 1, 1, inner));
   Certificate built = cert.build({&cert.next_cert()});
-  ASSERT_EQ(built.members.size(), 1u);
-  EXPECT_TRUE(built.members[0].cert.pruned);
+  ASSERT_EQ(built.size(), 1u);
+  EXPECT_TRUE(built.member(0).cert.pruned);
   // Digest-chaining keeps the nested signature verifiable after pruning.
-  const SignedMessage& m = built.members[0];
+  const SignedMessage& m = built.member(0);
   EXPECT_TRUE(keys_.verifier->verify(m.core.sender,
                                      signing_bytes(m.core, m.cert), m.sig));
 }
@@ -194,43 +194,43 @@ TEST_F(CertModuleFixture, BuildKeepsNextCertsWhenPruningDisabled) {
   config_.prune_nested_next = false;
   CertificationModule cert(config_);
   Certificate inner;
-  inner.members.push_back(make(BftKind::kInit, 0, 0));
+  inner.add(make(BftKind::kInit, 0, 0));
   cert.add_next(make(BftKind::kNext, 1, 1, inner));
   Certificate built = cert.build({&cert.next_cert()});
-  ASSERT_EQ(built.members.size(), 1u);
-  EXPECT_FALSE(built.members[0].cert.pruned);
-  EXPECT_EQ(built.members[0].cert.members.size(), 1u);
+  ASSERT_EQ(built.size(), 1u);
+  EXPECT_FALSE(built.member(0).cert.pruned);
+  EXPECT_EQ(built.member(0).cert.size(), 1u);
 }
 
 TEST_F(CertModuleFixture, BuildNeverPrunesCurrents) {
   CertificationModule cert(config_);
   Certificate inner;
-  inner.members.push_back(make(BftKind::kInit, 0, 0));
+  inner.add(make(BftKind::kInit, 0, 0));
   cert.add_current(make(BftKind::kCurrent, 0, 1, inner));
   Certificate built = cert.build({&cert.current_cert()});
-  ASSERT_EQ(built.members.size(), 1u);
-  EXPECT_FALSE(built.members[0].cert.pruned);
+  ASSERT_EQ(built.size(), 1u);
+  EXPECT_FALSE(built.member(0).cert.pruned);
 }
 
 TEST_F(CertModuleFixture, RelayOfKeepsAdoptedMessageIntact) {
   CertificationModule cert(config_);
   Certificate inner;
-  inner.members.push_back(make(BftKind::kInit, 0, 0));
+  inner.add(make(BftKind::kInit, 0, 0));
   SignedMessage adopted = make(BftKind::kCurrent, 0, 1, inner);
   Certificate relay = cert.relay_of(adopted);
-  ASSERT_EQ(relay.members.size(), 1u);
-  EXPECT_FALSE(relay.members[0].cert.pruned);
-  EXPECT_EQ(relay.members[0].core, adopted.core);
+  ASSERT_EQ(relay.size(), 1u);
+  EXPECT_FALSE(relay.member(0).cert.pruned);
+  EXPECT_EQ(relay.member(0).core, adopted.core);
 }
 
 TEST_F(CertModuleFixture, AdoptEstReplacesWholesale) {
   CertificationModule cert(config_);
   cert.add_init(make(BftKind::kInit, 0, 0));
   Certificate adopted;
-  adopted.members.push_back(make(BftKind::kInit, 1, 0));
-  adopted.members.push_back(make(BftKind::kInit, 2, 0));
+  adopted.add(make(BftKind::kInit, 1, 0));
+  adopted.add(make(BftKind::kInit, 2, 0));
   cert.adopt_est(adopted);
-  EXPECT_EQ(cert.est_cert().members.size(), 2u);
+  EXPECT_EQ(cert.est_cert().size(), 2u);
 }
 
 }  // namespace

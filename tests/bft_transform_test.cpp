@@ -47,8 +47,8 @@ class EvilVoter : public sim::Actor {
       return;
     }
     if (msg.core.kind != BftKind::kNext || msg.core.round != round_) return;
-    collected_.members.push_back(msg);
-    if (collected_.members.size() < config_.quorum()) return;
+    collected_.add(msg);
+    if (collected_.size() < config_.quorum()) return;
     Certificate witness =
         mode_ == Mode::kNoWitness ? Certificate{} : collected_;
     collected_ = Certificate{};

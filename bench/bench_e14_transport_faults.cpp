@@ -1,84 +1,92 @@
-// E14 — consensus over the resilient TCP transport under link faults.
+// E14 — the same consensus scenario across execution substrates, and the
+// TCP substrate under link faults.
 //
-// The paper's module stack assumes reliable FIFO channels; the TCP
-// substrate re-establishes that contract below the protocols
-// (sequence-numbered frames, CRC, reconnect + retransmit).  This bench
-// measures what the re-established abstraction costs: BFT vector
-// consensus (n = 4, F = 1, HMAC) over loopback TCP with the link-kill
-// probability swept across 0%, 1% and 5% per frame.
+// The paper's module stack assumes reliable FIFO channels; the runtime
+// layer provides three substrates that uphold that contract (simulator,
+// threaded cluster, resilient TCP).  This bench measures what each
+// abstraction costs, on two axes:
+//   * E14/substrate — one fault-free BFT scenario (n = 4, F = 1, HMAC)
+//     executed per runtime::Backend, emitting the unified RunStats JSON
+//     line per run so the substrates can be diffed field by field;
+//   * E14/tcp_bft   — the TCP substrate with the link-kill probability
+//     swept across 0%, 1% and 5% per frame (reconnect/retransmit cost of
+//     the re-established reliable-FIFO contract).
 //
 // Counters: decided_pct (correct processes reaching a decision),
 // reconnects / retransmits / kills per run, wall_ms per run.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <map>
-#include <mutex>
+#include <iostream>
 #include <string>
 
-#include "bft/bft_consensus.hpp"
-#include "crypto/hmac_signer.hpp"
-#include "faults/link_fault.hpp"
-#include "transport/tcp_cluster.hpp"
+#include "faults/scenario.hpp"
+#include "runtime/substrate.hpp"
 
 namespace {
 
 using namespace modubft;
 
+faults::BftScenarioConfig base_scenario(runtime::Backend backend,
+                                        std::uint64_t seed) {
+  faults::BftScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;
+  cfg.seed = seed;
+  cfg.substrate = backend;
+  cfg.budget = std::chrono::milliseconds(30'000);
+  return cfg;
+}
+
+void run_substrate_bft(benchmark::State& state, runtime::Backend backend) {
+  double decided = 0, possible = 0, wall_ms = 0;
+  std::uint64_t total = 0, seed = 1;
+
+  for (auto _ : state) {
+    const faults::BftScenarioResult r =
+        faults::run_bft_scenario(base_scenario(backend, seed++));
+    total += 1;
+    decided += static_cast<double>(r.decisions.size());
+    possible += static_cast<double>(r.correct.size());
+    wall_ms += static_cast<double>(r.run_stats.wall_us) / 1000.0;
+    if (total == 1) {
+      std::cout << "E14 " << runtime::to_json(backend, r.run_stats) << "\n";
+    }
+  }
+
+  const double k = static_cast<double>(total);
+  state.counters["decided_pct"] = 100.0 * decided / possible;
+  state.counters["wall_ms"] = wall_ms / k;
+}
+
 void run_tcp_bft(benchmark::State& state, double kill_prob) {
-  constexpr std::uint32_t kN = 4;
   double decided = 0, possible = 0;
   double reconnects = 0, retransmits = 0, kills = 0, wall_ms = 0;
   std::uint64_t total = 0, seed = 1;
 
   for (auto _ : state) {
-    crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(kN, 33);
-
-    bft::BftConfig proto;
-    proto.n = kN;
-    proto.f = 1;
-    proto.muteness.initial_timeout = 2'000'000;
-    proto.suspicion_poll_period = 100'000;
-
-    transport::TcpClusterConfig cfg;
-    cfg.n = kN;
-    cfg.seed = seed++;
-    cfg.budget = std::chrono::milliseconds(30'000);
+    faults::BftScenarioConfig cfg =
+        base_scenario(runtime::Backend::kTcp, seed++);
+    cfg.muteness.initial_timeout = 2'000'000;  // chaos makes rounds slow
     if (kill_prob > 0) {
       faults::LinkFaultSpec spec;
       spec.kill_prob = kill_prob;
-      cfg.faults = transport::LinkFaultPlan({spec}, cfg.seed);
-    }
-    transport::TcpCluster cluster(cfg);
-
-    std::mutex mu;
-    std::map<std::uint32_t, bft::VectorDecision> decisions;
-    for (std::uint32_t i = 0; i < kN; ++i) {
-      cluster.set_actor(
-          ProcessId{i},
-          std::make_unique<bft::BftProcess>(
-              proto, 800 + i, keys.signers[i].get(), keys.verifier,
-              [&mu, &decisions, i](ProcessId, const bft::VectorDecision& d) {
-                std::lock_guard<std::mutex> lock(mu);
-                decisions.emplace(i, d);
-              }));
+      cfg.link_faults = {spec};
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    cluster.run();
-    const auto t1 = std::chrono::steady_clock::now();
+    const faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
 
     total += 1;
-    wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      decided += static_cast<double>(decisions.size());
-      possible += kN;
+    decided += static_cast<double>(r.decisions.size());
+    possible += static_cast<double>(r.correct.size());
+    wall_ms += static_cast<double>(r.run_stats.wall_us) / 1000.0;
+    reconnects += static_cast<double>(r.run_stats.link.reconnects);
+    retransmits += static_cast<double>(r.run_stats.link.retransmits);
+    kills += static_cast<double>(r.run_stats.link.kills_injected);
+    if (total == 1) {
+      std::cout << "E14 " << runtime::to_json(runtime::Backend::kTcp,
+                                              r.run_stats)
+                << "\n";
     }
-    const transport::TcpLinkStats stats = cluster.link_stats();
-    reconnects += static_cast<double>(stats.reconnects);
-    retransmits += static_cast<double>(stats.retransmits);
-    kills += static_cast<double>(stats.kills_injected);
   }
 
   const double k = static_cast<double>(total);
@@ -90,6 +98,17 @@ void run_tcp_bft(benchmark::State& state, double kill_prob) {
 }
 
 void register_all() {
+  for (runtime::Backend backend :
+       {runtime::Backend::kSim, runtime::Backend::kThreads,
+        runtime::Backend::kTcp}) {
+    benchmark::RegisterBenchmark(
+        (std::string("E14/substrate_bft_n4/substrate:") +
+         runtime::backend_name(backend))
+            .c_str(),
+        [backend](benchmark::State& st) { run_substrate_bft(st, backend); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
   for (double kill_prob : {0.0, 0.01, 0.05}) {
     benchmark::RegisterBenchmark(
         ("E14/tcp_bft_n4/kill_pct:" +

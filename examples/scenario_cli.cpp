@@ -6,22 +6,25 @@
 //
 // Usage:
 //   scenario_cli bft   --n 7 --f 2 --seed 3 --fault 1:corrupt-vector
-//                      --fault 4:mute [--rsa] [--no-prune] [--turbulent]
-//                      [--audit]
+//                      --fault 4:mute [--substrate sim|threads|tcp]
+//                      [--rsa] [--no-prune] [--turbulent] [--audit]
+//                      [--budget-ms 20000]
 //   scenario_cli crash --n 5 --seed 1 --protocol hr|ct --crash 1:0
-//                      [--mistakes 0.2]
+//                      [--substrate sim|threads|tcp] [--mistakes 0.2]
 //   scenario_cli tcp   --n 4 --f 1 --seed 3 --kill 0.05 --flip 0.02
 //                      [--fault 1:corrupt-vector] [--budget-ms 30000]
 //
 // Faults take `<process>:<behavior>` with 1-based process ids; behaviours:
 //   crash mute corrupt-vector wrong-round duplicate-current duplicate-next
 //   bad-signature strip-certificate substitute-next premature-decide
-//   equivocate lie-init spurious-current
+//   equivocate lie-init spurious-current split-brain
 //
-// The `tcp` mode runs the transformed BFT protocol over real loopback
-// sockets (TcpCluster) with link faults injected below the framing layer:
-// --kill/--truncate/--flip/--delay set the per-frame probability of each
-// fault on every directed link, absorbed by the resilient transport.
+// --substrate selects the execution backend (runtime::Backend): the
+// deterministic simulator (default), the threaded in-memory cluster, or
+// the TCP loopback cluster — the scenario itself is unchanged.  The `tcp`
+// mode is the TCP substrate plus link faults injected below the framing
+// layer: --kill/--truncate/--flip/--delay set the per-frame probability of
+// each fault on every directed link, absorbed by the resilient transport.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -41,6 +44,7 @@
 #include "faults/byzantine.hpp"
 #include "faults/link_fault.hpp"
 #include "faults/scenario.hpp"
+#include "runtime/substrate.hpp"
 #include "sim/trace.hpp"
 #include "transport/tcp_cluster.hpp"
 
@@ -51,9 +55,11 @@ using namespace modubft;
 [[noreturn]] void usage(const char* why) {
   std::cerr << "error: " << why << "\n\n"
             << "usage: scenario_cli bft   --n N --f F [--seed S] "
-               "[--fault P:BEHAVIOR]... [--rsa] [--no-prune] [--turbulent] "
-               "[--audit] [--trace FILE]\n"
+               "[--substrate sim|threads|tcp] [--fault P:BEHAVIOR]... "
+               "[--rsa] [--no-prune] [--turbulent] "
+               "[--audit] [--trace FILE] [--budget-ms MS]\n"
             << "       scenario_cli crash --n N [--seed S] [--protocol hr|ct] "
+               "[--substrate sim|threads|tcp] "
                "[--crash P:TIME_US]... [--mistakes PROB]\n"
             << "       scenario_cli tcp   --n N --f F [--seed S] "
                "[--kill P] [--truncate P] [--flip P] [--delay P] "
@@ -77,6 +83,7 @@ std::optional<faults::Behavior> parse_behavior(const std::string& name) {
       {"equivocate", Behavior::kEquivocate},
       {"lie-init", Behavior::kLieInit},
       {"spurious-current", Behavior::kSpuriousCurrent},
+      {"split-brain", Behavior::kSplitBrain},
   };
   for (auto& [n, b] : table) {
     if (name == n) return b;
@@ -101,6 +108,12 @@ int run_bft(int argc, char** argv) {
       cfg.f = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--seed") {
       cfg.seed = std::stoull(next());
+    } else if (arg == "--substrate") {
+      auto backend = runtime::parse_backend(next());
+      if (!backend) usage("substrate must be sim, threads or tcp");
+      cfg.substrate = *backend;
+    } else if (arg == "--budget-ms") {
+      cfg.budget = std::chrono::milliseconds(std::stoull(next()));
     } else if (arg == "--rsa") {
       cfg.scheme = faults::Scheme::kRsa64;
     } else if (arg == "--no-prune") {
@@ -154,6 +167,8 @@ int run_bft(int argc, char** argv) {
   for (std::uint32_t i : r.correct) correct_decided += r.decisions.count(i);
 
   std::cout << "protocol:            transformed BFT vector consensus\n"
+            << "substrate:           " << runtime::backend_name(cfg.substrate)
+            << " (" << runtime::run_outcome_name(r.outcome) << ")\n"
             << "n / F / quorum:      " << cfg.n << " / " << cfg.f << " / "
             << cfg.n - cfg.f << "\n"
             << "decided:             " << correct_decided << "/"
@@ -185,6 +200,8 @@ int run_bft(int argc, char** argv) {
   for (const auto& [what, count] : grouped) {
     std::cout << "  detection ×" << count << "  " << what << "\n";
   }
+  std::cout << "run stats:           "
+            << runtime::to_json(cfg.substrate, r.run_stats) << "\n";
   return r.termination && r.agreement && r.vector_validity ? 0 : 1;
 }
 
@@ -202,6 +219,10 @@ int run_crash(int argc, char** argv) {
       cfg.n = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--seed") {
       cfg.seed = std::stoull(next());
+    } else if (arg == "--substrate") {
+      auto backend = runtime::parse_backend(next());
+      if (!backend) usage("substrate must be sim, threads or tcp");
+      cfg.substrate = *backend;
     } else if (arg == "--protocol") {
       std::string p = next();
       if (p == "hr") {
@@ -232,13 +253,20 @@ int run_crash(int argc, char** argv) {
 
   faults::CrashScenarioResult r = faults::run_crash_scenario(cfg);
 
+  // On wall-clock substrates a late-crashing process may decide before the
+  // crash lands; count decisions over the correct set only.
+  std::size_t correct_decided = 0;
+  for (std::uint32_t i : r.correct) correct_decided += r.decisions.count(i);
+
   std::cout << "protocol:        "
             << (cfg.protocol == faults::CrashProtocol::kHurfinRaynal
                     ? "Hurfin-Raynal"
                     : "Chandra-Toueg")
             << " (crash model, oracle ◇S)\n"
+            << "substrate:       " << runtime::backend_name(cfg.substrate)
+            << " (" << runtime::run_outcome_name(r.outcome) << ")\n"
             << "n:               " << cfg.n << "\n"
-            << "decided:         " << r.decisions.size() << "/"
+            << "decided:         " << correct_decided << "/"
             << r.correct.size() << " correct processes\n"
             << "termination:     " << (r.termination ? "yes" : "NO") << "\n"
             << "agreement:       " << (r.agreement ? "yes" : "NO") << "\n"
@@ -252,11 +280,13 @@ int run_crash(int argc, char** argv) {
 }
 
 int run_tcp(int argc, char** argv) {
-  std::uint32_t n = 0, f = 0;
-  std::uint64_t seed = 1;
-  std::chrono::milliseconds budget{30'000};
+  // The TCP substrate via the generic runner, plus link chaos: everything
+  // the hand-wired version did, in one BftScenarioConfig.
+  faults::BftScenarioConfig cfg;
+  cfg.n = 0;
+  cfg.substrate = runtime::Backend::kTcp;
+  cfg.budget = std::chrono::milliseconds(30'000);
   faults::LinkFaultSpec link;
-  std::vector<faults::FaultSpec> process_faults;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -265,11 +295,11 @@ int run_tcp(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--n") {
-      n = static_cast<std::uint32_t>(std::stoul(next()));
+      cfg.n = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--f") {
-      f = static_cast<std::uint32_t>(std::stoul(next()));
+      cfg.f = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--seed") {
-      seed = std::stoull(next());
+      cfg.seed = std::stoull(next());
     } else if (arg == "--kill") {
       link.kill_prob = std::stod(next());
     } else if (arg == "--truncate") {
@@ -279,7 +309,7 @@ int run_tcp(int argc, char** argv) {
     } else if (arg == "--delay") {
       link.delay_prob = std::stod(next());
     } else if (arg == "--budget-ms") {
-      budget = std::chrono::milliseconds(std::stoull(next()));
+      cfg.budget = std::chrono::milliseconds(std::stoull(next()));
     } else if (arg == "--fault") {
       std::string spec = next();
       auto colon = spec.find(':');
@@ -290,86 +320,37 @@ int run_tcp(int argc, char** argv) {
       faults::FaultSpec fs;
       fs.who = ProcessId{static_cast<std::uint32_t>(pid - 1)};
       fs.behavior = *behavior;
-      process_faults.push_back(fs);
+      cfg.faults.push_back(fs);
     } else {
       usage(("unknown flag " + arg).c_str());
     }
   }
-  if (n == 0) usage("--n is required");
-  if (f > bft::max_tolerated_faults(n)) usage("F exceeds min((n-1)/2,(n-1)/3)");
-
-  crypto::SignatureSystem keys = crypto::HmacScheme{}.make_system(n, 33);
-
-  bft::BftConfig proto;
-  proto.n = n;
-  proto.f = f;
-  proto.muteness.initial_timeout = 2'000'000;  // wall clock, chaos is slow
-  proto.suspicion_poll_period = 100'000;
-
-  transport::TcpClusterConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.budget = budget;
+  if (cfg.n == 0) usage("--n is required");
+  if (cfg.f > bft::max_tolerated_faults(cfg.n)) {
+    usage("F exceeds min((n-1)/2,(n-1)/3)");
+  }
+  // Chaos makes rounds slow; widen ◇M beyond the runner's TCP default.
+  cfg.muteness.initial_timeout = 2'000'000;
   const bool any_link_fault = link.kill_prob > 0 || link.truncate_prob > 0 ||
                               link.flip_prob > 0 || link.delay_prob > 0;
-  if (any_link_fault) cfg.faults = transport::LinkFaultPlan({link}, seed);
-  transport::TcpCluster cluster(cfg);
+  if (any_link_fault) cfg.link_faults = {link};
 
-  std::mutex mu;
-  std::map<std::uint32_t, bft::VectorDecision> decisions;
-  std::set<std::uint32_t> byzantine;
-  for (const faults::FaultSpec& fs : process_faults) byzantine.insert(fs.who.value);
+  faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
 
-  for (std::uint32_t i = 0; i < n; ++i) {
-    auto proc = std::make_unique<bft::BftProcess>(
-        proto, 800 + i, keys.signers[i].get(), keys.verifier,
-        [&mu, &decisions, i](ProcessId, const bft::VectorDecision& d) {
-          std::lock_guard<std::mutex> lock(mu);
-          decisions.emplace(i, d);
-        });
-    bool wrapped = false;
-    for (const faults::FaultSpec& fs : process_faults) {
-      if (fs.who.value == i) {
-        cluster.set_actor(ProcessId{i},
-                          std::make_unique<faults::ByzantineActor>(
-                              std::move(proc), keys.signers[i].get(), fs, n));
-        wrapped = true;
-        break;
-      }
-    }
-    if (!wrapped) cluster.set_actor(ProcessId{i}, std::move(proc));
-  }
+  std::size_t correct_decided = 0;
+  for (std::uint32_t i : r.correct) correct_decided += r.decisions.count(i);
 
-  const bool clean = cluster.run();
-
-  std::lock_guard<std::mutex> lock(mu);
-  std::size_t correct = 0, correct_decided = 0;
-  bool agreement = true;
-  const bft::VectorDecision* reference = nullptr;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (byzantine.count(i)) continue;
-    ++correct;
-    auto it = decisions.find(i);
-    if (it == decisions.end()) continue;
-    ++correct_decided;
-    if (!reference) {
-      reference = &it->second;
-    } else if (it->second.entries != reference->entries) {
-      agreement = false;
-    }
-  }
-
-  const transport::TcpLinkStats stats = cluster.link_stats();
+  const transport::TcpLinkStats& stats = r.run_stats.link;
   std::cout << "protocol:            transformed BFT over loopback TCP\n"
-            << "n / F / quorum:      " << n << " / " << f << " / " << n - f
-            << "\n"
-            << "decided:             " << correct_decided << "/" << correct
-            << " correct processes\n"
-            << "agreement:           " << (agreement ? "yes" : "NO") << "\n"
-            << "clean shutdown:      " << (clean ? "yes" : "NO") << " ("
-            << cluster.unstopped().size() << " unstopped)\n"
-            << "frames / bytes sent: " << cluster.frames_sent() << " / "
-            << cluster.bytes_sent() << "\n"
+            << "n / F / quorum:      " << cfg.n << " / " << cfg.f << " / "
+            << cfg.n - cfg.f << "\n"
+            << "decided:             " << correct_decided << "/"
+            << r.correct.size() << " correct processes\n"
+            << "agreement:           " << (r.agreement ? "yes" : "NO") << "\n"
+            << "clean shutdown:      " << (r.clean ? "yes" : "NO") << " ("
+            << r.unstopped.size() << " unstopped)\n"
+            << "frames / bytes sent: " << r.run_stats.wire_frames << " / "
+            << r.run_stats.wire_bytes << "\n"
             << "link faults:         kills " << stats.kills_injected
             << ", truncates " << stats.truncates_injected << ", flips "
             << stats.flips_injected << ", delays " << stats.delays_injected
@@ -378,8 +359,10 @@ int run_tcp(int argc, char** argv) {
             << ", retransmits " << stats.retransmits << ", checksum drops "
             << stats.checksum_failures << ", dups suppressed "
             << stats.dup_suppressed << "\n"
-            << "degraded links:      " << stats.degraded_links << "\n";
-  return correct_decided == correct && agreement ? 0 : 1;
+            << "degraded links:      " << stats.degraded_links << "\n"
+            << "run stats:           "
+            << runtime::to_json(cfg.substrate, r.run_stats) << "\n";
+  return correct_decided == r.correct.size() && r.agreement ? 0 : 1;
 }
 
 }  // namespace

@@ -1,57 +1,37 @@
 // The transformed protocol on real OS threads.
 //
-// Runs Byzantine vector consensus on the threaded in-memory transport:
-// each process is a thread, messages cross MPSC mailboxes, time is the
-// wall clock.  Demonstrates that the protocol stack has no hidden
-// dependency on the simulator's determinism.
+// Runs Byzantine vector consensus on the threaded in-memory transport via
+// the substrate-generic scenario runner (runtime::Backend::kThreads): each
+// process is a thread, messages cross MPSC mailboxes, time is the wall
+// clock.  Demonstrates that the protocol stack has no hidden dependency on
+// the simulator's determinism — the scenario is byte-for-byte the one the
+// simulator runs; only the substrate selector changes.
 //
 //   ./examples/threaded_consensus
 #include <iostream>
-#include <map>
-#include <mutex>
 
-#include "bft/bft_consensus.hpp"
-#include "crypto/rsa64.hpp"
-#include "transport/cluster.hpp"
+#include "faults/scenario.hpp"
+#include "runtime/substrate.hpp"
 
 int main() {
   using namespace modubft;
   constexpr std::uint32_t kN = 4;
 
-  // Real RSA signatures (64-bit toy keys) on this run.
-  crypto::SignatureSystem keys = crypto::Rsa64Scheme{}.make_system(kN, 11);
-
-  bft::BftConfig proto;
-  proto.n = kN;
-  proto.f = 1;
-  proto.muteness.initial_timeout = 500'000;  // wall-clock µs: be generous
-  proto.suspicion_poll_period = 50'000;
-
-  transport::ClusterConfig cfg;
+  faults::BftScenarioConfig cfg;
   cfg.n = kN;
+  cfg.f = 1;
+  cfg.seed = 11;
+  cfg.substrate = runtime::Backend::kThreads;
   cfg.budget = std::chrono::milliseconds(8000);
-  transport::Cluster cluster(cfg);
-
-  std::mutex mu;
-  std::map<std::uint32_t, bft::VectorDecision> decisions;
-
-  for (std::uint32_t i = 0; i < kN; ++i) {
-    cluster.set_actor(
-        ProcessId{i},
-        std::make_unique<bft::BftProcess>(
-            proto, 7000 + i, keys.signers[i].get(), keys.verifier,
-            [&mu, &decisions, i](ProcessId, const bft::VectorDecision& d) {
-              std::lock_guard<std::mutex> lock(mu);
-              decisions.emplace(i, d);
-            }));
-  }
+  // Real RSA signatures (64-bit toy keys) on this run.
+  cfg.scheme = faults::Scheme::kRsa64;
+  cfg.proposals = {7000, 7001, 7002, 7003};
 
   std::cout << "Byzantine vector consensus on " << kN
             << " OS threads (rsa64 signatures)...\n";
-  const bool all_stopped = cluster.run();
+  const faults::BftScenarioResult r = faults::run_bft_scenario(cfg);
 
-  bool agreement = true;
-  for (const auto& [i, d] : decisions) {
+  for (const auto& [i, d] : r.decisions) {
     std::cout << "  p" << (i + 1) << " decided in round " << d.round.value
               << " after " << d.time / 1000.0 << "ms  [";
     for (std::size_t j = 0; j < d.entries.size(); ++j) {
@@ -60,10 +40,11 @@ int main() {
       else std::cout << "null";
     }
     std::cout << "]\n";
-    agreement = agreement && d.entries == decisions.begin()->second.entries;
   }
-  std::cout << "\nall nodes stopped: " << (all_stopped ? "yes" : "NO")
-            << ", decided: " << decisions.size() << "/" << kN
-            << ", agreement: " << (agreement ? "yes" : "NO") << "\n";
-  return all_stopped && decisions.size() == kN && agreement ? 0 : 1;
+  std::cout << "\nall nodes stopped: " << (r.clean ? "yes" : "NO")
+            << ", decided: " << r.decisions.size() << "/" << kN
+            << ", agreement: " << (r.agreement ? "yes" : "NO") << "\n"
+            << "run stats: " << runtime::to_json(cfg.substrate, r.run_stats)
+            << "\n";
+  return r.clean && r.termination && r.agreement ? 0 : 1;
 }

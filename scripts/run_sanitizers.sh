@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer
-# and runs the full test suite under them.  The transport chaos tests are
-# the main customers: they exercise concurrent reconnect/retransmit paths
-# where lifetime bugs would hide.  The certificate fast path is the other:
-# Reader views alias decode buffers and certificates share immutable
-# members, so bft_fastpath_test and perf_smoke_cert_fastpath (both in the
-# default ctest set) run here to catch any dangling view or aliasing bug.
+# and runs the full test suite under them, then rebuilds with
+# ThreadSanitizer and reruns the concurrency-labelled subset.
+#
+# The transport chaos tests are the main ASan customers: they exercise
+# concurrent reconnect/retransmit paths where lifetime bugs would hide.
+# The certificate fast path is the other: Reader views alias decode
+# buffers and certificates share immutable members, so bft_fastpath_test
+# and perf_smoke_cert_fastpath (both in the default ctest set) run here to
+# catch any dangling view or aliasing bug.
+#
+# The TSan pass covers the wall-clock substrates (threaded Cluster and
+# TcpCluster): tests labelled `threads` or `tcp` — mailboxes, the
+# delivery tap, Stats accumulation, reconnect threads — where a data race
+# would not crash but would silently corrupt an experiment.  TSan and
+# ASan cannot share a build, so it uses its own build directory
+# (build-tsan, -DMODUBFT_TSAN=ON).
 #
 # Usage: scripts/run_sanitizers.sh [ctest-regex]
 #   scripts/run_sanitizers.sh             # everything
@@ -14,6 +24,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-sanitize
+TSAN_BUILD_DIR=build-tsan
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -24,9 +35,27 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 export ASAN_OPTIONS=halt_on_error=1:detect_leaks=1
 export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 
-cd "${BUILD_DIR}"
+pushd "${BUILD_DIR}" >/dev/null
 if [[ $# -ge 1 ]]; then
   ctest --output-on-failure -R "$1"
 else
   ctest --output-on-failure -j "$(nproc)"
 fi
+popd >/dev/null
+
+echo
+echo "=== ThreadSanitizer pass (labels: threads, tcp) ==="
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMODUBFT_TSAN=ON
+cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)"
+
+export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+
+pushd "${TSAN_BUILD_DIR}" >/dev/null
+if [[ $# -ge 1 ]]; then
+  ctest --output-on-failure -L 'threads|tcp' -R "$1"
+else
+  ctest --output-on-failure -L 'threads|tcp'
+fi
+popd >/dev/null

@@ -103,6 +103,7 @@ std::unique_ptr<sim::Actor> make_lockstep_actor(
 
   TransformConfig tcfg;
   tcfg.n = config.n;
+  tcfg.muteness = config.muteness;
 
   auto actor = std::make_unique<TransformedActor>(
       tcfg, signer, verifier,

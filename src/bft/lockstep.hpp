@@ -33,6 +33,9 @@ struct LockstepConfig {
   std::uint32_t f = 0;
   std::uint32_t rounds = 5;  // barrier count to cross
   bool prune_witness = true; // prune the witness votes' own certificates
+  /// ◇M timeouts of the assembled pipeline — widen on wall-clock
+  /// substrates (the defaults are simulator-scale).
+  fd::MutenessConfig muteness{};
   std::uint32_t quorum() const { return n - f; }
 };
 

@@ -25,6 +25,7 @@ const char* behavior_name(Behavior b) {
     case Behavior::kEquivocate: return "equivocate";
     case Behavior::kLieInit: return "lie-init";
     case Behavior::kSpuriousCurrent: return "spurious-current";
+    case Behavior::kSplitBrain: return "split-brain";
   }
   return "?";
 }
@@ -63,7 +64,8 @@ class ByzantineActor::EvilContext final : public sim::ForwardingContext {
 
     switch (spec.behavior) {
       case Behavior::kNone:
-      case Behavior::kCrash:  // handled by the simulator's crash schedule
+      case Behavior::kCrash:       // handled by the substrate's crash schedule
+      case Behavior::kSplitBrain:  // instantiated as its own actor, not a wrap
         break;
 
       case Behavior::kMute:

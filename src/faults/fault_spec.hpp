@@ -56,6 +56,12 @@ enum class Behavior : std::uint8_t {
   /// Sends an unsolicited CURRENT although not the coordinator, certified
   /// with whatever it holds (execution of a spurious statement).
   kSpuriousCurrent,
+  /// Dual-quorum equivocation (split_brain.hpp): the round-1 coordinator
+  /// waits for ALL n INITs and certifies two different vectors, one per
+  /// half of the group.  Only valid for process 0 (the round-1
+  /// coordinator); instantiated by the scenario runner as a
+  /// SplitBrainCoordinator instead of a wrapped BftProcess.
+  kSplitBrain,
 };
 
 const char* behavior_name(Behavior b);
@@ -73,6 +79,18 @@ struct FaultSpec {
   SimTime at = 0;
   /// kMute / round-scoped behaviours: first affected round.
   Round from_round{1};
+};
+
+/// Substrate-independent crash schedule entry: at `at` µs after the run
+/// starts, `who` halts silently.  Each runtime adapter translates the
+/// instant into its own clock domain — simulated time on sim::Simulation,
+/// wall-clock-after-epoch on the threaded and TCP clusters — so one spec
+/// drives sim::Simulation::crash_at, Cluster::crash_after and
+/// TcpCluster::crash_after alike.
+struct CrashSpec {
+  ProcessId who;
+  /// Microseconds from run start (substrate clock domain).
+  SimTime at = 0;
 };
 
 }  // namespace modubft::faults

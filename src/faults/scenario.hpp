@@ -1,16 +1,24 @@
 // One-call scenario runners shared by tests, benchmarks and examples.
 //
-// A scenario = group size + fault assignment + network model + seed.  The
-// runner wires up the whole stack (keys, simulator, actors, detectors),
-// runs to completion, and evaluates the paper's correctness properties over
-// the outcome so that callers assert on booleans instead of re-deriving
-// the checks.
+// A scenario = group size + fault assignment + network model + seed + an
+// execution substrate.  The runner wires up the whole stack (keys,
+// runtime, actors, detectors), runs to completion, and evaluates the
+// paper's correctness properties over the outcome so that callers assert
+// on booleans instead of re-deriving the checks.
+//
+// Every runner is substrate-generic (runtime::Backend): the same scenario
+// executes on the deterministic simulator, the threaded in-memory cluster,
+// or the TCP loopback cluster — see docs/RUNTIME.md for the contract.  The
+// implementations live in src/runtime/scenario.cpp (the threaded backends
+// sit above faults/ in the link order).
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "bft/bft_consensus.hpp"
@@ -18,7 +26,9 @@
 #include "crypto/verify_cache.hpp"
 #include "faults/fault_spec.hpp"
 #include "fd/oracle_fd.hpp"
+#include "runtime/substrate.hpp"
 #include "sim/simulation.hpp"
+#include "smr/replica.hpp"
 
 namespace modubft::faults {
 
@@ -30,6 +40,9 @@ struct BftScenarioConfig {
   std::uint32_t n = 4;
   std::uint32_t f = 1;  // declared resilience (quorum = n − f)
   std::uint64_t seed = 1;
+  /// Execution backend: deterministic simulator (default), threaded
+  /// in-memory cluster, or TCP loopback cluster.
+  runtime::Backend substrate = runtime::Backend::kSim;
   sim::LatencyModel latency = sim::calm_network();
   std::vector<FaultSpec> faults;
   Scheme scheme = Scheme::kHmac;
@@ -44,8 +57,19 @@ struct BftScenarioConfig {
   /// after deciding, guaranteeing that every delivered misbehaviour ends up
   /// in the fault records.
   bool stop_on_decide = true;
+  /// ◇M timeouts.  When left at the defaults on a wall-clock substrate the
+  /// runner widens them (OS scheduling noise would otherwise trip the
+  /// simulator-scale timeout); an explicit non-default value is honoured
+  /// everywhere.
   fd::MutenessConfig muteness{};
+  /// Optional override of bft::BftConfig::suspicion_poll_period (µs);
+  /// unset = the runner picks a substrate-appropriate period.
+  std::optional<SimTime> suspicion_poll_period;
   SimTime max_time = 120'000'000;
+  /// Wall-clock budget for the threaded/TCP substrates.
+  std::chrono::milliseconds budget{20'000};
+  /// kTcp: link faults injected below the framing layer.
+  std::vector<LinkFaultSpec> link_faults;
   /// Proposal of p_{i+1}; defaults to 1000 + i when empty.
   std::vector<consensus::Value> proposals;
   /// Optional observer for every delivery (tracing).
@@ -53,7 +77,11 @@ struct BftScenarioConfig {
 };
 
 struct BftScenarioResult {
-  sim::RunOutcome outcome = sim::RunOutcome::kQuiescent;
+  runtime::RunOutcome outcome = runtime::RunOutcome::kQuiescent;
+  /// True iff the run ended without hitting a time/event/budget limit.
+  bool clean = false;
+  /// Named stragglers when a limit hit (see runtime::RunResult).
+  std::vector<ProcessId> unstopped;
 
   /// Decisions of correct processes, keyed by process index.
   std::map<std::uint32_t, bft::VectorDecision> decisions;
@@ -76,6 +104,8 @@ struct BftScenarioResult {
 
   Round max_decision_round;
   SimTime last_decision_time = 0;
+  /// Unified cross-substrate counters (run_stats.net == net).
+  runtime::RunStats run_stats;
   sim::Stats net;
   std::uint64_t max_message_bytes = 0;
   std::uint64_t protocol_bytes = 0;  // sum of per-process send bytes
@@ -94,17 +124,21 @@ enum class CrashProtocol { kHurfinRaynal, kChandraToueg };
 struct CrashScenarioConfig {
   std::uint32_t n = 5;
   std::uint64_t seed = 1;
+  runtime::Backend substrate = runtime::Backend::kSim;
   sim::LatencyModel latency = sim::calm_network();
   CrashProtocol protocol = CrashProtocol::kHurfinRaynal;
   /// crash_times[i]: when p_{i+1} crashes (nullopt = correct).
   std::vector<std::optional<SimTime>> crash_times;
   fd::OracleConfig oracle{};
   SimTime max_time = 120'000'000;
+  std::chrono::milliseconds budget{20'000};
   std::vector<consensus::Value> proposals;
 };
 
 struct CrashScenarioResult {
-  sim::RunOutcome outcome = sim::RunOutcome::kQuiescent;
+  runtime::RunOutcome outcome = runtime::RunOutcome::kQuiescent;
+  bool clean = false;
+  std::vector<ProcessId> unstopped;
   std::map<std::uint32_t, consensus::Decision> decisions;
   std::set<std::uint32_t> correct;
   bool termination = false;
@@ -112,9 +146,85 @@ struct CrashScenarioResult {
   bool validity = false;  // decided value was proposed by someone
   Round max_decision_round;
   SimTime last_decision_time = 0;
+  runtime::RunStats run_stats;
   sim::Stats net;
 };
 
 CrashScenarioResult run_crash_scenario(const CrashScenarioConfig& config);
+
+// ---------------------------------------------------------------- lockstep
+
+struct LockstepScenarioConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t rounds = 5;
+  std::uint64_t seed = 1;
+  runtime::Backend substrate = runtime::Backend::kSim;
+  sim::LatencyModel latency = sim::calm_network();
+  SimTime max_time = 120'000'000;
+  std::chrono::milliseconds budget{20'000};
+  /// Processes crashed mid-barrier (the barrier tolerates up to f).
+  std::vector<CrashSpec> crashes;
+};
+
+struct LockstepScenarioResult {
+  runtime::RunOutcome outcome = runtime::RunOutcome::kQuiescent;
+  bool clean = false;
+  std::vector<ProcessId> unstopped;
+
+  std::set<std::uint32_t> correct;
+  /// Final round reached per finished process.
+  std::map<std::uint32_t, Round> finished;
+  bool all_correct_finished = false;
+  /// No correct process convicted another correct process.
+  bool no_false_accusations = true;
+  /// Union of fault records accumulated by correct processes.
+  std::vector<bft::FaultRecord> records;
+
+  runtime::RunStats run_stats;
+};
+
+LockstepScenarioResult run_lockstep_scenario(
+    const LockstepScenarioConfig& config);
+
+// --------------------------------------------------------------------- SMR
+
+struct SmrScenarioConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;  // Byzantine backend resilience
+  std::uint64_t slots = 5;
+  std::uint64_t seed = 1;
+  runtime::Backend substrate = runtime::Backend::kSim;
+  smr::Backend backend = smr::Backend::kCrashHurfinRaynal;
+  sim::LatencyModel latency = sim::calm_network();
+  SimTime max_time = 120'000'000;
+  std::chrono::milliseconds budget{20'000};
+  /// Crash backend: replicas halted mid-run (also fed to the oracle ◇S).
+  std::vector<CrashSpec> crashes;
+  fd::OracleConfig oracle{};
+  /// Command table; defaults to the canonical 5-command KV workload.
+  std::vector<smr::Command> workload;
+};
+
+struct SmrScenarioResult {
+  runtime::RunOutcome outcome = runtime::RunOutcome::kQuiescent;
+  bool clean = false;
+  std::vector<ProcessId> unstopped;
+
+  std::set<std::uint32_t> correct;
+  /// Slots committed per replica.
+  std::map<std::uint32_t, std::uint64_t> committed;
+  bool all_committed = false;  // every correct replica committed all slots
+  bool stores_agree = false;   // all correct stores byte-identical
+  /// Contents of the first correct replica's store.
+  std::map<std::string, std::string> store;
+
+  runtime::RunStats run_stats;
+};
+
+SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config);
+
+/// The canonical 5-command KV workload (put/overwrite/delete mix).
+std::vector<smr::Command> sample_workload();
 
 }  // namespace modubft::faults

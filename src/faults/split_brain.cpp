@@ -81,6 +81,10 @@ void SplitBrainCoordinator::on_message(sim::Context& ctx, ProcessId,
     ctx.send(ProcessId{i},
              bft::encode_message(i <= split_at_ ? cur_a : cur_b));
   }
+  // The attack is one-shot: once both CURRENT variants are out, the
+  // attacker falls mute (which the protocol tolerates anyway).  Stopping
+  // here lets wall-clock substrates terminate without burning the budget.
+  ctx.stop();
 }
 
 }  // namespace modubft::faults

@@ -1,0 +1,490 @@
+// Substrate-generic scenario runners (declared in faults/scenario.hpp).
+//
+// Lives in the runtime library rather than faults/ because the threaded
+// and TCP backends (transport/) link *above* faults/ — the runners need
+// all three runtimes, so they sit at the top of the dependency chain.
+#include "faults/scenario.hpp"
+
+#include <mutex>
+
+#include "bft/config.hpp"
+#include "bft/lockstep.hpp"
+#include "common/check.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "crypto/rsa64.hpp"
+#include "faults/byzantine.hpp"
+#include "faults/split_brain.hpp"
+
+namespace modubft::faults {
+
+namespace {
+
+crypto::SignatureSystem make_keys(Scheme scheme, std::uint32_t n,
+                                  std::uint64_t seed) {
+  if (scheme == Scheme::kRsa64) {
+    return crypto::Rsa64Scheme{}.make_system(n, seed);
+  }
+  return crypto::HmacScheme{}.make_system(n, seed);
+}
+
+std::vector<consensus::Value> default_proposals(
+    std::uint32_t n, const std::vector<consensus::Value>& given) {
+  if (!given.empty()) {
+    MODUBFT_EXPECTS(given.size() == n);
+    return given;
+  }
+  std::vector<consensus::Value> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = 1000 + i;
+  return out;
+}
+
+/// The ◇M timeouts and the suspicion poll are simulator-scale by default
+/// (40 ms / 10 ms of *virtual* time).  On the wall-clock substrates the
+/// same numbers race the OS scheduler, so when the caller left them at
+/// the defaults the runner widens them to values the threaded tests have
+/// validated; explicit overrides are honoured everywhere.
+fd::MutenessConfig tune_muteness(fd::MutenessConfig muteness,
+                                 runtime::Backend backend) {
+  if (backend == runtime::Backend::kSim) return muteness;
+  const fd::MutenessConfig defaults{};
+  if (muteness.initial_timeout == defaults.initial_timeout) {
+    muteness.initial_timeout =
+        backend == runtime::Backend::kThreads ? 500'000 : 2'000'000;
+  }
+  return muteness;
+}
+
+SimTime tune_poll_period(runtime::Backend backend,
+                         const std::optional<SimTime>& override_us) {
+  if (override_us.has_value()) return *override_us;
+  switch (backend) {
+    case runtime::Backend::kSim: return bft::BftConfig{}.suspicion_poll_period;
+    case runtime::Backend::kThreads: return 50'000;
+    case runtime::Backend::kTcp: return 100'000;
+  }
+  return bft::BftConfig{}.suspicion_poll_period;
+}
+
+}  // namespace
+
+std::vector<smr::Command> sample_workload() {
+  return {
+      {1, smr::Command::Op::kPut, "alpha", "1"},
+      {2, smr::Command::Op::kPut, "beta", "2"},
+      {3, smr::Command::Op::kPut, "alpha", "3"},  // overwrite
+      {4, smr::Command::Op::kDel, "beta", ""},
+      {5, smr::Command::Op::kPut, "gamma", "5"},
+  };
+}
+
+BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
+  bft::BftConfig proto;
+  proto.n = config.n;
+  proto.f = config.f;
+  proto.prune_nested_next = config.prune;
+  proto.verify_cache = config.verify_cache;
+  proto.certification_bound = config.certification_bound;
+  proto.stop_on_decide = config.stop_on_decide;
+  proto.muteness = tune_muteness(config.muteness, config.substrate);
+  proto.suspicion_poll_period =
+      tune_poll_period(config.substrate, config.suspicion_poll_period);
+  proto.validate();
+
+  const std::vector<consensus::Value> proposals =
+      default_proposals(config.n, config.proposals);
+
+  crypto::SignatureSystem keys = make_keys(config.scheme, config.n, config.seed);
+
+  runtime::SubstrateConfig world_cfg;
+  world_cfg.backend = config.substrate;
+  world_cfg.n = config.n;
+  world_cfg.seed = config.seed;
+  world_cfg.latency = config.latency;
+  world_cfg.max_time = config.max_time;
+  world_cfg.budget = config.budget;
+  world_cfg.link_faults = config.link_faults;
+  std::unique_ptr<runtime::Substrate> world =
+      runtime::make_substrate(world_cfg);
+  if (config.delivery_tap) world->set_delivery_tap(config.delivery_tap);
+
+  BftScenarioResult result;
+  // On the threaded substrates the decide callbacks arrive concurrently.
+  std::mutex decide_mu;
+
+  // Fault assignment lookup.
+  std::vector<FaultSpec> spec_of(config.n);
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    spec_of[i].who = ProcessId{i};
+    spec_of[i].behavior = Behavior::kNone;
+  }
+  for (const FaultSpec& s : config.faults) {
+    MODUBFT_EXPECTS(s.who.value < config.n);
+    spec_of[s.who.value] = s;
+  }
+
+  std::vector<const bft::BftProcess*> views(config.n, nullptr);
+
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    const FaultSpec& spec = spec_of[i];
+
+    if (spec.behavior == Behavior::kSplitBrain) {
+      // The dual-quorum equivocation attack impersonates the round-1
+      // coordinator; it is its own actor, not a wrapped BftProcess.
+      MODUBFT_EXPECTS(i == 0);
+      world->set_actor(id, std::make_unique<SplitBrainCoordinator>(
+                               config.n, keys.signers[i].get(),
+                               config.n - config.f, config.n / 2));
+      continue;
+    }
+
+    auto inner = std::make_unique<bft::BftProcess>(
+        proto, proposals[i], keys.signers[i].get(), keys.verifier,
+        [&result, &decide_mu, i](ProcessId, const bft::VectorDecision& d) {
+          std::lock_guard<std::mutex> lock(decide_mu);
+          result.decisions.emplace(i, d);
+        });
+    views[i] = inner.get();
+
+    if (spec.behavior == Behavior::kNone) {
+      result.correct.insert(i);
+      world->set_actor(id, std::move(inner));
+    } else if (spec.behavior == Behavior::kCrash) {
+      world->set_actor(id, std::move(inner));
+      world->crash(CrashSpec{id, spec.at});
+    } else {
+      world->set_actor(id, std::make_unique<ByzantineActor>(
+                               std::move(inner), keys.signers[i].get(), spec,
+                               config.n));
+    }
+  }
+
+  const runtime::RunResult run = world->run();
+  result.outcome = run.outcome;
+  result.clean = run.clean;
+  result.unstopped = run.unstopped;
+  result.run_stats = run.stats;
+  result.net = run.stats.net;
+
+  // ---- evaluate the paper's properties over the correct processes ----
+  result.termination = true;
+  for (std::uint32_t i : result.correct) {
+    if (result.decisions.count(i) == 0) result.termination = false;
+  }
+
+  result.agreement = true;
+  const bft::VectorValue* first = nullptr;
+  for (std::uint32_t i : result.correct) {
+    auto it = result.decisions.find(i);
+    if (it == result.decisions.end()) continue;
+    if (first == nullptr) {
+      first = &it->second.entries;
+    } else if (*first != it->second.entries) {
+      result.agreement = false;
+    }
+    result.max_decision_round =
+        std::max(result.max_decision_round, it->second.round);
+    result.last_decision_time =
+        std::max(result.last_decision_time, it->second.time);
+  }
+
+  // Vector Validity (paper §5.1): for correct p_i, vect[i] is v_i or null,
+  // and at least n − 2F entries are initial values of correct processes.
+  result.vector_validity = true;
+  result.min_correct_entries = config.n;
+  const std::uint32_t floor_entries = config.n >= 2 * config.f
+                                          ? config.n - 2 * config.f
+                                          : 0;
+  for (std::uint32_t i : result.correct) {
+    auto it = result.decisions.find(i);
+    if (it == result.decisions.end()) continue;
+    const bft::VectorValue& vect = it->second.entries;
+    if (vect.size() != config.n) {
+      result.vector_validity = false;
+      continue;
+    }
+    std::uint32_t correct_entries = 0;
+    for (std::uint32_t j = 0; j < config.n; ++j) {
+      const bool j_correct = result.correct.count(j) > 0;
+      if (!vect[j].has_value()) continue;
+      if (j_correct) {
+        if (*vect[j] == proposals[j]) {
+          ++correct_entries;
+        } else {
+          result.vector_validity = false;  // falsified correct entry
+        }
+      }
+    }
+    result.min_correct_entries =
+        std::min(result.min_correct_entries, correct_entries);
+    if (correct_entries < floor_entries) result.vector_validity = false;
+  }
+  if (result.decisions.empty()) result.vector_validity = false;
+
+  // Detector reliability: correct processes never accuse correct ones.
+  result.detectors_reliable = true;
+  for (std::uint32_t i : result.correct) {
+    for (const bft::FaultRecord& rec : views[i]->nonmuteness().records()) {
+      result.records.push_back(rec);
+      result.declared_faulty.insert(rec.culprit.value);
+      if (result.correct.count(rec.culprit.value) > 0) {
+        result.detectors_reliable = false;
+      }
+    }
+    result.max_message_bytes = std::max(
+        result.max_message_bytes, views[i]->send_stats().max_message_bytes);
+    result.protocol_bytes += views[i]->send_stats().bytes;
+    if (const crypto::CachingVerifier* cache = views[i]->verify_cache()) {
+      const crypto::VerifyCacheStats s = cache->stats();
+      result.verify_cache_stats.hits += s.hits;
+      result.verify_cache_stats.misses += s.misses;
+      result.verify_cache_stats.evictions += s.evictions;
+    }
+  }
+
+  return result;
+}
+
+CrashScenarioResult run_crash_scenario(const CrashScenarioConfig& config) {
+  MODUBFT_EXPECTS(config.crash_times.empty() ||
+                  config.crash_times.size() == config.n);
+
+  const std::vector<consensus::Value> proposals =
+      default_proposals(config.n, config.proposals);
+
+  std::vector<std::optional<SimTime>> crash_times = config.crash_times;
+  crash_times.resize(config.n);
+
+  runtime::SubstrateConfig world_cfg;
+  world_cfg.backend = config.substrate;
+  world_cfg.n = config.n;
+  world_cfg.seed = config.seed;
+  world_cfg.latency = config.latency;
+  world_cfg.max_time = config.max_time;
+  world_cfg.budget = config.budget;
+  std::unique_ptr<runtime::Substrate> world =
+      runtime::make_substrate(world_cfg);
+
+  CrashScenarioResult result;
+  std::mutex decide_mu;
+
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    if (!crash_times[i].has_value()) result.correct.insert(i);
+
+    fd::OracleConfig oracle = config.oracle;
+    oracle.seed = config.oracle.seed ^ (0x1000 + i);  // independent mistakes
+    auto detector =
+        std::make_shared<fd::OracleDetector>(crash_times, oracle);
+
+    auto on_decide = [&result, &decide_mu, i](ProcessId,
+                                              const consensus::Decision& d) {
+      std::lock_guard<std::mutex> lock(decide_mu);
+      result.decisions.emplace(i, d);
+    };
+
+    std::unique_ptr<sim::Actor> actor;
+    if (config.protocol == CrashProtocol::kHurfinRaynal) {
+      actor = std::make_unique<consensus::HurfinRaynalActor>(
+          config.n, proposals[i], detector, on_decide);
+    } else {
+      actor = std::make_unique<consensus::ChandraTouegActor>(
+          config.n, proposals[i], detector, on_decide);
+    }
+    world->set_actor(id, std::move(actor));
+    if (crash_times[i].has_value()) {
+      world->crash(CrashSpec{id, *crash_times[i]});
+    }
+  }
+
+  const runtime::RunResult run = world->run();
+  result.outcome = run.outcome;
+  result.clean = run.clean;
+  result.unstopped = run.unstopped;
+  result.run_stats = run.stats;
+  result.net = run.stats.net;
+
+  result.termination = true;
+  for (std::uint32_t i : result.correct) {
+    if (result.decisions.count(i) == 0) result.termination = false;
+  }
+
+  result.agreement = true;
+  result.validity = true;
+  std::optional<consensus::Value> decided;
+  for (auto& [i, d] : result.decisions) {
+    if (result.correct.count(i) == 0) continue;
+    if (!decided.has_value()) decided = d.value;
+    if (*decided != d.value) result.agreement = false;
+    bool proposed = false;
+    for (consensus::Value v : proposals) proposed = proposed || v == d.value;
+    if (!proposed) result.validity = false;
+    result.max_decision_round = std::max(result.max_decision_round, d.round);
+    result.last_decision_time = std::max(result.last_decision_time, d.time);
+  }
+
+  return result;
+}
+
+LockstepScenarioResult run_lockstep_scenario(
+    const LockstepScenarioConfig& config) {
+  bft::LockstepConfig lcfg;
+  lcfg.n = config.n;
+  lcfg.f = config.f;
+  lcfg.rounds = config.rounds;
+  lcfg.muteness = tune_muteness(fd::MutenessConfig{}, config.substrate);
+
+  crypto::SignatureSystem keys =
+      make_keys(Scheme::kHmac, config.n, config.seed);
+
+  runtime::SubstrateConfig world_cfg;
+  world_cfg.backend = config.substrate;
+  world_cfg.n = config.n;
+  world_cfg.seed = config.seed;
+  world_cfg.latency = config.latency;
+  world_cfg.max_time = config.max_time;
+  world_cfg.budget = config.budget;
+  std::unique_ptr<runtime::Substrate> world =
+      runtime::make_substrate(world_cfg);
+
+  LockstepScenarioResult result;
+  std::mutex done_mu;
+
+  std::set<std::uint32_t> crashed;
+  for (const CrashSpec& c : config.crashes) {
+    MODUBFT_EXPECTS(c.who.value < config.n);
+    crashed.insert(c.who.value);
+  }
+
+  std::vector<const bft::TransformedActor*> views(config.n, nullptr);
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    if (crashed.count(i) == 0) result.correct.insert(i);
+    auto actor = bft::make_lockstep_actor(
+        lcfg, keys.signers[i].get(), keys.verifier,
+        [&result, &done_mu, i](ProcessId, Round r, SimTime) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          result.finished.emplace(i, r);
+        },
+        &views[i]);
+    world->set_actor(id, std::move(actor));
+  }
+  for (const CrashSpec& c : config.crashes) world->crash(c);
+
+  const runtime::RunResult run = world->run();
+  result.outcome = run.outcome;
+  result.clean = run.clean;
+  result.unstopped = run.unstopped;
+  result.run_stats = run.stats;
+
+  result.all_correct_finished = true;
+  for (std::uint32_t i : result.correct) {
+    auto it = result.finished.find(i);
+    if (it == result.finished.end() || it->second.value < config.rounds) {
+      result.all_correct_finished = false;
+    }
+  }
+
+  for (std::uint32_t i : result.correct) {
+    for (const bft::FaultRecord& rec : views[i]->records()) {
+      result.records.push_back(rec);
+      if (result.correct.count(rec.culprit.value) > 0) {
+        result.no_false_accusations = false;
+      }
+    }
+  }
+
+  return result;
+}
+
+SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
+  const std::vector<smr::Command> workload =
+      config.workload.empty() ? sample_workload() : config.workload;
+
+  crypto::SignatureSystem keys =
+      make_keys(Scheme::kHmac, config.n, config.seed);
+
+  std::vector<std::optional<SimTime>> crash_times(config.n);
+  for (const CrashSpec& c : config.crashes) {
+    MODUBFT_EXPECTS(c.who.value < config.n);
+    crash_times[c.who.value] = c.at;
+  }
+
+  runtime::SubstrateConfig world_cfg;
+  world_cfg.backend = config.substrate;
+  world_cfg.n = config.n;
+  world_cfg.seed = config.seed;
+  world_cfg.latency = config.latency;
+  world_cfg.max_time = config.max_time;
+  world_cfg.budget = config.budget;
+  std::unique_ptr<runtime::Substrate> world =
+      runtime::make_substrate(world_cfg);
+
+  SmrScenarioResult result;
+
+  std::vector<const smr::Replica*> views(config.n, nullptr);
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    if (!crash_times[i].has_value()) result.correct.insert(i);
+
+    smr::ReplicaConfig rcfg;
+    rcfg.n = config.n;
+    rcfg.backend = config.backend;
+    rcfg.slots = config.slots;
+    if (config.backend == smr::Backend::kCrashHurfinRaynal) {
+      fd::OracleConfig oracle = config.oracle;
+      oracle.seed = config.oracle.seed ^ (0x1000 + i);
+      rcfg.detector =
+          std::make_shared<fd::OracleDetector>(crash_times, oracle);
+    } else {
+      rcfg.bft.n = config.n;
+      rcfg.bft.f = config.f;
+      rcfg.bft.muteness = tune_muteness(fd::MutenessConfig{}, config.substrate);
+      rcfg.bft.suspicion_poll_period =
+          tune_poll_period(config.substrate, std::nullopt);
+      rcfg.bft.validate();
+      rcfg.signer = keys.signers[i].get();
+      rcfg.verifier = keys.verifier;
+    }
+
+    auto replica =
+        std::make_unique<smr::Replica>(rcfg, workload, smr::CommitFn{});
+    views[i] = replica.get();
+    world->set_actor(id, std::move(replica));
+    if (crash_times[i].has_value()) {
+      world->crash(CrashSpec{id, *crash_times[i]});
+    }
+  }
+
+  const runtime::RunResult run = world->run();
+  result.outcome = run.outcome;
+  result.clean = run.clean;
+  result.unstopped = run.unstopped;
+  result.run_stats = run.stats;
+
+  result.all_committed = true;
+  result.stores_agree = true;
+  const smr::Replica* reference = nullptr;
+  for (std::uint32_t i : result.correct) {
+    result.committed.emplace(i, views[i]->committed_slots());
+    if (views[i]->committed_slots() < config.slots) {
+      result.all_committed = false;
+    }
+    if (reference == nullptr) {
+      reference = views[i];
+      result.store = views[i]->store().contents();
+    } else if (views[i]->store().contents() != reference->store().contents()) {
+      result.stores_agree = false;
+    }
+  }
+  if (result.correct.empty()) {
+    result.all_committed = false;
+    result.stores_agree = false;
+  }
+
+  return result;
+}
+
+}  // namespace modubft::faults

@@ -1,0 +1,261 @@
+#include "runtime/substrate.hpp"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "transport/cluster.hpp"
+#include "transport/link_faults.hpp"
+
+namespace modubft::runtime {
+
+namespace {
+using WallClock = std::chrono::steady_clock;
+
+std::uint64_t wall_us_since(WallClock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(WallClock::now() -
+                                                            start)
+          .count());
+}
+
+// ---------------------------------------------------------------- kSim
+
+class SimSubstrate final : public Substrate {
+ public:
+  explicit SimSubstrate(SubstrateConfig config) : config_(std::move(config)) {
+    sim::SimConfig sim_cfg;
+    sim_cfg.n = config_.n;
+    sim_cfg.seed = config_.seed;
+    sim_cfg.latency = config_.latency;
+    sim_cfg.max_time = config_.max_time;
+    sim_cfg.max_events = config_.max_events;
+    world_ = std::make_unique<sim::Simulation>(sim_cfg);
+  }
+
+  Backend backend() const override { return Backend::kSim; }
+  std::uint32_t n() const override { return config_.n; }
+
+  void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) override {
+    world_->set_actor(id, std::move(actor));
+  }
+
+  void crash(const faults::CrashSpec& spec) override {
+    world_->crash_at(spec.who, spec.at);
+    crash_scheduled_.insert(spec.who.value);
+  }
+
+  void set_delivery_tap(
+      std::function<void(const sim::Delivery&)> tap) override {
+    world_->set_delivery_tap(std::move(tap));
+  }
+
+  RunResult run() override {
+    const WallClock::time_point start = WallClock::now();
+    const sim::RunOutcome out = world_->run();
+
+    RunResult result;
+    switch (out) {
+      case sim::RunOutcome::kQuiescent:
+        result.outcome = RunOutcome::kQuiescent;
+        break;
+      case sim::RunOutcome::kAllStopped:
+        result.outcome = RunOutcome::kAllStopped;
+        break;
+      case sim::RunOutcome::kTimeLimit:
+        result.outcome = RunOutcome::kTimeLimit;
+        break;
+      case sim::RunOutcome::kEventLimit:
+        result.outcome = RunOutcome::kEventLimit;
+        break;
+    }
+    result.clean = out == sim::RunOutcome::kQuiescent ||
+                   out == sim::RunOutcome::kAllStopped;
+    if (!result.clean) {
+      for (std::uint32_t i = 0; i < config_.n; ++i) {
+        if (!world_->halted(ProcessId{i}) && crash_scheduled_.count(i) == 0) {
+          result.unstopped.push_back(ProcessId{i});
+        }
+      }
+    }
+    result.stats.net = world_->stats();
+    result.stats.virtual_time = world_->now();
+    result.stats.wall_us = wall_us_since(start);
+    return result;
+  }
+
+ private:
+  SubstrateConfig config_;
+  std::unique_ptr<sim::Simulation> world_;
+  std::set<std::uint32_t> crash_scheduled_;
+};
+
+// ------------------------------------------------------------- kThreads
+
+class ThreadSubstrate final : public Substrate {
+ public:
+  explicit ThreadSubstrate(SubstrateConfig config)
+      : config_(std::move(config)) {
+    transport::ClusterConfig cluster_cfg;
+    cluster_cfg.n = config_.n;
+    cluster_cfg.seed = config_.seed;
+    cluster_cfg.budget = config_.budget;
+    cluster_ = std::make_unique<transport::Cluster>(cluster_cfg);
+  }
+
+  Backend backend() const override { return Backend::kThreads; }
+  std::uint32_t n() const override { return config_.n; }
+
+  void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) override {
+    cluster_->set_actor(id, std::move(actor));
+  }
+
+  void crash(const faults::CrashSpec& spec) override {
+    cluster_->crash_after(spec.who, std::chrono::microseconds(spec.at));
+  }
+
+  void set_delivery_tap(
+      std::function<void(const sim::Delivery&)> tap) override {
+    cluster_->set_delivery_tap(std::move(tap));
+  }
+
+  RunResult run() override {
+    const bool all_stopped = cluster_->run();
+
+    RunResult result;
+    result.outcome =
+        all_stopped ? RunOutcome::kAllStopped : RunOutcome::kBudgetExpired;
+    result.clean = all_stopped;
+    result.unstopped = cluster_->unstopped();
+    result.stats.net = cluster_->stats();
+    result.stats.wall_us =
+        static_cast<std::uint64_t>(cluster_->elapsed().count());
+    return result;
+  }
+
+ private:
+  SubstrateConfig config_;
+  std::unique_ptr<transport::Cluster> cluster_;
+};
+
+// ----------------------------------------------------------------- kTcp
+
+class TcpSubstrate final : public Substrate {
+ public:
+  explicit TcpSubstrate(SubstrateConfig config) : config_(std::move(config)) {
+    transport::TcpClusterConfig cluster_cfg;
+    cluster_cfg.n = config_.n;
+    cluster_cfg.seed = config_.seed;
+    cluster_cfg.budget = config_.budget;
+    cluster_cfg.retry = config_.retry;
+    if (!config_.link_faults.empty()) {
+      cluster_cfg.faults =
+          transport::LinkFaultPlan(config_.link_faults, config_.seed);
+    }
+    cluster_ = std::make_unique<transport::TcpCluster>(cluster_cfg);
+  }
+
+  Backend backend() const override { return Backend::kTcp; }
+  std::uint32_t n() const override { return config_.n; }
+
+  void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) override {
+    cluster_->set_actor(id, std::move(actor));
+  }
+
+  void crash(const faults::CrashSpec& spec) override {
+    cluster_->crash_after(spec.who, std::chrono::microseconds(spec.at));
+  }
+
+  void set_delivery_tap(
+      std::function<void(const sim::Delivery&)> tap) override {
+    cluster_->set_delivery_tap(std::move(tap));
+  }
+
+  RunResult run() override {
+    const WallClock::time_point start = WallClock::now();
+    const bool all_stopped = cluster_->run();
+
+    RunResult result;
+    result.outcome =
+        all_stopped ? RunOutcome::kAllStopped : RunOutcome::kBudgetExpired;
+    result.clean = all_stopped;
+    result.unstopped = cluster_->unstopped();
+    result.stats.net = cluster_->stats();
+    result.stats.wall_us = wall_us_since(start);
+    result.stats.wire_frames = cluster_->frames_sent();
+    result.stats.wire_bytes = cluster_->bytes_sent();
+    result.stats.link = cluster_->link_stats();
+    return result;
+  }
+
+ private:
+  SubstrateConfig config_;
+  std::unique_ptr<transport::TcpCluster> cluster_;
+};
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kThreads: return "threads";
+    case Backend::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(const std::string& name) {
+  if (name == "sim") return Backend::kSim;
+  if (name == "threads") return Backend::kThreads;
+  if (name == "tcp") return Backend::kTcp;
+  return std::nullopt;
+}
+
+const char* run_outcome_name(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kQuiescent: return "quiescent";
+    case RunOutcome::kAllStopped: return "all-stopped";
+    case RunOutcome::kTimeLimit: return "time-limit";
+    case RunOutcome::kEventLimit: return "event-limit";
+    case RunOutcome::kBudgetExpired: return "budget-expired";
+  }
+  return "?";
+}
+
+std::string to_json(Backend backend, const RunStats& stats) {
+  std::ostringstream os;
+  os << "{\"backend\":\"" << backend_name(backend) << '"'
+     << ",\"messages_sent\":" << stats.net.messages_sent
+     << ",\"messages_delivered\":" << stats.net.messages_delivered
+     << ",\"bytes_sent\":" << stats.net.bytes_sent
+     << ",\"events_executed\":" << stats.net.events_executed
+     << ",\"virtual_time_us\":" << stats.virtual_time
+     << ",\"wall_us\":" << stats.wall_us
+     << ",\"wire_frames\":" << stats.wire_frames
+     << ",\"wire_bytes\":" << stats.wire_bytes
+     << ",\"reconnects\":" << stats.link.reconnects
+     << ",\"retransmits\":" << stats.link.retransmits
+     << ",\"frames_dropped\":" << stats.link.frames_dropped
+     << ",\"kills_injected\":" << stats.link.kills_injected
+     << ",\"checksum_failures\":" << stats.link.checksum_failures
+     << ",\"dup_suppressed\":" << stats.link.dup_suppressed << '}';
+  return os.str();
+}
+
+std::unique_ptr<Substrate> make_substrate(SubstrateConfig config) {
+  MODUBFT_EXPECTS(config.n > 0);
+  switch (config.backend) {
+    case Backend::kSim:
+      return std::make_unique<SimSubstrate>(std::move(config));
+    case Backend::kThreads:
+      return std::make_unique<ThreadSubstrate>(std::move(config));
+    case Backend::kTcp:
+      return std::make_unique<TcpSubstrate>(std::move(config));
+  }
+  MODUBFT_EXPECTS(false);
+  return nullptr;
+}
+
+}  // namespace modubft::runtime

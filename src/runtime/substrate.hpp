@@ -1,0 +1,144 @@
+// Substrate abstraction: one runtime contract over the three executors.
+//
+// The protocols are written once against sim::Actor / sim::Context; this
+// layer makes the *harness* substrate-generic too.  A `Substrate` owns one
+// of the three runtimes —
+//   * kSim     — sim::Simulation: deterministic event queue, virtual time;
+//   * kThreads — transport::Cluster: one OS thread per process, in-memory
+//                MPSC mailboxes, wall clock;
+//   * kTcp     — transport::TcpCluster: loopback sockets, resilient
+//                framed channels, optional link-fault injection —
+// behind one interface: install actors, schedule crashes (CrashSpec),
+// observe deliveries, run to completion, and read back a unified
+// RunResult.  Scenario runners (faults/scenario.hpp) target this interface
+// and therefore execute unmodified on all three backends; docs/RUNTIME.md
+// spells out the contract each implementation upholds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "faults/fault_spec.hpp"
+#include "faults/link_fault.hpp"
+#include "sim/actor.hpp"
+#include "sim/simulation.hpp"
+#include "transport/resilient_channel.hpp"
+#include "transport/tcp_cluster.hpp"
+
+namespace modubft::runtime {
+
+enum class Backend : std::uint8_t {
+  kSim = 0,
+  kThreads,
+  kTcp,
+};
+
+const char* backend_name(Backend b);
+
+/// Parses "sim" / "threads" / "tcp" (the scenario_cli vocabulary).
+std::optional<Backend> parse_backend(const std::string& name);
+
+/// Why Substrate::run returned.  Superset of sim::RunOutcome: the
+/// wall-clock backends report kAllStopped on a clean run and
+/// kBudgetExpired when the budget ran out with live nodes.
+enum class RunOutcome : std::uint8_t {
+  kQuiescent,      // sim only: no pending events remained
+  kAllStopped,     // every live actor called stop()
+  kTimeLimit,      // sim only: simulated-time budget exhausted
+  kEventLimit,     // sim only: event-count budget exhausted
+  kBudgetExpired,  // threads/tcp: wall-clock budget exhausted
+};
+
+const char* run_outcome_name(RunOutcome o);
+
+/// Unified counters, comparable across backends.  The core message
+/// counters are protocol-level on every substrate (counted at the
+/// Context::send boundary and at actor dispatch), so a scenario's message
+/// complexity can be diffed sim-vs-threads-vs-tcp field by field.
+struct RunStats {
+  sim::Stats net;
+  /// Virtual end time (sim) — 0 on the wall-clock backends.
+  SimTime virtual_time = 0;
+  /// Wall-clock run duration in µs (measured on every backend).
+  std::uint64_t wall_us = 0;
+  /// kTcp only: frames/bytes actually written to sockets (retransmits
+  /// included) — the wire-amplification companions to net.bytes_sent.
+  std::uint64_t wire_frames = 0;
+  std::uint64_t wire_bytes = 0;
+  /// kTcp only: fault/recovery counters aggregated over all links.
+  transport::TcpLinkStats link;
+};
+
+/// One-line JSON object for benchmark emission (keys stable across
+/// backends; TCP-only fields are 0 elsewhere).
+std::string to_json(Backend backend, const RunStats& stats);
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kQuiescent;
+  /// True iff the run ended without hitting a time/event/budget limit.
+  bool clean = false;
+  /// Processes still live when a limit hit (named culprits; empty after a
+  /// clean run).  Scheduled-crash victims are excluded.
+  std::vector<ProcessId> unstopped;
+  RunStats stats;
+};
+
+struct SubstrateConfig {
+  Backend backend = Backend::kSim;
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+
+  // --- kSim ---
+  sim::LatencyModel latency = sim::calm_network();
+  SimTime max_time = 120'000'000;
+  std::uint64_t max_events = 50'000'000;
+
+  // --- kThreads / kTcp ---
+  /// Wall-clock budget; nodes still running afterwards are reported via
+  /// RunResult::unstopped.
+  std::chrono::milliseconds budget{20'000};
+
+  // --- kTcp ---
+  /// Link faults injected below the framing layer (empty = healthy).
+  std::vector<faults::LinkFaultSpec> link_faults;
+  /// Reconnect / retransmit / timeout policy applied to every link.
+  transport::RetryPolicy retry;
+};
+
+/// One runtime behind the uniform harness interface.  Usage mirrors the
+/// underlying runtimes: set_actor for every id, optional crash/tap
+/// scheduling, then exactly one run().
+class Substrate {
+ public:
+  virtual ~Substrate() = default;
+
+  virtual Backend backend() const = 0;
+  virtual std::uint32_t n() const = 0;
+
+  /// Installs the actor for `id`.  Call for every id before run().
+  virtual void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) = 0;
+
+  /// Schedules a silent halt of `spec.who` at `spec.at` µs after the run
+  /// starts — simulated time on kSim, wall clock on kThreads/kTcp.
+  /// Messages already handed to the channels may still reach peers.
+  virtual void crash(const faults::CrashSpec& spec) = 0;
+
+  /// Optional observer invoked on every delivery, before the receiving
+  /// actor's on_message.  On the threaded backends calls are serialized by
+  /// the runtime; `Delivery::payload` is valid only for the call.
+  virtual void set_delivery_tap(
+      std::function<void(const sim::Delivery&)> tap) = 0;
+
+  /// Runs to completion (or a limit) and reports the unified outcome.
+  virtual RunResult run() = 0;
+};
+
+std::unique_ptr<Substrate> make_substrate(SubstrateConfig config);
+
+}  // namespace modubft::runtime

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace modubft::transport {
@@ -48,13 +50,21 @@ class Cluster::NodeContext final : public sim::Context {
 
   void send(ProcessId to, Bytes payload) override {
     MODUBFT_EXPECTS(to.value < cluster_.config_.n);
+    cluster_.stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    cluster_.stats_.bytes_sent.fetch_add(payload.size(),
+                                         std::memory_order_relaxed);
     cluster_.nodes_[to.value]->mailbox.push(
-        Envelope{node_.id, std::move(payload)});
+        Envelope{node_.id, std::move(payload), cluster_.since_epoch()});
   }
 
   void broadcast(const Bytes& payload) override {
+    const SimTime sent_at = cluster_.since_epoch();
+    cluster_.stats_.messages_sent.fetch_add(cluster_.config_.n,
+                                            std::memory_order_relaxed);
+    cluster_.stats_.bytes_sent.fetch_add(
+        payload.size() * cluster_.config_.n, std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < cluster_.config_.n; ++i) {
-      cluster_.nodes_[i]->mailbox.push(Envelope{node_.id, payload});
+      cluster_.nodes_[i]->mailbox.push(Envelope{node_.id, payload, sent_at});
     }
   }
 
@@ -113,6 +123,32 @@ void Cluster::crash_after(ProcessId id, std::chrono::microseconds after) {
                                                      : Clock::duration::zero());
 }
 
+void Cluster::set_delivery_tap(std::function<void(const sim::Delivery&)> tap) {
+  MODUBFT_EXPECTS(!ran_);
+  tap_ = std::move(tap);
+}
+
+SimTime Cluster::since_epoch() const {
+  if (epoch_ == Clock::time_point{}) return 0;
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch_)
+          .count());
+}
+
+void Cluster::tap_delivery(const Envelope& env, ProcessId to) {
+  if (!tap_) return;
+  sim::Delivery d;
+  d.send_time = env.sent_at;
+  d.deliver_time = since_epoch();
+  d.from = env.from;
+  d.to = to;
+  d.size = env.payload.size();
+  d.payload = &env.payload;
+  std::lock_guard<std::mutex> lock(tap_mu_);
+  tap_(d);
+}
+
 void Cluster::node_main(Node& node) {
   NodeContext ctx(*this, node);
   node.actor->on_start(ctx);
@@ -141,6 +177,9 @@ void Cluster::node_main(Node& node) {
     if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) break;
 
     if (env.has_value()) {
+      tap_delivery(*env, node.id);
+      stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+      stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
       node.actor->on_message(ctx, env->from, env->payload);
       continue;
     }
@@ -164,6 +203,7 @@ void Cluster::node_main(Node& node) {
         node.timers.end());
     for (std::uint64_t id : due) {
       if (node.stop_requested.load()) break;
+      stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
       node.actor->on_timer(ctx, id);
     }
     if (node.mailbox.closed() && !env.has_value() && node.timers.empty()) {
@@ -205,6 +245,14 @@ bool Cluster::run() {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
+  // Snapshot the stragglers before teardown forces everyone to stop, so a
+  // budget expiry is diagnosable (and attributable) after run() returns.
+  for (auto& node : nodes_) {
+    if (!node->stopped.load() && !node->crash_at.has_value()) {
+      unstopped_.push_back(node->id);
+    }
+  }
+
   for (auto& node : nodes_) {
     node->stop_requested.store(true);
     node->mailbox.close();
@@ -214,12 +262,30 @@ bool Cluster::run() {
 
   elapsed_ = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - epoch_);
+
+  if (!all_stopped && !unstopped_.empty()) {
+    std::ostringstream os;
+    os << "Cluster: budget expired with unstopped nodes:";
+    for (ProcessId id : unstopped_) os << ' ' << id;
+    log_warn(os.str());
+  }
   return all_stopped;
 }
 
 bool Cluster::stopped(ProcessId id) const {
   MODUBFT_EXPECTS(id.value < config_.n);
   return nodes_[id.value]->stopped.load();
+}
+
+std::vector<ProcessId> Cluster::unstopped() const { return unstopped_; }
+
+sim::Stats Cluster::stats() const {
+  sim::Stats s;
+  s.messages_sent = stats_.messages_sent.load();
+  s.messages_delivered = stats_.messages_delivered.load();
+  s.bytes_sent = stats_.bytes_sent.load();
+  s.events_executed = stats_.events_executed.load();
+  return s;
 }
 
 }  // namespace modubft::transport

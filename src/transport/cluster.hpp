@@ -16,12 +16,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "sim/actor.hpp"
+#include "sim/simulation.hpp"
 #include "transport/mailbox.hpp"
 
 namespace modubft::transport {
@@ -48,11 +51,30 @@ class Cluster {
   /// Schedules a silent halt of `id` after `after` of wall-clock run time.
   void crash_after(ProcessId id, std::chrono::microseconds after);
 
+  /// Optional observer invoked on every delivery, right before the
+  /// receiving actor's on_message.  Calls are serialized by an internal
+  /// mutex (they come from every node thread), so the tap itself needs no
+  /// locking; `Delivery::payload` is only valid for the call's duration.
+  /// Times are µs since the run epoch — the same clock crash_after uses.
+  void set_delivery_tap(std::function<void(const sim::Delivery&)> tap);
+
   /// Starts all node threads and blocks until every node stopped (or the
-  /// budget expires).  Returns true iff all nodes stopped by themselves.
+  /// budget expires).  Returns true iff all nodes stopped by themselves;
+  /// on budget expiry the stragglers are reported via unstopped() and a
+  /// warning log naming each culprit.
   bool run();
 
   bool stopped(ProcessId id) const;
+
+  /// Nodes that had not stopped when the run() budget expired (empty after
+  /// a clean run) — a hung node is a named test failure, not a silent
+  /// budget expiry.
+  std::vector<ProcessId> unstopped() const;
+
+  /// Aggregate message counters, comparable field-for-field with
+  /// sim::Simulation::stats().  events_executed counts actor callbacks
+  /// (message + timer dispatches).
+  sim::Stats stats() const;
 
   /// Wall-clock duration of the completed run.
   std::chrono::microseconds elapsed() const { return elapsed_; }
@@ -66,19 +88,35 @@ class Cluster {
   struct Envelope {
     ProcessId from;
     Bytes payload;
+    /// µs since the run epoch at push time (0 for pre-epoch pushes).
+    SimTime sent_at = 0;
   };
 
   struct Node;
   class NodeContext;
 
   void node_main(Node& node);
+  SimTime since_epoch() const;
+  void tap_delivery(const Envelope& env, ProcessId to);
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::thread> threads_;
   std::chrono::steady_clock::time_point epoch_{};
   std::chrono::microseconds elapsed_{0};
+  std::vector<ProcessId> unstopped_;
   bool ran_ = false;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_delivered{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> events_executed{0};
+  };
+  AtomicStats stats_;
+
+  std::mutex tap_mu_;
+  std::function<void(const sim::Delivery&)> tap_;
 };
 
 }  // namespace modubft::transport

@@ -78,6 +78,8 @@ struct TcpCluster::Node {
 
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> stopped{false};
+  std::optional<Clock::time_point> crash_at;
+  std::atomic<bool> crashed{false};
 
   TcpCluster* cluster = nullptr;
 };
@@ -151,6 +153,41 @@ void TcpCluster::set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor) {
   nodes_[id.value]->actor = std::move(actor);
 }
 
+void TcpCluster::crash_after(ProcessId id, std::chrono::microseconds after) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(!ran_);
+  // Resolved against the epoch when run() starts.
+  nodes_[id.value]->crash_at = Clock::time_point(
+      after.count() >= 0 ? Clock::duration(after) : Clock::duration::zero());
+}
+
+void TcpCluster::set_delivery_tap(
+    std::function<void(const sim::Delivery&)> tap) {
+  MODUBFT_EXPECTS(!ran_);
+  tap_ = std::move(tap);
+}
+
+SimTime TcpCluster::since_epoch() const {
+  if (epoch_ == Clock::time_point{}) return 0;
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch_)
+          .count());
+}
+
+void TcpCluster::tap_delivery(const Envelope& env, ProcessId to) {
+  if (!tap_) return;
+  sim::Delivery d;
+  d.send_time = env.arrived_at;
+  d.deliver_time = since_epoch();
+  d.from = env.from;
+  d.to = to;
+  d.size = env.payload.size();
+  d.payload = &env.payload;
+  std::lock_guard<std::mutex> lock(tap_mu_);
+  tap_(d);
+}
+
 void TcpCluster::record_error(Node& node, std::string message) {
   std::lock_guard<std::mutex> lock(node.errors_mu);
   node.errors.push_back(std::move(message));
@@ -158,10 +195,13 @@ void TcpCluster::record_error(Node& node, std::string message) {
 
 bool TcpCluster::send_frame(Node& node, ProcessId to, const Bytes& payload) {
   MODUBFT_EXPECTS(to.value < config_.n);
+  if (node.crashed.load(std::memory_order_relaxed)) return false;
+  msg_stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  msg_stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
   if (to == node.id) {
     // Loopback delivery without a socket round trip keeps "send to Π"
     // semantics identical to the other substrates.
-    node.mailbox.push(Envelope{node.id, payload});
+    node.mailbox.push(Envelope{node.id, payload, since_epoch()});
     return true;
   }
   ResilientChannel* channel = node.channels[to.value].get();
@@ -291,7 +331,7 @@ void TcpCluster::reader_main(Node& node, int fd) {
     }
     ++link.expected_seq;
     if (config_.audit_deliveries) link.audit.push_back(h.seq);
-    node.mailbox.push(Envelope{from, std::move(payload)});
+    node.mailbox.push(Envelope{from, std::move(payload), since_epoch()});
     if (++link.since_ack >= config_.retry.ack_every) {
       link.since_ack = 0;
       std::uint8_t ack[kAckBytes];
@@ -312,6 +352,11 @@ void TcpCluster::node_main(Node& node) {
   node.actor->on_start(ctx);
 
   while (!node.stop_requested.load()) {
+    if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) {
+      node.crashed.store(true);
+      break;  // silent halt: no more receives, no more sends
+    }
+
     Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(20);
     const TimerEntry* earliest = nullptr;
     for (const TimerEntry& t : node.timers) {
@@ -321,11 +366,21 @@ void TcpCluster::node_main(Node& node) {
     if (earliest != nullptr && earliest->due < deadline) {
       deadline = earliest->due;
     }
+    if (node.crash_at.has_value() && *node.crash_at < deadline) {
+      deadline = *node.crash_at;
+    }
 
     std::optional<Envelope> env = node.mailbox.pop_until(deadline);
     if (node.stop_requested.load()) break;
+    if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) {
+      node.crashed.store(true);
+      break;
+    }
 
     if (env.has_value()) {
+      tap_delivery(*env, node.id);
+      msg_stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+      msg_stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
       node.actor->on_message(ctx, env->from, env->payload);
       continue;
     }
@@ -348,6 +403,7 @@ void TcpCluster::node_main(Node& node) {
         node.timers.end());
     for (std::uint64_t id : due) {
       if (node.stop_requested.load()) break;
+      msg_stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
       node.actor->on_timer(ctx, id);
     }
     if (node.mailbox.closed() && node.timers.empty()) break;
@@ -425,6 +481,12 @@ bool TcpCluster::run() {
 
   // 4. Run the actors.
   epoch_ = Clock::now();
+  // Rebase crash deadlines onto the epoch.
+  for (auto& node : nodes_) {
+    if (node->crash_at.has_value()) {
+      node->crash_at = epoch_ + node->crash_at->time_since_epoch();
+    }
+  }
   threads_.reserve(config_.n);
   for (auto& node : nodes_) {
     threads_.emplace_back([this, &node = *node] { node_main(node); });
@@ -552,6 +614,15 @@ std::uint64_t TcpCluster::bytes_sent() const {
     }
   }
   return total;
+}
+
+sim::Stats TcpCluster::stats() const {
+  sim::Stats s;
+  s.messages_sent = msg_stats_.messages_sent.load();
+  s.messages_delivered = msg_stats_.messages_delivered.load();
+  s.bytes_sent = msg_stats_.bytes_sent.load();
+  s.events_executed = msg_stats_.events_executed.load();
+  return s;
 }
 
 TcpLinkStats TcpCluster::link_stats() const {

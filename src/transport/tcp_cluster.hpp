@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,7 @@
 
 #include "common/ids.hpp"
 #include "sim/actor.hpp"
+#include "sim/simulation.hpp"
 #include "transport/link_faults.hpp"
 #include "transport/mailbox.hpp"
 #include "transport/resilient_channel.hpp"
@@ -83,6 +85,21 @@ class TcpCluster {
 
   void set_actor(ProcessId id, std::unique_ptr<sim::Actor> actor);
 
+  /// Schedules a silent halt of `id` after `after` of wall-clock run time:
+  /// the node's actor stops receiving, sending and firing timers, matching
+  /// Cluster::crash_after and sim::Simulation::crash_at semantics.  Frames
+  /// already handed to the resilient channels may still reach peers (they
+  /// are "in the channel", as in the simulator's model).
+  void crash_after(ProcessId id, std::chrono::microseconds after);
+
+  /// Optional observer invoked on every delivery, right before the
+  /// receiving actor's on_message.  Serialized by an internal mutex;
+  /// `Delivery::payload` is valid only for the call.  `send_time` is the
+  /// frame's arrival at the receiving transport (the wire carries no send
+  /// timestamp), `deliver_time` the dispatch to the actor — both µs since
+  /// the run epoch.
+  void set_delivery_tap(std::function<void(const sim::Delivery&)> tap);
+
   /// Establishes the mesh, runs every node to completion (or budget
   /// expiry).  Returns true iff all nodes stopped by themselves; on budget
   /// expiry the stragglers are reported via unstopped() and a warning log.
@@ -105,6 +122,12 @@ class TcpCluster {
   std::uint64_t frames_sent() const;
   std::uint64_t bytes_sent() const;
 
+  /// Protocol-level message counters, comparable field-for-field with
+  /// sim::Simulation::stats() and Cluster::stats(): sends/bytes are
+  /// counted at the Context::send boundary (before framing, retransmits
+  /// excluded), deliveries at actor dispatch.
+  sim::Stats stats() const;
+
   /// Aggregate fault/recovery counters over all links.
   TcpLinkStats link_stats() const;
 
@@ -125,6 +148,8 @@ class TcpCluster {
   struct Envelope {
     ProcessId from;
     Bytes payload;
+    /// µs since the run epoch when the frame reached this node's mailbox.
+    SimTime arrived_at = 0;
   };
 
   struct RecvLink;
@@ -137,6 +162,8 @@ class TcpCluster {
   bool send_frame(Node& node, ProcessId to, const Bytes& payload);
   void record_error(Node& node, std::string message);
   void teardown();
+  SimTime since_epoch() const;
+  void tap_delivery(const Envelope& env, ProcessId to);
 
   TcpClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -146,6 +173,17 @@ class TcpCluster {
   std::atomic<bool> shutting_down_{false};
   bool ran_ = false;
   bool torn_down_ = false;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_delivered{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> events_executed{0};
+  };
+  AtomicStats msg_stats_;
+
+  std::mutex tap_mu_;
+  std::function<void(const sim::Delivery&)> tap_;
 };
 
 }  // namespace modubft::transport

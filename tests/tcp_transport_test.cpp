@@ -309,6 +309,84 @@ TEST(TcpCluster, BudgetExpiryReportsUnstoppedNodes) {
   EXPECT_TRUE(cluster.stopped(ProcessId{0}));
 }
 
+// --- crash_after / stats / delivery-tap parity with the other runtimes --
+
+TEST(TcpCluster, CrashAfterSilencesNode) {
+  class Chatter final : public sim::Actor {
+   public:
+    explicit Chatter(std::atomic<int>* received) : received_(received) {}
+    void on_start(sim::Context& ctx) override { ctx.set_timer(5'000); }
+    void on_timer(sim::Context& ctx, std::uint64_t) override {
+      ctx.broadcast({1});
+      ctx.set_timer(5'000);
+    }
+    void on_message(sim::Context&, ProcessId, const Bytes&) override {
+      ++*received_;
+    }
+   private:
+    std::atomic<int>* received_;
+  };
+
+  TcpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.budget = std::chrono::milliseconds(600);
+  TcpCluster cluster(cfg);
+  std::atomic<int> a{0}, b{0};
+  cluster.set_actor(ProcessId{0}, std::make_unique<Chatter>(&a));
+  cluster.set_actor(ProcessId{1}, std::make_unique<Chatter>(&b));
+  cluster.crash_after(ProcessId{1}, std::chrono::microseconds(150'000));
+  cluster.run();  // budget expiry expected (p1 chats forever)
+  // p2 crashed a quarter of the way in: it stopped receiving and sending,
+  // so it saw far less traffic than the survivor.
+  EXPECT_GT(b.load(), 0);
+  EXPECT_LT(b.load(), a.load());
+  // The crash victim is not an unstopped straggler — only genuinely hung
+  // nodes get named.
+  for (ProcessId id : cluster.unstopped()) EXPECT_NE(id, ProcessId{1});
+}
+
+TEST(TcpCluster, StatsAndTapCountDeliveries) {
+  class Sender final : public sim::Actor {
+   public:
+    void on_start(sim::Context& ctx) override {
+      for (int i = 0; i < 8; ++i) ctx.send(ProcessId{1}, {7, 7});
+      ctx.stop();
+    }
+    void on_message(sim::Context&, ProcessId, const Bytes&) override {}
+  };
+  class Sink final : public sim::Actor {
+   public:
+    void on_message(sim::Context& ctx, ProcessId, const Bytes&) override {
+      if (++seen_ == 8) ctx.stop();
+    }
+   private:
+    int seen_ = 0;
+  };
+
+  TcpClusterConfig cfg;
+  cfg.n = 2;
+  cfg.budget = std::chrono::milliseconds(5000);
+  TcpCluster cluster(cfg);
+  int taps = 0;
+  bool shape_ok = true;
+  cluster.set_delivery_tap([&](const sim::Delivery& d) {
+    ++taps;
+    shape_ok = shape_ok && d.from == ProcessId{0} && d.to == ProcessId{1} &&
+               d.size == 2 && d.payload != nullptr;
+  });
+  cluster.set_actor(ProcessId{0}, std::make_unique<Sender>());
+  cluster.set_actor(ProcessId{1}, std::make_unique<Sink>());
+  EXPECT_TRUE(cluster.run());
+
+  EXPECT_EQ(taps, 8);
+  EXPECT_TRUE(shape_ok);
+  const sim::Stats stats = cluster.stats();
+  EXPECT_EQ(stats.messages_sent, 8u);
+  EXPECT_EQ(stats.messages_delivered, 8u);
+  EXPECT_EQ(stats.bytes_sent, 16u);  // protocol bytes, not wire bytes
+  EXPECT_GE(cluster.bytes_sent(), stats.bytes_sent);  // wire adds framing
+}
+
 TEST(TcpCluster, FrameCodecRoundTripsAndCatchesCorruption) {
   const Bytes payload = bytes_of("frame body with some entropy 0123456789");
   const Bytes wire = encode_frame(41, payload);

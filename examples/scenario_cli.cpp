@@ -13,11 +13,21 @@
 //                      [--substrate sim|threads|tcp] [--mistakes 0.2]
 //   scenario_cli tcp   --n 4 --f 1 --seed 3 --kill 0.05 --flip 0.02
 //                      [--fault 1:corrupt-vector] [--budget-ms 30000]
+//   scenario_cli campaign --n 4 --f 1 --seeds 8 [--attacks a,b,...]
+//                      [--substrates sim,threads,tcp] [--base-seed 1]
+//                      [--out report.json] [--no-negative-control]
+//                      [--no-minimize] [--list] [--budget-ms 20000]
 //
 // Faults take `<process>:<behavior>` with 1-based process ids; behaviours:
 //   crash mute corrupt-vector wrong-round duplicate-current duplicate-next
 //   bad-signature strip-certificate substitute-next premature-decide
-//   equivocate lie-init spurious-current split-brain
+//   equivocate lie-init spurious-current split-brain future-round
+//   stale-replay replay-cert truncate-cert forge-cert selective-mute
+//
+// `campaign` sweeps the adversary/ attack taxonomy over an
+// (attack × substrate × seed) grid with the wire-level safety auditor
+// tapped into every cell, minimizes failing attacks, and writes a JSON
+// report — see docs/ADVERSARY.md.
 //
 // --substrate selects the execution backend (runtime::Backend): the
 // deterministic simulator (default), the threaded in-memory cluster, or
@@ -38,6 +48,8 @@
 
 #include <fstream>
 
+#include "adversary/attack.hpp"
+#include "adversary/campaign.hpp"
 #include "bft/bft_consensus.hpp"
 #include "bft/config.hpp"
 #include "crypto/hmac_signer.hpp"
@@ -63,7 +75,11 @@ using namespace modubft;
                "[--crash P:TIME_US]... [--mistakes PROB]\n"
             << "       scenario_cli tcp   --n N --f F [--seed S] "
                "[--kill P] [--truncate P] [--flip P] [--delay P] "
-               "[--fault P:BEHAVIOR]... [--budget-ms MS]\n";
+               "[--fault P:BEHAVIOR]... [--budget-ms MS]\n"
+            << "       scenario_cli campaign --n N --f F [--seeds K] "
+               "[--attacks A,B,...] [--substrates sim,threads,tcp] "
+               "[--base-seed S] [--out FILE] [--no-negative-control] "
+               "[--no-minimize] [--list] [--budget-ms MS]\n";
   std::exit(2);
 }
 
@@ -83,6 +99,12 @@ std::optional<faults::Behavior> parse_behavior(const std::string& name) {
       {"equivocate", Behavior::kEquivocate},
       {"lie-init", Behavior::kLieInit},
       {"spurious-current", Behavior::kSpuriousCurrent},
+      {"future-round", Behavior::kFutureRound},
+      {"stale-replay", Behavior::kStaleReplay},
+      {"replay-cert", Behavior::kReplayCert},
+      {"truncate-cert", Behavior::kTruncateCert},
+      {"forge-cert", Behavior::kForgeCert},
+      {"selective-mute", Behavior::kSelectiveMute},
       {"split-brain", Behavior::kSplitBrain},
   };
   for (auto& [n, b] : table) {
@@ -365,6 +387,111 @@ int run_tcp(int argc, char** argv) {
   return correct_decided == r.correct.size() && r.agreement ? 0 : 1;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int run_campaign_mode(int argc, char** argv) {
+  adversary::CampaignConfig cfg;
+  std::string out_path;
+  bool list_only = false;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--f") {
+      cfg.f = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seeds") {
+      cfg.seeds = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--base-seed") {
+      cfg.base_seed = std::stoull(next());
+    } else if (arg == "--attacks") {
+      cfg.attacks = split_csv(next());
+    } else if (arg == "--substrates") {
+      cfg.substrates.clear();
+      for (const std::string& name : split_csv(next())) {
+        auto backend = runtime::parse_backend(name);
+        if (!backend) usage("substrates must be sim, threads or tcp");
+        cfg.substrates.push_back(*backend);
+      }
+      if (cfg.substrates.empty()) usage("--substrates needs at least one");
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--budget-ms") {
+      cfg.budget = std::chrono::milliseconds(std::stoull(next()));
+    } else if (arg == "--no-negative-control") {
+      cfg.negative_control = false;
+    } else if (arg == "--no-minimize") {
+      cfg.minimize_failures = false;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (cfg.n == 0) usage("--n is required");
+  if (cfg.f > bft::max_tolerated_faults(cfg.n)) {
+    usage("F exceeds min((n-1)/2,(n-1)/3)");
+  }
+
+  if (list_only) {
+    for (const adversary::AttackSpec& a :
+         adversary::attack_catalog(cfg.n, cfg.f)) {
+      std::cout << a.name << "  [" << a.paper_class << "]  " << a.description
+                << "\n";
+    }
+    return 0;
+  }
+
+  const adversary::CampaignReport report = adversary::run_campaign(cfg);
+
+  for (const adversary::CellOutcome& cell : report.cells) {
+    if (cell.pass) continue;
+    std::cout << "FAIL " << cell.attack << " on "
+              << runtime::backend_name(cell.substrate) << " seed " << cell.seed
+              << ":";
+    for (const adversary::Violation& v : cell.audit.violations) {
+      std::cout << " [" << adversary::violation_name(v.kind) << "] "
+                << v.detail;
+    }
+    if (!cell.termination) std::cout << " [no-termination]";
+    if (!cell.minimized.empty()) std::cout << "\n  minimized: "
+                                           << cell.minimized;
+    std::cout << "\n";
+  }
+  std::cout << "campaign:          " << report.cells_run << " cells, "
+            << report.cells_failed << " failed (n=" << report.n
+            << ", f=" << report.f << ")\n";
+  if (report.negative_control_ran) {
+    std::cout << "negative control:  "
+              << (report.negative_control_flagged ? "flagged" : "MISSED");
+    for (const std::string& kind : report.negative_control_kinds) {
+      std::cout << " " << kind;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "verdict:           " << (report.ok ? "OK" : "VIOLATIONS")
+            << "\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << adversary::to_json(cfg, report);
+    std::cout << "report:            " << out_path << "\n";
+  }
+  return report.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -372,5 +499,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "bft") == 0) return run_bft(argc, argv);
   if (std::strcmp(argv[1], "crash") == 0) return run_crash(argc, argv);
   if (std::strcmp(argv[1], "tcp") == 0) return run_tcp(argc, argv);
-  usage("mode must be 'bft', 'crash' or 'tcp'");
+  if (std::strcmp(argv[1], "campaign") == 0) {
+    return run_campaign_mode(argc, argv);
+  }
+  usage("mode must be 'bft', 'crash', 'tcp' or 'campaign'");
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the adversarial campaign: the full attack catalog swept across all
+# three substrates (sim, threads, tcp) with several seeds per cell — over
+# 200 (attack × substrate × seed) scenarios — plus the negative control
+# (the deliberately broken protocol double the auditor must flag).
+#
+# The JSON report lands in build/campaign_report.json; the script exits
+# nonzero if any cell fails an invariant or the negative control goes
+# unflagged.  Pass extra scenario_cli campaign flags to override the grid:
+#
+#   scripts/run_campaign.sh                     # default ~200-cell sweep
+#   scripts/run_campaign.sh --n 7 --f 2         # coalition grid
+#   scripts/run_campaign.sh --attacks equivocate,fuzz-storm --seeds 20
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target scenario_cli
+
+"${BUILD_DIR}/examples/scenario_cli" campaign \
+  --n 4 --f 1 --seeds 3 \
+  --substrates sim,threads,tcp \
+  --out "${BUILD_DIR}/campaign_report.json" \
+  "$@"
+
+echo
+echo "report: ${BUILD_DIR}/campaign_report.json"

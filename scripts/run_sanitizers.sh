@@ -10,6 +10,13 @@
 # and perf_smoke_cert_fastpath (both in the default ctest set) run here to
 # catch any dangling view or aliasing bug.
 #
+# The adversarial campaign (src/adversary/) runs here twice: the
+# adversary_campaign_smoke/adversary_campaign_test ctest entries inside
+# the full ASan suite, plus an explicit full-catalog sweep across all
+# three substrates — mutation-fuzzed frames hammer the decoder with
+# attacker-controlled bytes, exactly where an out-of-bounds read would
+# hide from the happy-path tests.
+#
 # The TSan pass covers the wall-clock substrates (threaded Cluster and
 # TcpCluster): tests labelled `threads` or `tcp` — mailboxes, the
 # delivery tap, Stats accumulation, reconnect threads — where a data race
@@ -40,6 +47,10 @@ if [[ $# -ge 1 ]]; then
   ctest --output-on-failure -R "$1"
 else
   ctest --output-on-failure -j "$(nproc)"
+  echo
+  echo "=== Adversarial campaign under ASan/UBSan ==="
+  ./examples/scenario_cli campaign --n 4 --f 1 --seeds 1 \
+    --substrates sim,threads,tcp --out campaign_asan.json
 fi
 popd >/dev/null
 

@@ -1,0 +1,45 @@
+#include "adversary/broken_double.hpp"
+
+#include <utility>
+
+#include "bft/message.hpp"
+#include "common/check.hpp"
+
+namespace modubft::adversary {
+
+BrokenConsensus::BrokenConsensus(std::uint32_t n, consensus::Value proposal,
+                                 const crypto::Signer* signer,
+                                 consensus::VectorDecideFn on_decide)
+    : n_(n),
+      proposal_(proposal),
+      signer_(signer),
+      on_decide_(std::move(on_decide)) {
+  MODUBFT_EXPECTS(signer_ != nullptr);
+}
+
+void BrokenConsensus::on_start(sim::Context& ctx) {
+  // Divergent by construction: only this process's entry is set, and it is
+  // salted with the process index so no two vectors are equal.
+  bft::VectorValue vect(n_, std::nullopt);
+  const std::uint32_t self = ctx.id().value;
+  vect[self] = proposal_ + self;
+
+  bft::SignedMessage decide;
+  decide.core.kind = bft::BftKind::kDecide;
+  decide.core.sender = ctx.id();
+  decide.core.round = Round{1};
+  decide.core.est = vect;
+  // Empty certificate: the signature is genuine, the justification absent.
+  decide.sig = signer_->sign(bft::signing_bytes(decide.core, decide.cert));
+  ctx.broadcast(bft::encode_message(decide));
+
+  if (on_decide_) {
+    on_decide_(ctx.id(),
+               consensus::VectorDecision{std::move(vect), Round{1}, ctx.now()});
+  }
+  ctx.stop();
+}
+
+void BrokenConsensus::on_message(sim::Context&, ProcessId, const Bytes&) {}
+
+}  // namespace modubft::adversary

@@ -1,0 +1,41 @@
+// Deliberately unsafe protocol double — the auditor's negative control.
+//
+// A safety auditor that never fires might be correct, or might be checking
+// nothing.  BrokenConsensus settles that: it is a "consensus" protocol with
+// the signing discipline of the real one (frames are grammatical
+// SignedMessages under genuine keys) but none of its safety — every
+// process immediately "decides" its own divergent vector and broadcasts an
+// uncertified DECIDE.  Running the campaign against it MUST produce
+// kDisagreement and kUncertifiedDecision violations; the adversary tests
+// assert exactly that, so a silently-toothless auditor is a failing test,
+// not a green run.
+#pragma once
+
+#include <memory>
+
+#include "consensus/value.hpp"
+#include "crypto/signature.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::adversary {
+
+/// Broadcasts a signed-but-uncertified DECIDE for a per-process divergent
+/// vector, reports it as this process's decision, and stops.
+class BrokenConsensus final : public sim::Actor {
+ public:
+  BrokenConsensus(std::uint32_t n, consensus::Value proposal,
+                  const crypto::Signer* signer,
+                  consensus::VectorDecideFn on_decide);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+
+ private:
+  std::uint32_t n_;
+  consensus::Value proposal_;
+  const crypto::Signer* signer_;
+  consensus::VectorDecideFn on_decide_;
+};
+
+}  // namespace modubft::adversary

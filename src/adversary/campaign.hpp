@@ -1,0 +1,112 @@
+// Campaign runner: sweep (attack × substrate × seed), audit every cell.
+//
+// A campaign instantiates the attack taxonomy for (n, f), runs every
+// requested (attack, substrate, seed) cell through run_bft_scenario with a
+// SafetyAuditor tapped into the wire, and aggregates the verdicts into a
+// machine-readable report.  A failing cell is automatically *minimized*:
+// the attack is greedily shrunk (drop coalition members, un-fuzz
+// processes, zero mutation rates) while it keeps failing, so the report
+// names the smallest adversary that still breaks the invariant instead of
+// the kitchen-sink spec that happened to be running.
+//
+// The optional negative control re-runs one cell against the deliberately
+// broken protocol double (broken_double.hpp); the campaign is only `ok` if
+// the auditor flagged it — a campaign whose auditor cannot see a blatant
+// safety violation proves nothing about the cells that passed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adversary/attack.hpp"
+#include "adversary/auditor.hpp"
+#include "runtime/substrate.hpp"
+
+namespace modubft::adversary {
+
+struct CampaignConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  /// Attack names to run; empty = the full catalog for (n, f).
+  std::vector<std::string> attacks;
+  std::vector<runtime::Backend> substrates{runtime::Backend::kSim};
+  /// Seeds per (attack, substrate) cell: base_seed .. base_seed+seeds-1.
+  std::uint32_t seeds = 1;
+  std::uint64_t base_seed = 1;
+  /// Per-cell wall-clock budget on the threaded/TCP substrates.
+  std::chrono::milliseconds budget{20'000};
+  /// Run the broken protocol double and require the auditor to flag it.
+  bool negative_control = true;
+  /// Greedily shrink failing attacks (costs extra runs per failure).
+  bool minimize_failures = true;
+};
+
+/// Outcome of one (attack, substrate, seed) cell.
+struct CellOutcome {
+  std::string attack;
+  runtime::Backend substrate = runtime::Backend::kSim;
+  std::uint64_t seed = 0;
+  /// Scenario-level properties (evaluated by run_bft_scenario).
+  bool clean = false;
+  bool termination = false;
+  bool agreement = false;
+  bool vector_validity = false;
+  bool detectors_reliable = false;
+  /// Wire-level audit verdict.
+  AuditReport audit;
+  /// Cell verdict: the audit found no violation and every correct process
+  /// decided (an attack within the declared resilience must not block
+  /// termination either).
+  bool pass = false;
+  /// Human-readable minimized attack, set for failing cells when
+  /// minimization is on.
+  std::string minimized;
+};
+
+struct CampaignReport {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::vector<CellOutcome> cells;
+  std::uint64_t cells_run = 0;
+  std::uint64_t cells_failed = 0;
+  /// Negative control: absent = not run; otherwise the auditor's verdict
+  /// on the broken double (flagged = the violations it reported).
+  bool negative_control_ran = false;
+  bool negative_control_flagged = false;
+  std::vector<std::string> negative_control_kinds;
+  /// All cells passed and the negative control (when run) was flagged.
+  bool ok = false;
+};
+
+/// Runs one cell: scenario + auditor, no minimization.
+CellOutcome run_attack_cell(std::uint32_t n, std::uint32_t f,
+                            const AttackSpec& attack,
+                            runtime::Backend substrate, std::uint64_t seed,
+                            std::chrono::milliseconds budget);
+
+/// Runs the broken protocol double under the auditor; returns the audit
+/// (which must NOT be ok — the caller checks).
+AuditReport run_negative_control(std::uint32_t n, std::uint32_t f,
+                                 std::uint64_t seed);
+
+/// Greedily shrinks `failing` while `still_fails` holds: drops coalition
+/// faults, un-fuzzes processes, zeroes mutation rates.  Exposed with an
+/// injectable predicate so the minimizer itself is unit-testable without
+/// running scenarios.
+AttackSpec minimize_attack(const AttackSpec& failing,
+                           const std::function<bool(const AttackSpec&)>&
+                               still_fails);
+
+/// One-line summary of an attack's adversarial content (for reports).
+std::string describe_attack(const AttackSpec& attack);
+
+CampaignReport run_campaign(const CampaignConfig& config);
+
+/// Renders the report as pretty-printed JSON (multi-line).
+std::string to_json(const CampaignConfig& config,
+                    const CampaignReport& report);
+
+}  // namespace modubft::adversary

@@ -1,0 +1,113 @@
+#include "adversary/fuzzer.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace modubft::adversary {
+
+std::string MutationSpec::describe() const {
+  std::ostringstream os;
+  os << "bitflip=" << bitflip_prob << " truncate=" << truncate_prob
+     << " splice=" << splice_prob << " duplicate=" << duplicate_prob
+     << " reorder=" << reorder_prob;
+  return os.str();
+}
+
+Bytes mutate_frame(const Bytes& frame, Rng& rng, const MutationSpec& spec) {
+  Bytes out = frame;
+  if (out.empty()) return out;
+  if (rng.next_bool(spec.bitflip_prob)) {
+    const std::uint64_t flips = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      const std::size_t pos = rng.next_below(out.size());
+      out[pos] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    return out;
+  }
+  if (rng.next_bool(spec.truncate_prob)) {
+    out.resize(rng.next_below(out.size()));
+    return out;
+  }
+  if (rng.next_bool(spec.splice_prob)) {
+    // Field splice: stomp a short window with random bytes — length
+    // prefixes, round numbers and digest bytes all live in such windows.
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.next_below(8), out.size());
+    const std::size_t start = rng.next_below(out.size() - len + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[start + i] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    return out;
+  }
+  return out;
+}
+
+/// Intercepts sends and applies the mutation schedule.
+class WireMutator::MutatingContext final : public sim::ForwardingContext {
+ public:
+  MutatingContext(sim::Context& base, WireMutator& owner)
+      : ForwardingContext(base), owner_(owner) {}
+
+  void send(ProcessId to, Bytes payload) override { emit(to, payload); }
+
+  void broadcast(const Bytes& payload) override {
+    // Per-destination mutation rolls: one destination may receive garbage
+    // while another receives the authentic frame — the receivers' views
+    // diverge exactly as under a real arbitrary fault.
+    for (std::uint32_t i = 0; i < base_.n(); ++i) emit(ProcessId{i}, payload);
+  }
+
+ private:
+  void emit(ProcessId to, const Bytes& payload) {
+    Bytes frame = mutate_frame(payload, owner_.rng_, owner_.spec_);
+    if (owner_.rng_.next_bool(owner_.spec_.duplicate_prob)) {
+      base_.send(to, frame);
+    }
+    if (owner_.spec_.reorder_prob > 0) {
+      auto held = owner_.held_.find(to);
+      if (held != owner_.held_.end()) {
+        // Release the held frame *after* the newer one: a FIFO violation
+        // the genuine protocol stack can never produce.
+        Bytes old = std::move(held->second);
+        owner_.held_.erase(held);
+        base_.send(to, std::move(frame));
+        base_.send(to, std::move(old));
+        return;
+      }
+      if (owner_.rng_.next_bool(owner_.spec_.reorder_prob)) {
+        owner_.held_.emplace(to, std::move(frame));
+        return;
+      }
+    }
+    base_.send(to, std::move(frame));
+  }
+
+  WireMutator& owner_;
+};
+
+WireMutator::WireMutator(std::unique_ptr<sim::Actor> inner, MutationSpec spec,
+                         std::uint64_t seed)
+    : inner_(std::move(inner)), spec_(spec), rng_(seed ^ spec.salt) {
+  MODUBFT_EXPECTS(inner_ != nullptr);
+}
+
+void WireMutator::on_start(sim::Context& ctx) {
+  MutatingContext mut(ctx, *this);
+  inner_->on_start(mut);
+}
+
+void WireMutator::on_message(sim::Context& ctx, ProcessId from,
+                             const Bytes& payload) {
+  MutatingContext mut(ctx, *this);
+  inner_->on_message(mut, from, payload);
+}
+
+void WireMutator::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  MutatingContext mut(ctx, *this);
+  inner_->on_timer(mut, timer_id);
+}
+
+}  // namespace modubft::adversary

@@ -1,0 +1,77 @@
+// Wire-level mutation fuzzing: genuinely malformed bytes on real channels.
+//
+// The Byzantine wrappers (faults/byzantine.hpp) mutate *decoded* messages
+// and re-sign them, so every hostile frame they emit is still grammatical.
+// The fuzzer attacks one layer lower: it intercepts the encoded frames a
+// wrapped process hands to the transport and applies seeded, deterministic
+// byte-level mutations — bit flips, truncation, field splices, duplicates,
+// reorders — so the decoder (`bft::decode_message` / `Reader`), the
+// SignatureModule and the CertAnalyzer face input no honest encoder could
+// produce.  The receiving stack must reject every such frame with a typed
+// verdict (kMalformed / kBadSignature), never crash, never read past the
+// buffer; the fuzz regression tests and the ASan/UBSan campaign pass hold
+// it to that.
+//
+// Determinism: a WireMutator draws from its own Rng seeded by
+// (scenario seed, salt, process id), so a failing (attack, substrate,
+// seed) campaign cell replays byte-for-byte on the simulator.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::adversary {
+
+/// Per-frame mutation probabilities.  All zero = pass-through.
+struct MutationSpec {
+  double bitflip_prob = 0;    // flip 1–4 random bits
+  double truncate_prob = 0;   // cut the frame at a random point
+  double splice_prob = 0;     // overwrite a random window with random bytes
+  double duplicate_prob = 0;  // emit the frame twice
+  double reorder_prob = 0;    // hold the frame, swap with the next one
+  std::uint64_t salt = 0x5eed;
+
+  bool any() const {
+    return bitflip_prob > 0 || truncate_prob > 0 || splice_prob > 0 ||
+           duplicate_prob > 0 || reorder_prob > 0;
+  }
+  std::string describe() const;
+};
+
+/// Applies at most one content mutation (bitflip / truncate / splice, in
+/// that roll order) to a copy of `frame`.  Exposed for the fuzz regression
+/// tests, which drive the decoder with exactly these mutations.
+Bytes mutate_frame(const Bytes& frame, Rng& rng, const MutationSpec& spec);
+
+/// Actor decorator that mutates the wrapped actor's outgoing frames.  The
+/// wrapped process is genuinely running the protocol — its garbage is one
+/// byte-level mutation away from authentic traffic, which is what makes
+/// decoder hardening tests meaningful.  A wire-fuzzed process counts as
+/// faulty for the paper's properties (BftScenarioConfig::assume_faulty).
+class WireMutator final : public sim::Actor {
+ public:
+  WireMutator(std::unique_ptr<sim::Actor> inner, MutationSpec spec,
+              std::uint64_t seed);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
+
+ private:
+  class MutatingContext;
+
+  std::unique_ptr<sim::Actor> inner_;
+  MutationSpec spec_;
+  Rng rng_;
+  /// reorder: one held-back frame per destination, released (swapped)
+  /// when the next frame for that destination is sent.
+  std::map<ProcessId, Bytes> held_;
+};
+
+}  // namespace modubft::adversary

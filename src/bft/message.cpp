@@ -139,6 +139,11 @@ MessageCore decode_core_from(Reader r, const DecodeLimits& limits) {
   for (std::uint32_t i = 0; i < len; ++i) {
     const bool present = r.boolean();
     const Value v = r.u64();
+    // Canonical form: an absent entry's value slot must be zero.  Fuzzing
+    // found that accepting nonzero garbage there creates distinct byte
+    // strings decoding to one message — covert variation that the
+    // re-encode check upstream catches late; reject it at the source.
+    if (!present && v != 0) throw SerialError("non-canonical null entry");
     core.est.push_back(present ? std::optional<Value>(v) : std::nullopt);
   }
   r.expect_end();
@@ -206,10 +211,23 @@ Bytes encode_message(const SignedMessage& msg) {
 }
 
 SignedMessage decode_message(const Bytes& buf, const DecodeLimits& limits) {
+  if (buf.size() > limits.max_frame_bytes)
+    throw SerialError("frame exceeds size cap");
   Reader r(buf);
   SignedMessage msg = decode_message_from(r, limits, 0);
   r.expect_end();
   return msg;
+}
+
+DecodeOutcome try_decode_message(const Bytes& buf, const DecodeLimits& limits) {
+  DecodeOutcome out;
+  try {
+    out.msg = decode_message(buf, limits);
+    out.ok = true;
+  } catch (const SerialError& e) {
+    out.error = e.what();
+  }
+  return out;
 }
 
 std::size_t encoded_size(const SignedMessage& msg) {

@@ -189,10 +189,27 @@ struct DecodeLimits {
   std::uint32_t max_members = 4096;      // per certificate
   std::uint32_t max_vector = 4096;       // estimate-vector length
   std::uint32_t max_sig_bytes = 1024;
+  /// Whole-frame ceiling, checked before any parsing: a hostile peer
+  /// cannot make the decoder walk an arbitrarily large buffer.
+  std::uint32_t max_frame_bytes = 1u << 22;
 };
 
 /// Decodes a SignedMessage; throws SerialError on any malformed input.
 SignedMessage decode_message(const Bytes& buf, const DecodeLimits& limits = {});
+
+/// Non-throwing decode for boundaries that face raw wire bytes (the
+/// safety auditor's tap, the mutation fuzzer's oracle, tools).  Any
+/// malformed input — truncation, out-of-range fields, inconsistent
+/// lengths, exceeded caps — lands in `error` as a typed outcome instead
+/// of an exception; nothing else escapes.
+struct DecodeOutcome {
+  bool ok = false;
+  SignedMessage msg;      // meaningful iff ok
+  std::string error;      // meaningful iff !ok
+  explicit operator bool() const { return ok; }
+};
+DecodeOutcome try_decode_message(const Bytes& buf,
+                                 const DecodeLimits& limits = {});
 
 /// Byte size of the encoded form (for the E6 size experiments).  Computed
 /// arithmetically from the structure — no throwaway encode is materialized.

@@ -25,6 +25,12 @@ const char* behavior_name(Behavior b) {
     case Behavior::kEquivocate: return "equivocate";
     case Behavior::kLieInit: return "lie-init";
     case Behavior::kSpuriousCurrent: return "spurious-current";
+    case Behavior::kFutureRound: return "future-round";
+    case Behavior::kStaleReplay: return "stale-replay";
+    case Behavior::kReplayCert: return "replay-cert";
+    case Behavior::kTruncateCert: return "truncate-cert";
+    case Behavior::kForgeCert: return "forge-cert";
+    case Behavior::kSelectiveMute: return "selective-mute";
     case Behavior::kSplitBrain: return "split-brain";
   }
   return "?";
@@ -204,6 +210,98 @@ class ByzantineActor::EvilContext final : public sim::ForwardingContext {
           fake.core.est.assign(owner_.n_, std::nullopt);
           fake.cert = msg.cert;
           deliver(dests, resign(fake));
+          return;
+        }
+        break;
+
+      case Behavior::kFutureRound:
+        if ((msg.core.kind == BftKind::kCurrent ||
+             msg.core.kind == BftKind::kNext) &&
+            r.value >= spec.from_round.value) {
+          // A vote for a round nobody reached: receivers buffer it
+          // (footnote 5) and reject it once the round arrives.
+          msg.core.round = Round{r.value + 5};
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kStaleReplay:
+        if (msg.core.kind == BftKind::kCurrent ||
+            msg.core.kind == BftKind::kNext) {
+          if (!owner_.stale_frame_.has_value() &&
+              r.value >= spec.from_round.value) {
+            owner_.stale_frame_ = msg;  // remember the authentic original
+          } else if (owner_.stale_frame_.has_value() &&
+                     r.value > owner_.stale_frame_->core.round.value &&
+                     owner_.last_injected_round_ < r.value) {
+            owner_.last_injected_round_ = r.value;
+            deliver(dests, msg);
+            // The replay is byte-identical to a frame the receivers
+            // already accepted: signature valid, timing wrong.
+            deliver(dests, *owner_.stale_frame_);
+            return;
+          }
+        }
+        break;
+
+      case Behavior::kReplayCert:
+        if (msg.core.kind == BftKind::kCurrent ||
+            msg.core.kind == BftKind::kNext) {
+          if (!owner_.stale_cert_.has_value() &&
+              r.value >= spec.from_round.value && !msg.cert.empty()) {
+            owner_.stale_cert_.emplace(r, msg.cert);
+          } else if (owner_.stale_cert_.has_value() &&
+                     r.value > owner_.stale_cert_->first.value) {
+            msg.cert = owner_.stale_cert_->second;  // stale witness set
+            deliver(dests, resign(msg));
+            return;
+          }
+        }
+        break;
+
+      case Behavior::kTruncateCert:
+        if ((msg.core.kind == BftKind::kCurrent ||
+             msg.core.kind == BftKind::kDecide) &&
+            r.value >= spec.from_round.value && !msg.cert.pruned &&
+            msg.cert.size() > 1) {
+          Certificate cut;
+          for (std::size_t i = 0; i < msg.cert.size() / 2; ++i) {
+            cut.add(msg.cert.member_ptr(i));
+          }
+          msg.cert = std::move(cut);  // below quorum: no longer witnesses
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kForgeCert:
+        if ((msg.core.kind == BftKind::kCurrent ||
+             msg.core.kind == BftKind::kNext) &&
+            r.value >= spec.from_round.value && !msg.cert.pruned &&
+            msg.cert.size() > 0) {
+          // Falsify a member it did not sign: the envelope re-signs fine,
+          // the member's own signature no longer matches its core.
+          msg.cert.mutate_member(0, [](SignedMessage& member) {
+            member.core.init_value += 1;
+            if (!member.core.est.empty()) {
+              member.core.est[0] = member.core.est[0].value_or(0) + 1;
+            }
+          });
+          deliver(dests, resign(msg));
+          return;
+        }
+        break;
+
+      case Behavior::kSelectiveMute:
+        if (r.value >= spec.from_round.value ||
+            msg.core.kind == BftKind::kDecide) {
+          std::vector<ProcessId> kept;
+          for (ProcessId d : dests) {
+            if (d.value >= base_.n() / 2 || d == base_.id()) kept.push_back(d);
+          }
+          if (kept.empty()) return;
+          deliver(kept, msg);
           return;
         }
         break;

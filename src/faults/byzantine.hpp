@@ -11,6 +11,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "bft/bft_consensus.hpp"
 #include "faults/fault_spec.hpp"
@@ -39,6 +41,10 @@ class ByzantineActor final : public sim::Actor {
   std::uint32_t n_;
   // Once-per-trigger bookkeeping for behaviours that inject extra traffic.
   std::uint32_t last_injected_round_ = 0;
+  // kStaleReplay: the first recorded outgoing vote, replayed verbatim later.
+  std::optional<bft::SignedMessage> stale_frame_;
+  // kReplayCert: the first recorded certificate and the round it witnessed.
+  std::optional<std::pair<Round, bft::Certificate>> stale_cert_;
 };
 
 }  // namespace modubft::faults

@@ -56,6 +56,29 @@ enum class Behavior : std::uint8_t {
   /// Sends an unsolicited CURRENT although not the coordinator, certified
   /// with whatever it holds (execution of a spurious statement).
   kSpuriousCurrent,
+  /// Relabels outgoing round-r CURRENT/NEXT as round r+5 and re-signs
+  /// (future-round injection: floods receivers' footnote-5 buffers with
+  /// votes for rounds nobody reached).
+  kFutureRound,
+  /// Replays its first recorded CURRENT/NEXT verbatim — stale round,
+  /// original signature — alongside every later-round send (stale-round
+  /// injection: the frame is authentic, only its timing is wrong).
+  kStaleReplay,
+  /// Certificate replay: keeps the certificate of its first CURRENT/NEXT
+  /// and attaches that stale certificate to every later CURRENT/NEXT,
+  /// re-signed (the witness set no longer matches the claimed round).
+  kReplayCert,
+  /// Certificate truncation: drops half the members from outgoing
+  /// CURRENT/DECIDE certificates, re-signed (witness set below quorum).
+  kTruncateCert,
+  /// Certificate forgery: tampers one member's core inside the outgoing
+  /// certificate without being able to re-sign it (a Byzantine process
+  /// cannot forge others' signatures), then re-signs the envelope.
+  kForgeCert,
+  /// Selective muteness: from `from_round` on, drops every message
+  /// addressed to the lower half of the group while staying talkative
+  /// towards the rest (mute w.r.t. some, not all).
+  kSelectiveMute,
   /// Dual-quorum equivocation (split_brain.hpp): the round-1 coordinator
   /// waits for ALL n INITs and certifies two different vectors, one per
   /// half of the group.  Only valid for process 0 (the round-1

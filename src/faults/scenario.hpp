@@ -72,8 +72,19 @@ struct BftScenarioConfig {
   std::vector<LinkFaultSpec> link_faults;
   /// Proposal of p_{i+1}; defaults to 1000 + i when empty.
   std::vector<consensus::Value> proposals;
-  /// Optional observer for every delivery (tracing).
+  /// Optional observer for every delivery (tracing, safety auditing).
   std::function<void(const sim::Delivery&)> delivery_tap;
+  /// Optional decorator applied to every installed actor after fault
+  /// wrapping — the adversary layer splices wire-level mutators under
+  /// selected processes this way.  A wrapper that makes a process
+  /// misbehave — or replaces it outright, discarding the BftProcess whose
+  /// internals the evaluation reads — must list it in `assume_faulty`.
+  std::function<std::unique_ptr<sim::Actor>(ProcessId,
+                                            std::unique_ptr<sim::Actor>)>
+      wrap_actor;
+  /// Processes the property evaluation must count as faulty although they
+  /// carry no FaultSpec (e.g. wire-fuzzed senders).
+  std::set<std::uint32_t> assume_faulty;
 };
 
 struct BftScenarioResult {

@@ -126,6 +126,14 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
 
   std::vector<const bft::BftProcess*> views(config.n, nullptr);
 
+  // Every actor funnels through here so config.wrap_actor (the adversary
+  // layer's wire-mutation hook) decorates faulty and correct processes
+  // alike before they reach the substrate.
+  auto install = [&](ProcessId id, std::unique_ptr<sim::Actor> actor) {
+    if (config.wrap_actor) actor = config.wrap_actor(id, std::move(actor));
+    world->set_actor(id, std::move(actor));
+  };
+
   for (std::uint32_t i = 0; i < config.n; ++i) {
     const ProcessId id{i};
     const FaultSpec& spec = spec_of[i];
@@ -134,9 +142,9 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
       // The dual-quorum equivocation attack impersonates the round-1
       // coordinator; it is its own actor, not a wrapped BftProcess.
       MODUBFT_EXPECTS(i == 0);
-      world->set_actor(id, std::make_unique<SplitBrainCoordinator>(
-                               config.n, keys.signers[i].get(),
-                               config.n - config.f, config.n / 2));
+      install(id, std::make_unique<SplitBrainCoordinator>(
+                      config.n, keys.signers[i].get(), config.n - config.f,
+                      config.n / 2));
       continue;
     }
 
@@ -149,15 +157,15 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
     views[i] = inner.get();
 
     if (spec.behavior == Behavior::kNone) {
-      result.correct.insert(i);
-      world->set_actor(id, std::move(inner));
+      if (config.assume_faulty.count(i) == 0) result.correct.insert(i);
+      install(id, std::move(inner));
     } else if (spec.behavior == Behavior::kCrash) {
-      world->set_actor(id, std::move(inner));
+      install(id, std::move(inner));
       world->crash(CrashSpec{id, spec.at});
     } else {
-      world->set_actor(id, std::make_unique<ByzantineActor>(
-                               std::move(inner), keys.signers[i].get(), spec,
-                               config.n));
+      install(id, std::make_unique<ByzantineActor>(
+                      std::move(inner), keys.signers[i].get(), spec,
+                      config.n));
     }
   }
 

@@ -138,13 +138,19 @@ SimTime Cluster::since_epoch() const {
 
 void Cluster::tap_delivery(const Envelope& env, ProcessId to) {
   if (!tap_) return;
+  // The payload copy happens on the node thread, outside tap_mu_: a tap
+  // that stashes the bytes (the safety auditor does) must not stretch the
+  // serialized section with a per-frame allocation, and the tap must never
+  // observe a buffer another lock protects — the audit path cannot
+  // introduce deadlock or delivery reordering beyond serialization.
+  const Bytes payload = env.payload;
   sim::Delivery d;
   d.send_time = env.sent_at;
   d.deliver_time = since_epoch();
   d.from = env.from;
   d.to = to;
-  d.size = env.payload.size();
-  d.payload = &env.payload;
+  d.size = payload.size();
+  d.payload = &payload;
   std::lock_guard<std::mutex> lock(tap_mu_);
   tap_(d);
 }

@@ -54,7 +54,8 @@ class Cluster {
   /// Optional observer invoked on every delivery, right before the
   /// receiving actor's on_message.  Calls are serialized by an internal
   /// mutex (they come from every node thread), so the tap itself needs no
-  /// locking; `Delivery::payload` is only valid for the call's duration.
+  /// locking; `Delivery::payload` points at a copy made on the node thread
+  /// *outside* that mutex, and is only valid for the call's duration.
   /// Times are µs since the run epoch — the same clock crash_after uses.
   void set_delivery_tap(std::function<void(const sim::Delivery&)> tap);
 

@@ -177,13 +177,17 @@ SimTime TcpCluster::since_epoch() const {
 
 void TcpCluster::tap_delivery(const Envelope& env, ProcessId to) {
   if (!tap_) return;
+  // Copy on the node thread, outside tap_mu_ — see Cluster::tap_delivery:
+  // the audit path must not stretch the serialized section or touch a
+  // buffer any other lock protects.
+  const Bytes payload = env.payload;
   sim::Delivery d;
   d.send_time = env.arrived_at;
   d.deliver_time = since_epoch();
   d.from = env.from;
   d.to = to;
-  d.size = env.payload.size();
-  d.payload = &env.payload;
+  d.size = payload.size();
+  d.payload = &payload;
   std::lock_guard<std::mutex> lock(tap_mu_);
   tap_(d);
 }

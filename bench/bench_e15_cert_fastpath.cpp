@@ -13,12 +13,24 @@
 // cached run exports cache_hits / cache_misses / hit_pct counters.
 // Acceptance headline: BM_RepeatedCertVerify at n = 7 must be ≥3× faster
 // with the cache than without.
+//
+// `--out FILE` switches to a self-timed summary mode instead of the
+// google-benchmark harness: it times the cached and uncached verify pass
+// per (n, rounds) configuration and writes a compact JSON report (the
+// BENCH_e15.json artifact emitted by scripts/run_benches.sh).  All other
+// flags fall through to google-benchmark as before.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "bench_json.hpp"
 
 #include "bft/analyzer.hpp"
 #include "bft/message.hpp"
@@ -156,17 +168,20 @@ std::shared_ptr<const crypto::Verifier> pick_verifier(
 }
 
 /// One full pass of the verification work a correct process performs on the
-/// workload.  Returns the number of analyzer checks that ran (for items/s).
-std::size_t verify_pass(const bft::CertAnalyzer& analyzer, const Workload& w,
-                        benchmark::State& state) {
+/// workload.  Returns the number of analyzer checks that ran (for items/s);
+/// verification failures are routed through `fail` (benchmark skip or
+/// summary-mode abort).
+template <typename FailFn>
+std::size_t verify_pass_impl(const bft::CertAnalyzer& analyzer,
+                             const Workload& w, FailFn&& fail) {
   std::size_t checks = 0;
   auto expect = [&](const bft::Verdict& v) {
     ++checks;
-    if (!v) state.SkipWithError(("unexpected verdict: " + v.detail).c_str());
+    if (!v) fail(("unexpected verdict: " + v.detail).c_str());
   };
   auto expect_sig = [&](const bft::SignedMessage& m) {
     ++checks;
-    if (!analyzer.signature_ok(m)) state.SkipWithError("bad signature");
+    if (!analyzer.signature_ok(m)) fail("bad signature");
   };
 
   expect_sig(*w.coord);
@@ -184,6 +199,12 @@ std::size_t verify_pass(const bft::CertAnalyzer& analyzer, const Workload& w,
   expect_sig(w.decide);
   expect(analyzer.decide_wf(w.decide));
   return checks;
+}
+
+std::size_t verify_pass(const bft::CertAnalyzer& analyzer, const Workload& w,
+                        benchmark::State& state) {
+  return verify_pass_impl(analyzer, w,
+                          [&](const char* why) { state.SkipWithError(why); });
 }
 
 void export_cache_counters(
@@ -276,6 +297,129 @@ BENCHMARK(BM_EncodeDecide)
     ->ArgNames({"n", "rounds"})
     ->ArgsProduct({{4, 7, 10}, {1, 10}});
 
+// ------------------------------------------------- summary mode (--out)
+
+struct SummaryRow {
+  std::uint32_t n = 0;
+  std::uint32_t rounds = 0;
+  double checks_per_sec_uncached = 0;
+  double checks_per_sec_cached = 0;
+  double speedup = 0;
+  crypto::VerifyCacheStats cache;
+};
+
+/// Times repeated verify passes: at least `min_iters` passes and at least
+/// `min_time`, whichever is longer.  Returns checks per second.
+double time_passes(const bft::CertAnalyzer& analyzer, const Workload& w) {
+  constexpr int kMinIters = 20;
+  constexpr std::chrono::milliseconds kMinTime{200};
+  const auto fail = [](const char* why) {
+    std::fprintf(stderr, "verification failed: %s\n", why);
+    std::abort();
+  };
+  // Warm-up pass (populates the cache in the cached configuration — the
+  // steady state the fast path is about).
+  verify_pass_impl(analyzer, w, fail);
+
+  std::size_t checks = 0;
+  int iters = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (iters < kMinIters ||
+         std::chrono::steady_clock::now() - start < kMinTime) {
+    checks += verify_pass_impl(analyzer, w, fail);
+    ++iters;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(checks) / secs;
+}
+
+SummaryRow run_summary(std::uint32_t n, std::uint32_t rounds) {
+  SummaryRow row;
+  row.n = n;
+  row.rounds = rounds;
+
+  Workload w = make_workload(Scheme::kHmac, n, rounds);
+  {
+    bft::CertAnalyzer analyzer(w.n, w.q, w.sys.verifier);
+    row.checks_per_sec_uncached = time_passes(analyzer, w);
+  }
+  {
+    auto cache =
+        std::make_shared<const crypto::CachingVerifier>(w.sys.verifier);
+    bft::CertAnalyzer analyzer(w.n, w.q, cache);
+    row.checks_per_sec_cached = time_passes(analyzer, w);
+    row.cache = cache->stats();
+  }
+  row.speedup = row.checks_per_sec_uncached > 0
+                    ? row.checks_per_sec_cached / row.checks_per_sec_uncached
+                    : 0;
+  return row;
+}
+
+int summary_main(const std::string& out) {
+  // The witness chain nests the full previous-round quorum, so the
+  // encoded tree grows as q^rounds; rounds ≤ 5 keeps every configuration
+  // under the 4 MiB decode cap that make_workload's wire-identity check
+  // round-trips through.
+  const std::vector<std::uint32_t> ns = {4, 7, 10};
+  const std::vector<std::uint32_t> round_counts = {1, 3, 5};
+
+  std::printf("E15: certificate fast path, cached vs uncached verify\n");
+  std::printf("%3s %7s %18s %18s %8s\n", "n", "rounds", "uncached chk/s",
+              "cached chk/s", "speedup");
+
+  benchjson::JsonArray rows;
+  double headline = 0;  // n = 7, rounds = 5 (deepest witness chain)
+  for (std::uint32_t n : ns) {
+    for (std::uint32_t rounds : round_counts) {
+      const SummaryRow row = run_summary(n, rounds);
+      if (n == 7 && rounds == 5) headline = row.speedup;
+      std::printf("%3u %7u %18.0f %18.0f %7.2fx\n", n, rounds,
+                  row.checks_per_sec_uncached, row.checks_per_sec_cached,
+                  row.speedup);
+      benchjson::JsonObject o;
+      o.field("n", static_cast<std::uint64_t>(row.n))
+          .field("rounds", static_cast<std::uint64_t>(row.rounds))
+          .field("checks_per_sec_uncached", row.checks_per_sec_uncached)
+          .field("checks_per_sec_cached", row.checks_per_sec_cached)
+          .field("speedup", row.speedup)
+          .field("cache_hits", row.cache.hits)
+          .field("cache_misses", row.cache.misses)
+          .field("cache_hit_rate", row.cache.hit_rate());
+      rows.add(o.str());
+    }
+  }
+  std::printf("headline speedup (n=7, rounds=5): %.2fx\n", headline);
+
+  benchjson::JsonObject report;
+  report.field("experiment", "e15_cert_fastpath")
+      .field("scheme", "hmac")
+      .field("speedup_n7_rounds5", headline);
+  report.raw("rows", rows.str());
+  benchjson::write_file(out, report.str());
+  std::printf("wrote %s\n", out.c_str());
+  return headline >= 3.0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--out FILE` = self-timed JSON summary; anything else falls through to
+  // the google-benchmark harness (keeps perf_smoke_cert_fastpath intact).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out needs a value\n");
+        return 2;
+      }
+      return summary_main(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

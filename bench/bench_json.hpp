@@ -1,0 +1,86 @@
+// Tiny ordered-key JSON emitter shared by the benchmark binaries.
+//
+// The benches emit machine-readable artifacts (BENCH_e15.json,
+// BENCH_e17.json) consumed by scripts/run_benches.sh and the experiment
+// write-ups.  Scope is deliberately minimal: objects and arrays built in
+// insertion order, uint64/double/bool/string scalars, raw splicing for
+// nesting pre-rendered values (e.g. runtime::to_json output).  No parsing,
+// no escaping beyond the characters our keys and labels actually use.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace modubft::benchjson {
+
+/// Streams `{"k":v,...}` with keys in call order.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, std::uint64_t v) {
+    return emit(key, std::to_string(v));
+  }
+  JsonObject& field(const std::string& key, std::int64_t v) {
+    return emit(key, std::to_string(v));
+  }
+  JsonObject& field(const std::string& key, double v) {
+    std::ostringstream os;
+    os << v;
+    return emit(key, os.str());
+  }
+  JsonObject& field(const std::string& key, bool v) {
+    return emit(key, v ? "true" : "false");
+  }
+  JsonObject& field(const std::string& key, const std::string& v) {
+    return emit(key, '"' + escape(v) + '"');
+  }
+  JsonObject& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  /// Splices a pre-rendered JSON value (object, array, or scalar).
+  JsonObject& raw(const std::string& key, const std::string& json) {
+    return emit(key, json);
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  JsonObject& emit(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"' + escape(key) + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Streams `[v,...]` of pre-rendered JSON values.
+class JsonArray {
+ public:
+  JsonArray& add(const std::string& json) {
+    if (!body_.empty()) body_ += ',';
+    body_ += json;
+    return *this;
+  }
+  std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  std::string body_;
+};
+
+inline void write_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << json << '\n';
+}
+
+}  // namespace modubft::benchjson

@@ -17,6 +17,15 @@
 //                      [--substrates sim,threads,tcp] [--base-seed 1]
 //                      [--out report.json] [--no-negative-control]
 //                      [--no-minimize] [--list] [--budget-ms 20000]
+//   scenario_cli smr   --n 4 --backend crash|byz [--f 1] [--slots 8]
+//                      [--window W] [--batch B] [--commands K]
+//                      [--verify-workers V] [--substrate sim|threads|tcp]
+//                      [--seed S] [--crash P:TIME_US]... [--budget-ms MS]
+//
+// `smr` runs the pipelined replicated KV machine (docs/SMR.md): --window
+// sets the number of concurrent consensus instances per replica, --batch
+// the commands committed per slot, --commands the synthetic workload size
+// (slots default to ceil(commands / batch)).
 //
 // Faults take `<process>:<behavior>` with 1-based process ids; behaviours:
 //   crash mute corrupt-vector wrong-round duplicate-current duplicate-next
@@ -79,7 +88,11 @@ using namespace modubft;
             << "       scenario_cli campaign --n N --f F [--seeds K] "
                "[--attacks A,B,...] [--substrates sim,threads,tcp] "
                "[--base-seed S] [--out FILE] [--no-negative-control] "
-               "[--no-minimize] [--list] [--budget-ms MS]\n";
+               "[--no-minimize] [--list] [--budget-ms MS]\n"
+            << "       scenario_cli smr   --n N --backend crash|byz [--f F] "
+               "[--slots K] [--window W] [--batch B] [--commands C] "
+               "[--verify-workers V] [--substrate sim|threads|tcp] "
+               "[--seed S] [--crash P:TIME_US]... [--budget-ms MS]\n";
   std::exit(2);
 }
 
@@ -387,6 +400,117 @@ int run_tcp(int argc, char** argv) {
   return correct_decided == r.correct.size() && r.agreement ? 0 : 1;
 }
 
+int run_smr(int argc, char** argv) {
+  faults::SmrScenarioConfig cfg;
+  cfg.n = 0;
+  std::optional<std::uint64_t> slots_flag;
+  std::uint32_t commands = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value after " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--f") {
+      cfg.f = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (arg == "--substrate") {
+      auto backend = runtime::parse_backend(next());
+      if (!backend) usage("substrate must be sim, threads or tcp");
+      cfg.substrate = *backend;
+    } else if (arg == "--backend") {
+      std::string b = next();
+      if (b == "crash") {
+        cfg.backend = smr::Backend::kCrashHurfinRaynal;
+      } else if (b == "byz") {
+        cfg.backend = smr::Backend::kByzantine;
+      } else {
+        usage("backend must be crash or byz");
+      }
+    } else if (arg == "--slots") {
+      slots_flag = std::stoull(next());
+    } else if (arg == "--window") {
+      cfg.window = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--batch") {
+      cfg.batch = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--commands") {
+      commands = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--verify-workers") {
+      cfg.verify_workers = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--budget-ms") {
+      cfg.budget = std::chrono::milliseconds(std::stoull(next()));
+    } else if (arg == "--crash") {
+      std::string spec = next();
+      auto colon = spec.find(':');
+      if (colon == std::string::npos) usage("crash must be P:TIME_US");
+      const auto pid = std::stoul(spec.substr(0, colon));
+      const auto at = std::stoull(spec.substr(colon + 1));
+      if (pid < 1) usage("process ids are 1-based");
+      cfg.crashes.push_back(
+          faults::CrashSpec{ProcessId{static_cast<std::uint32_t>(pid - 1)},
+                            SimTime{at}});
+    } else {
+      usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (cfg.n == 0) usage("--n is required");
+  if (cfg.window < 1 || cfg.batch < 1) usage("--window/--batch must be >= 1");
+
+  if (commands > 0) {
+    // Synthetic workload: K puts/deletes cycling over 8 keys.
+    for (std::uint32_t c = 1; c <= commands; ++c) {
+      smr::Command cmd;
+      cmd.id = c;
+      cmd.key = "key" + std::to_string(c % 8);
+      if (c % 5 == 0) {
+        cmd.op = smr::Command::Op::kDel;
+      } else {
+        cmd.op = smr::Command::Op::kPut;
+        cmd.value = "v" + std::to_string(c);
+      }
+      cfg.workload.push_back(cmd);
+    }
+  }
+  const std::size_t workload_size =
+      cfg.workload.empty() ? faults::sample_workload().size()
+                           : cfg.workload.size();
+  // Default slot count: just enough slots to drain the workload.
+  cfg.slots = slots_flag.value_or(
+      (workload_size + cfg.batch - 1) / cfg.batch);
+
+  faults::SmrScenarioResult r = faults::run_smr_scenario(cfg);
+
+  const runtime::PipelineSummary& pipe = r.run_stats.pipeline;
+  const double wall_s = static_cast<double>(r.run_stats.wall_us) / 1e6;
+  std::cout << "protocol:        pipelined SMR ("
+            << (cfg.backend == smr::Backend::kByzantine
+                    ? "Byzantine vector consensus"
+                    : "Hurfin-Raynal, crash model")
+            << ")\n"
+            << "substrate:       " << runtime::backend_name(cfg.substrate)
+            << " (" << runtime::run_outcome_name(r.outcome) << ")\n"
+            << "n / slots:       " << cfg.n << " / " << cfg.slots << "\n"
+            << "window / batch:  " << cfg.window << " / " << cfg.batch << "\n"
+            << "all committed:   " << (r.all_committed ? "yes" : "NO") << "\n"
+            << "stores agree:    " << (r.stores_agree ? "yes" : "NO") << "\n"
+            << "commands:        " << pipe.commands_committed << " ("
+            << pipe.noop_slots << " no-op slots, max batch "
+            << pipe.max_batch << ")\n"
+            << "window peak/avg: " << pipe.window_peak << " / "
+            << pipe.avg_window << "\n";
+  if (wall_s > 0) {
+    std::cout << "commits/sec:     "
+              << static_cast<double>(pipe.commands_committed) / wall_s << "\n";
+  }
+  std::cout << "run stats:       "
+            << runtime::to_json(cfg.substrate, r.run_stats) << "\n";
+  return r.all_committed && r.stores_agree ? 0 : 1;
+}
+
 std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
   std::istringstream is(csv);
@@ -502,5 +626,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "campaign") == 0) {
     return run_campaign_mode(argc, argv);
   }
-  usage("mode must be 'bft', 'crash', 'tcp' or 'campaign'");
+  if (std::strcmp(argv[1], "smr") == 0) return run_smr(argc, argv);
+  usage("mode must be 'bft', 'crash', 'tcp', 'campaign' or 'smr'");
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds and runs the JSON-emitting benchmarks, writing the machine-readable
+# artifacts at the repo root:
+#   BENCH_e15.json — certificate fast path, cached vs uncached verification
+#   BENCH_e17.json — pipelined SMR commit throughput, window × batch sweep
+#
+# Both binaries encode their acceptance headline in the exit status
+# (e15: cache speedup ≥ 3× at n=7 rounds=10; e17: threads W4B4 ≥ 2× the
+# W1B1 commits/sec), so this script fails loudly on a perf regression.
+#
+# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target bench_e15_cert_fastpath bench_e17_pipeline
+
+"./${BUILD_DIR}/bench/bench_e15_cert_fastpath" --out BENCH_e15.json
+echo
+"./${BUILD_DIR}/bench/bench_e17_pipeline" --out BENCH_e17.json

@@ -20,8 +20,12 @@
 # The TSan pass covers the wall-clock substrates (threaded Cluster and
 # TcpCluster): tests labelled `threads` or `tcp` — mailboxes, the
 # delivery tap, Stats accumulation, reconnect threads — where a data race
-# would not crash but would silently corrupt an experiment.  TSan and
-# ASan cannot share a build, so it uses its own build directory
+# would not crash but would silently corrupt an experiment.  The SMR
+# pipeline added two more customers under the `threads` label:
+# verify_pool_test (concurrent verify_all callers hammering one
+# crypto::VerifyPool and a shared CachingVerifier) and smr_pipeline_test
+# (pipelined replicas on the threaded cluster with the pool enabled).
+# TSan and ASan cannot share a build, so it uses its own build directory
 # (build-tsan, -DMODUBFT_TSAN=ON).
 #
 # Usage: scripts/run_sanitizers.sh [ctest-regex]

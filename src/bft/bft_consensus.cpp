@@ -11,18 +11,21 @@ BftProcess::BftProcess(BftConfig config, Value proposal,
                        VectorDecideFn on_decide)
     : config_(config),
       proposal_(proposal),
-      vcache_(config.verify_cache
-                  ? std::make_shared<crypto::CachingVerifier>(
-                        verifier, config.verify_cache_capacity)
-                  : nullptr),
-      signature_(signer, vcache_
-                             ? std::shared_ptr<const crypto::Verifier>(vcache_)
-                             : verifier),
+      vcache_(!config.verify_cache ? nullptr
+              : config.shared_verify_cache
+                  ? config.shared_verify_cache
+                  : std::make_shared<crypto::CachingVerifier>(
+                        verifier, config.verify_cache_capacity)),
+      signature_(signer,
+                 vcache_ ? std::shared_ptr<const crypto::Verifier>(vcache_)
+                         : verifier,
+                 config.verify_pool),
       muteness_(config.n, signer->id(), config.muteness),
       analyzer_(std::make_shared<CertAnalyzer>(
           config.n, config.quorum(),
           vcache_ ? std::shared_ptr<const crypto::Verifier>(vcache_)
-                  : verifier)),
+                  : verifier,
+          config.verify_pool)),
       nonmute_(config.n, signer->id(), analyzer_),
       cert_(config_),
       on_decide_(std::move(on_decide)) {
@@ -71,6 +74,13 @@ void BftProcess::on_message(sim::Context& ctx, ProcessId from,
 
   // Messages already attributed to faulty processes are discarded.
   if (nonmute_.is_faulty(from)) return;
+
+  // Parallel fast path: pre-verify the certificate's members through the
+  // pool before the serial well-formedness walk below touches them.  The
+  // analyzer's checks then hit the shared cache.  No-op without a pool.
+  if (config_.verify_pool && !in.msg.cert.empty()) {
+    analyzer_->warm_certificate(in.msg.cert);
+  }
 
   // From here on the message is shared immutable state: certificates built
   // from it hold this same allocation instead of deep-copying.

@@ -3,11 +3,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/check.hpp"
 #include "common/ids.hpp"
 #include "fd/muteness_fd.hpp"
+
+namespace modubft::crypto {
+class CachingVerifier;
+class VerifyPool;
+}  // namespace modubft::crypto
 
 namespace modubft::bft {
 
@@ -58,6 +64,22 @@ struct BftConfig {
 
   /// Entry bound of the verified-signature LRU.
   std::uint32_t verify_cache_capacity = 4096;
+
+  /// Externally-owned verified-signature cache.  When set (and
+  /// verify_cache is true) the process uses it instead of constructing a
+  /// private one, so the cache — and its hit/miss statistics — survive
+  /// across consensus instances.  The pipelined SMR replica shares one
+  /// cache across all of its slots this way.  Must wrap the same
+  /// underlying verifier the process is given.
+  std::shared_ptr<crypto::CachingVerifier> shared_verify_cache;
+
+  /// Parallel verification pool shared by the signature module and the
+  /// certificate analyzer.  nullptr = verify serially on the actor's
+  /// thread (the default, and the only configuration whose execution
+  /// order is deterministic — the sim substrate uses a pool of size 0,
+  /// which is synchronous, when it wants pool accounting).  One pool is
+  /// typically shared by every process of a run.
+  std::shared_ptr<crypto::VerifyPool> verify_pool;
 
   /// Period of the ◇M / faulty-coordinator poll.
   SimTime suspicion_poll_period = 10'000;

@@ -53,6 +53,11 @@ struct BftScenarioConfig {
   bool verify_cache = true;
   /// Optional certification-bound override (see bft::BftConfig).
   std::optional<std::uint32_t> certification_bound;
+  /// Attach a crypto::VerifyPool with this many workers, shared by every
+  /// process (0 = synchronous pool: accounting without threads — the
+  /// deterministic configuration).  Unset = no pool, serial verification
+  /// exactly as before.
+  std::optional<std::uint32_t> verify_workers;
   /// false = audit mode: processes keep their detection modules running
   /// after deciding, guaranteeing that every delivered misbehaviour ends up
   /// in the fault records.
@@ -215,6 +220,14 @@ struct SmrScenarioConfig {
   fd::OracleConfig oracle{};
   /// Command table; defaults to the canonical 5-command KV workload.
   std::vector<smr::Command> workload;
+  /// Pipeline window W (concurrent consensus instances per replica).
+  std::uint32_t window = 1;
+  /// Batch size B (commands committed per slot).
+  std::uint32_t batch = 1;
+  /// Byzantine backend: verify-pool workers shared by all replicas.
+  /// Unset = substrate default (sim: 0 — the synchronous deterministic
+  /// pool; threads/tcp: 3 workers).
+  std::optional<std::uint32_t> verify_workers;
 };
 
 struct SmrScenarioResult {

@@ -14,6 +14,7 @@
 #include "consensus/hurfin_raynal.hpp"
 #include "crypto/hmac_signer.hpp"
 #include "crypto/rsa64.hpp"
+#include "crypto/verify_pool.hpp"
 #include "faults/byzantine.hpp"
 #include "faults/split_brain.hpp"
 
@@ -91,6 +92,13 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
   proto.suspicion_poll_period =
       tune_poll_period(config.substrate, config.suspicion_poll_period);
   proto.validate();
+
+  // One verification pool shared by every process (opt-in).
+  std::shared_ptr<crypto::VerifyPool> pool;
+  if (config.verify_workers.has_value()) {
+    pool = std::make_shared<crypto::VerifyPool>(*config.verify_workers);
+    proto.verify_pool = pool;
+  }
 
   const std::vector<consensus::Value> proposals =
       default_proposals(config.n, config.proposals);
@@ -250,6 +258,19 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
       result.verify_cache_stats.misses += s.misses;
       result.verify_cache_stats.evictions += s.evictions;
     }
+  }
+
+  result.run_stats.verify.cache_hits = result.verify_cache_stats.hits;
+  result.run_stats.verify.cache_misses = result.verify_cache_stats.misses;
+  result.run_stats.verify.cache_evictions =
+      result.verify_cache_stats.evictions;
+  if (pool) {
+    const crypto::VerifyPoolStats ps = pool->stats();
+    result.run_stats.verify.pool_workers = pool->workers();
+    result.run_stats.verify.pool_jobs = ps.jobs;
+    result.run_stats.verify.pool_dispatched = ps.dispatched_jobs;
+    result.run_stats.verify.pool_batches = ps.batches;
+    result.run_stats.verify.pool_peak_queue = ps.peak_queue_depth;
   }
 
   return result;
@@ -432,6 +453,16 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
 
   SmrScenarioResult result;
 
+  // Byzantine backend: one verification pool shared by every replica.
+  // The sim default of 0 workers is the synchronous pool — identical
+  // execution order to no pool at all, but with accounting.
+  std::shared_ptr<crypto::VerifyPool> pool;
+  if (config.backend == smr::Backend::kByzantine) {
+    const std::uint32_t workers = config.verify_workers.value_or(
+        config.substrate == runtime::Backend::kSim ? 0u : 3u);
+    pool = std::make_shared<crypto::VerifyPool>(workers);
+  }
+
   std::vector<const smr::Replica*> views(config.n, nullptr);
   for (std::uint32_t i = 0; i < config.n; ++i) {
     const ProcessId id{i};
@@ -441,6 +472,8 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     rcfg.n = config.n;
     rcfg.backend = config.backend;
     rcfg.slots = config.slots;
+    rcfg.window = config.window;
+    rcfg.batch = config.batch;
     if (config.backend == smr::Backend::kCrashHurfinRaynal) {
       fd::OracleConfig oracle = config.oracle;
       oracle.seed = config.oracle.seed ^ (0x1000 + i);
@@ -452,6 +485,7 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       rcfg.bft.muteness = tune_muteness(fd::MutenessConfig{}, config.substrate);
       rcfg.bft.suspicion_poll_period =
           tune_poll_period(config.substrate, std::nullopt);
+      rcfg.bft.verify_pool = pool;
       rcfg.bft.validate();
       rcfg.signer = keys.signers[i].get();
       rcfg.verifier = keys.verifier;
@@ -490,6 +524,44 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
   if (result.correct.empty()) {
     result.all_committed = false;
     result.stores_agree = false;
+  }
+
+  // Pipeline + verification summaries (see PipelineSummary's aggregation
+  // contract: reference-replica tallies, summed drop counters, max peak).
+  runtime::PipelineSummary& pipe = result.run_stats.pipeline;
+  pipe.window = config.window;
+  pipe.batch = config.batch;
+  double avg_sum = 0.0;
+  std::uint64_t avg_count = 0;
+  for (std::uint32_t i : result.correct) {
+    const smr::PipelineStats& ps = views[i]->pipeline_stats();
+    if (views[i] == reference) {
+      pipe.slots_committed = ps.slots_committed;
+      pipe.commands_committed = ps.commands_committed;
+      pipe.noop_slots = ps.noop_slots;
+      pipe.max_batch = ps.max_batch;
+    }
+    pipe.window_peak = std::max(pipe.window_peak, ps.window_peak);
+    pipe.future_buffered += ps.future_buffered;
+    pipe.future_dropped += ps.future_dropped;
+    pipe.stale_dropped += ps.stale_dropped;
+    avg_sum += ps.avg_window();
+    avg_count += 1;
+    if (const crypto::CachingVerifier* cache = views[i]->verify_cache()) {
+      const crypto::VerifyCacheStats cs = cache->stats();
+      result.run_stats.verify.cache_hits += cs.hits;
+      result.run_stats.verify.cache_misses += cs.misses;
+      result.run_stats.verify.cache_evictions += cs.evictions;
+    }
+  }
+  if (avg_count > 0) pipe.avg_window = avg_sum / static_cast<double>(avg_count);
+  if (pool) {
+    const crypto::VerifyPoolStats ps = pool->stats();
+    result.run_stats.verify.pool_workers = pool->workers();
+    result.run_stats.verify.pool_jobs = ps.jobs;
+    result.run_stats.verify.pool_dispatched = ps.dispatched_jobs;
+    result.run_stats.verify.pool_batches = ps.batches;
+    result.run_stats.verify.pool_peak_queue = ps.peak_queue_depth;
   }
 
   return result;

@@ -240,7 +240,27 @@ std::string to_json(Backend backend, const RunStats& stats) {
      << ",\"frames_dropped\":" << stats.link.frames_dropped
      << ",\"kills_injected\":" << stats.link.kills_injected
      << ",\"checksum_failures\":" << stats.link.checksum_failures
-     << ",\"dup_suppressed\":" << stats.link.dup_suppressed << '}';
+     << ",\"dup_suppressed\":" << stats.link.dup_suppressed
+     << ",\"cache_hits\":" << stats.verify.cache_hits
+     << ",\"cache_misses\":" << stats.verify.cache_misses
+     << ",\"cache_evictions\":" << stats.verify.cache_evictions
+     << ",\"cache_hit_rate\":" << stats.verify.cache_hit_rate()
+     << ",\"pool_workers\":" << stats.verify.pool_workers
+     << ",\"pool_jobs\":" << stats.verify.pool_jobs
+     << ",\"pool_dispatched\":" << stats.verify.pool_dispatched
+     << ",\"pool_batches\":" << stats.verify.pool_batches
+     << ",\"pool_peak_queue\":" << stats.verify.pool_peak_queue
+     << ",\"window\":" << stats.pipeline.window
+     << ",\"batch\":" << stats.pipeline.batch
+     << ",\"slots_committed\":" << stats.pipeline.slots_committed
+     << ",\"commands_committed\":" << stats.pipeline.commands_committed
+     << ",\"noop_slots\":" << stats.pipeline.noop_slots
+     << ",\"max_batch\":" << stats.pipeline.max_batch
+     << ",\"window_peak\":" << stats.pipeline.window_peak
+     << ",\"avg_window\":" << stats.pipeline.avg_window
+     << ",\"future_buffered\":" << stats.pipeline.future_buffered
+     << ",\"future_dropped\":" << stats.pipeline.future_dropped
+     << ",\"stale_dropped\":" << stats.pipeline.stale_dropped << '}';
   return os.str();
 }
 

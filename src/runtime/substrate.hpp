@@ -57,6 +57,45 @@ enum class RunOutcome : std::uint8_t {
 
 const char* run_outcome_name(RunOutcome o);
 
+/// Verification-cost counters: the CachingVerifier LRU (summed over the
+/// run's correct processes) and the crypto::VerifyPool (one per run).
+/// All zero when the scenario attaches neither.
+struct VerifySummary {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t pool_workers = 0;
+  std::uint64_t pool_jobs = 0;
+  std::uint64_t pool_dispatched = 0;  // jobs run on a pool worker
+  std::uint64_t pool_batches = 0;
+  std::uint64_t pool_peak_queue = 0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// SMR pipeline counters (smr::PipelineStats projected per run): slot /
+/// command / batch tallies from one reference correct replica (they agree
+/// by construction), buffering-and-drop counters summed over correct
+/// replicas, window peak as the max.  All zero outside SMR scenarios.
+struct PipelineSummary {
+  std::uint64_t window = 0;  // configured W
+  std::uint64_t batch = 0;   // configured B
+  std::uint64_t slots_committed = 0;
+  std::uint64_t commands_committed = 0;
+  std::uint64_t noop_slots = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t window_peak = 0;
+  double avg_window = 0.0;
+  std::uint64_t future_buffered = 0;
+  std::uint64_t future_dropped = 0;
+  std::uint64_t stale_dropped = 0;
+};
+
 /// Unified counters, comparable across backends.  The core message
 /// counters are protocol-level on every substrate (counted at the
 /// Context::send boundary and at actor dispatch), so a scenario's message
@@ -73,6 +112,11 @@ struct RunStats {
   std::uint64_t wire_bytes = 0;
   /// kTcp only: fault/recovery counters aggregated over all links.
   transport::TcpLinkStats link;
+  /// Verification-cost counters (scenario runners fill these in; the
+  /// substrates themselves have no crypto visibility).
+  VerifySummary verify;
+  /// SMR pipeline counters (run_smr_scenario only).
+  PipelineSummary pipeline;
 };
 
 /// One-line JSON object for benchmark emission (keys stable across

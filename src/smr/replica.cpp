@@ -1,5 +1,7 @@
 #include "smr/replica.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/serial.hpp"
@@ -87,13 +89,25 @@ class Replica::SlotContext final : public sim::ForwardingContext {
 
 Replica::Replica(ReplicaConfig config, std::vector<Command> workload,
                  CommitFn on_commit)
-    : config_(config), on_commit_(std::move(on_commit)) {
+    : config_(std::move(config)), on_commit_(std::move(on_commit)) {
   MODUBFT_EXPECTS(config_.n >= 2);
+  MODUBFT_EXPECTS(config_.window >= 1);
+  MODUBFT_EXPECTS(config_.batch >= 1);
   if (config_.backend == Backend::kCrashHurfinRaynal) {
     MODUBFT_EXPECTS(config_.detector != nullptr);
   } else {
     MODUBFT_EXPECTS(config_.signer != nullptr);
     MODUBFT_EXPECTS(config_.verifier != nullptr);
+    // One cache for all the replica's slots: a fresh instance starts with
+    // a warm cache, and the hit/miss statistics survive instance
+    // teardown (the scenario runners read them after the run).
+    if (config_.bft.verify_cache && !config_.bft.shared_verify_cache) {
+      vcache_ = std::make_shared<crypto::CachingVerifier>(
+          config_.verifier, config_.bft.verify_cache_capacity);
+      config_.bft.shared_verify_cache = vcache_;
+    } else {
+      vcache_ = config_.bft.shared_verify_cache;
+    }
   }
   for (Command& cmd : workload) {
     MODUBFT_EXPECTS(cmd.id != 0);  // 0 is the no-op marker
@@ -101,101 +115,176 @@ Replica::Replica(ReplicaConfig config, std::vector<Command> workload,
   }
 }
 
-std::uint64_t Replica::pick_proposal() const {
+std::uint64_t Replica::pick_proposal(std::uint64_t slot) {
+  // Anchor the `batch` smallest unclaimed pending ids to this slot and
+  // propose the first of them, so concurrent slots carry disjoint
+  // proposals.  Purely a local heuristic: the commit rule re-derives the
+  // batch from the committed set, never from these claims.
+  std::vector<std::uint64_t> claim;
   for (const auto& [id, cmd] : commands_) {
-    if (committed_ids_.count(id) == 0) return id;
+    if (claim.size() >= config_.batch) break;
+    if (committed_ids_.count(id) > 0 || claimed_ids_.count(id) > 0) continue;
+    claim.push_back(id);
   }
-  return 0;  // nothing pending: no-op proposal
+  if (claim.empty()) return 0;  // nothing pending: no-op proposal
+  const std::uint64_t proposal = claim.front();
+  for (std::uint64_t id : claim) claimed_ids_.insert(id);
+  claims_.emplace(slot, std::move(claim));
+  return proposal;
 }
 
 std::unique_ptr<sim::Actor> Replica::make_instance_actor(std::uint64_t slot) {
-  const consensus::Value proposal = pick_proposal();
+  const consensus::Value proposal = pick_proposal(slot);
 
+  // Decide callbacks only park the raw decision in the reorder buffer.
+  // Extraction and batch assembly happen at commit time, when the slot is
+  // the frontier: under pipelining, replicas reach a mid-window decision
+  // with *different* committed sets, and only the frontier state is
+  // guaranteed identical across correct replicas.
   if (config_.backend == Backend::kCrashHurfinRaynal) {
     return std::make_unique<consensus::HurfinRaynalActor>(
         config_.n, proposal, config_.detector,
         [this, slot](ProcessId, const consensus::Decision& d) {
-          if (slot != next_slot_) return;
-          instance_decided_ = true;
-          pending_decided_id_ = d.value;
+          auto it = slots_.find(slot);
+          if (it == slots_.end() || it->second.decided) return;
+          it->second.decided = true;
+          it->second.crash_value = d.value;
         });
   }
 
   return std::make_unique<bft::BftProcess>(
       config_.bft, proposal, config_.signer, config_.verifier,
       [this, slot](ProcessId, const bft::VectorDecision& d) {
-        if (slot != next_slot_) return;
-        // Deterministic extraction: the smallest committable id carried by
-        // the vector.  All correct replicas see the same vector, so they
-        // commit the same command.
-        std::uint64_t best = 0;
-        for (const auto& entry : d.entries) {
-          if (!entry.has_value() || *entry == 0) continue;
-          if (commands_.count(*entry) == 0) continue;
-          if (committed_ids_.count(*entry) > 0) continue;
-          if (best == 0 || *entry < best) best = *entry;
-        }
-        instance_decided_ = true;
-        pending_decided_id_ = best;
+        auto it = slots_.find(slot);
+        if (it == slots_.end() || it->second.decided) return;
+        it->second.decided = true;
+        it->second.vector = d;
       });
 }
 
 void Replica::on_start(sim::Context& ctx) {
-  start_slot(ctx);
+  pump(ctx);
 }
 
-void Replica::start_slot(sim::Context& ctx) {
-  while (true) {
-    if (done()) {
-      ctx.stop();
-      return;
-    }
-    const std::uint64_t slot = next_slot_;
-    instance_decided_ = false;
-    instance_ = make_instance_actor(slot);
-    SlotContext sub(ctx, *this, slot);
-    instance_->on_start(sub);
+bool Replica::fill_window(sim::Context& ctx) {
+  bool started = false;
+  while (next_start_ < config_.slots &&
+         next_start_ < next_commit_ + config_.window) {
+    const std::uint64_t slot = next_start_++;
+    started = true;
+    Slot& st = slots_[slot];
+    st.actor = make_instance_actor(slot);
+    pstats_.window_peak =
+        std::max<std::uint64_t>(pstats_.window_peak, slots_.size());
+    pstats_.window_occupancy_sum += slots_.size();
+    pstats_.window_samples += 1;
 
-    // Replay envelopes that arrived while we were on earlier slots.
+    SlotContext sub(ctx, *this, slot);
+    st.actor->on_start(sub);
+
+    // Replay envelopes that arrived before the slot existed.
     auto it = future_.find(slot);
     if (it != future_.end()) {
       auto pending = std::move(it->second);
       future_.erase(it);
       for (auto& [from, payload] : pending) {
-        if (instance_decided_) break;
-        instance_->on_message(sub, from, payload);
+        if (st.decided) break;
+        st.actor->on_message(sub, from, payload);
       }
     }
-    if (!instance_decided_) return;
-    finish_slot(ctx, pending_decided_id_);
-    // finish_slot advanced next_slot_; loop to start the next instance.
+  }
+  return started;
+}
+
+void Replica::commit_slot(sim::Context& ctx, Slot& st) {
+  const InstanceId slot{next_commit_};
+
+  // Deterministic anchor extraction from the raw decision.  A real anchor
+  // (a non-zero id present in the command table) releases a batch; an
+  // all-null / unknown decision is a no-op slot.  Note the rule reads
+  // only (decision, commands_) — both identical across correct replicas.
+  std::uint64_t anchor = 0;
+  if (config_.backend == Backend::kCrashHurfinRaynal) {
+    if (st.crash_value != 0 && commands_.count(st.crash_value) > 0) {
+      anchor = st.crash_value;
+    }
+  } else {
+    for (const auto& entry : st.vector.entries) {
+      if (!entry.has_value() || *entry == 0) continue;
+      if (commands_.count(*entry) == 0) continue;
+      if (anchor == 0 || *entry < anchor) anchor = *entry;
+    }
+  }
+
+  // Canonical batch: the `batch` smallest still-pending ids, applied in
+  // increasing id order.  Identical across correct replicas because the
+  // committed set is (inductively) identical at the frontier; and since
+  // every batch drains the smallest pending ids, the overall application
+  // order is increasing id order regardless of (window, batch).
+  std::uint64_t applied = 0;
+  if (anchor != 0) {
+    for (const auto& [id, cmd] : commands_) {
+      if (applied >= config_.batch) break;
+      if (committed_ids_.count(id) > 0) continue;
+      store_.apply(cmd);
+      committed_ids_.insert(id);
+      ++applied;
+      ++pstats_.commands_committed;
+      log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " cmd ", id);
+      if (on_commit_) on_commit_(slot, &cmd, store_);
+    }
+  }
+  if (applied == 0) {
+    ++pstats_.noop_slots;
+    log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " (no-op)");
+    if (on_commit_) on_commit_(slot, nullptr, store_);
+  }
+  pstats_.max_batch = std::max(pstats_.max_batch, applied);
+  ++pstats_.slots_committed;
+
+  // Release this slot's proposal claims.
+  auto c = claims_.find(slot.value);
+  if (c != claims_.end()) {
+    for (std::uint64_t id : c->second) claimed_ids_.erase(id);
+    claims_.erase(c);
+  }
+
+  next_commit_ += 1;
+  // Drop timer routes of committed slots.
+  for (auto t = timer_slot_.begin(); t != timer_slot_.end();) {
+    t = t->second < next_commit_ ? timer_slot_.erase(t) : std::next(t);
   }
 }
 
-void Replica::finish_slot(sim::Context& ctx, std::uint64_t decided_id) {
-  const InstanceId slot{next_slot_};
-  const Command* applied = nullptr;
-  auto it = commands_.find(decided_id);
-  if (decided_id != 0 && it != commands_.end() &&
-      committed_ids_.count(decided_id) == 0) {
-    store_.apply(it->second);
-    committed_ids_.insert(decided_id);
-    applied = &it->second;
+void Replica::pump(sim::Context& ctx) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Commit the decided prefix, strictly in slot order.
+    while (next_commit_ < config_.slots) {
+      auto it = slots_.find(next_commit_);
+      if (it == slots_.end() || !it->second.decided) break;
+      commit_slot(ctx, it->second);
+      slots_.erase(it);
+      progress = true;
+    }
+    // Decided mid-window slots wait in the reorder buffer with nothing
+    // left to do (stop_on_decide); release their actors early.  Safe
+    // here: pump runs only after any dispatch into an instance returned.
+    for (auto& [s, st] : slots_) {
+      if (st.decided && st.actor) st.actor.reset();
+    }
+    if (next_commit_ >= config_.slots) break;
+    if (fill_window(ctx)) progress = true;
   }
-  log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " cmd ",
-            decided_id);
-  if (on_commit_) on_commit_(slot, applied, store_);
-  next_slot_ += 1;
-  instance_ = nullptr;
-  // Drop stale timer routes.
-  for (auto t = timer_slot_.begin(); t != timer_slot_.end();) {
-    t = t->second < next_slot_ ? timer_slot_.erase(t) : std::next(t);
+  if (done() && !stopped_) {
+    stopped_ = true;
+    ctx.stop();
   }
 }
 
 void Replica::on_message(sim::Context& ctx, ProcessId from,
                          const Bytes& payload) {
-  if (done()) return;
   std::uint64_t slot = 0;
   Bytes inner;
   try {
@@ -205,20 +294,42 @@ void Replica::on_message(sim::Context& ctx, ProcessId from,
   } catch (const SerialError&) {
     return;  // not an SMR frame
   }
+  if (slot >= config_.slots) return;  // no such instance
 
-  if (slot < next_slot_) return;  // finished slot: stale traffic
-  if (slot > next_slot_) {
-    future_[slot].emplace_back(from, std::move(inner));
+  if (slot < next_commit_) {  // committed slot (covers done()): stale
+    ++pstats_.stale_dropped;
     return;
   }
-  if (instance_ == nullptr) return;
 
-  SlotContext sub(ctx, *this, slot);
-  instance_->on_message(sub, from, inner);
-  if (instance_decided_) {
-    finish_slot(ctx, pending_decided_id_);
-    start_slot(ctx);
+  auto it = slots_.find(slot);
+  if (it != slots_.end()) {
+    Slot& st = it->second;
+    if (st.decided || st.actor == nullptr) {
+      ++pstats_.stale_dropped;  // instance finished, commit still pending
+      return;
+    }
+    SlotContext sub(ctx, *this, slot);
+    st.actor->on_message(sub, from, inner);
+    pump(ctx);
+    return;
   }
+
+  // Not started yet: buffer within the bounded horizon, drop beyond it.
+  if (slot >= buffer_horizon()) {
+    ++pstats_.future_dropped;
+    return;
+  }
+  auto f = future_.find(slot);
+  if (f == future_.end()) {
+    f = future_.emplace(slot, std::vector<std::pair<ProcessId, Bytes>>{})
+            .first;
+  }
+  if (f->second.size() >= config_.max_future_msgs_per_slot) {
+    ++pstats_.future_dropped;
+    return;
+  }
+  f->second.emplace_back(from, std::move(inner));
+  ++pstats_.future_buffered;
 }
 
 void Replica::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
@@ -227,14 +338,13 @@ void Replica::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
   if (it == timer_slot_.end()) return;
   const std::uint64_t slot = it->second;
   timer_slot_.erase(it);
-  if (slot != next_slot_ || instance_ == nullptr) return;
 
+  auto s = slots_.find(slot);
+  if (s == slots_.end() || s->second.decided || s->second.actor == nullptr)
+    return;
   SlotContext sub(ctx, *this, slot);
-  instance_->on_timer(sub, timer_id);
-  if (instance_decided_) {
-    finish_slot(ctx, pending_decided_id_);
-    start_slot(ctx);
-  }
+  s->second.actor->on_timer(sub, timer_id);
+  pump(ctx);
 }
 
 }  // namespace modubft::smr

@@ -3,18 +3,39 @@
 // The paper motivates consensus as "a fundamental paradigm for
 // fault-tolerant distributed systems"; this layer is the canonical
 // downstream use.  Each replica runs a sequence of consensus instances
-// (slots).  For slot s it proposes the smallest not-yet-committed command
-// id it knows; the decided id's command is applied to the deterministic
-// KvStore.  Instances are multiplexed over the replica's single channel
-// with an instance-tag envelope; each instance is a fresh protocol actor
-// behind a sub-context that re-routes sends, timers, and the actor's
-// stop() (which must end the instance, not the replica).
+// (slots), multiplexed over the replica's single channel with an
+// instance-tag envelope; each instance is a fresh protocol actor behind a
+// sub-context that re-routes sends, timers, and the actor's stop() (which
+// must end the instance, not the replica).
+//
+// Pipelining.  Up to `window` slots run concurrently: the replica keeps a
+// sliding window of live instances [commit frontier, frontier + W).
+// Instances may decide in any order; decisions park in a reorder buffer
+// and are applied to the KvStore strictly in slot order when the frontier
+// reaches them, so the store never observes out-of-order commits.
+// Envelopes for slots beyond the window are buffered (bounded per slot
+// and bounded in horizon) and replayed when the slot starts; envelopes
+// for committed slots are stale and dropped.
+//
+// Batching.  A slot commits up to `batch` commands.  Proposals remain a
+// single command id (the consensus value type is untouched), acting as an
+// anchor: at commit time — and only then, when every correct replica has
+// the identical committed set — a real (non-zero, known) anchor releases
+// the `batch` smallest still-pending command ids, applied in increasing
+// id order.  The batch-assembly rule is a deterministic function of
+// (decided value, committed set), so all correct replicas commit
+// identical batches; and since batches always drain the smallest pending
+// ids in order, the store's application order is the same increasing id
+// order for *any* (window, batch) configuration — pipelined and
+// sequential runs produce bit-identical stores.
 //
 // Two protocol back-ends are supported: the crash-model Hurfin–Raynal
-// actor, and the transformed Byzantine protocol (where the decided value
-// is extracted from the vector by a deterministic rule — the minimum
-// pending id among the vector's entries — so all correct replicas commit
-// identically).
+// actor, and the transformed Byzantine protocol (the anchor is extracted
+// from the decided vector by a deterministic rule — the minimum known id
+// among the vector's entries).  The Byzantine back-end shares one
+// verified-signature cache across all of the replica's slots (and a
+// crypto::VerifyPool across replicas, when configured), so the PR 2 fast
+// path compounds across the pipeline.
 #pragma once
 
 #include <functional>
@@ -26,6 +47,7 @@
 #include "bft/bft_consensus.hpp"
 #include "consensus/hurfin_raynal.hpp"
 #include "crypto/signature.hpp"
+#include "crypto/verify_cache.hpp"
 #include "fd/failure_detector.hpp"
 #include "sim/actor.hpp"
 #include "smr/kv_store.hpp"
@@ -37,7 +59,23 @@ enum class Backend { kCrashHurfinRaynal, kByzantine };
 struct ReplicaConfig {
   std::uint32_t n = 0;
   Backend backend = Backend::kCrashHurfinRaynal;
-  std::uint64_t slots = 4;  // how many commands to commit
+  std::uint64_t slots = 4;  // how many consensus instances to run
+
+  /// Pipeline window: maximum number of concurrently live instances.
+  /// 1 reproduces the strictly sequential pre-pipelining behaviour.
+  std::uint32_t window = 1;
+
+  /// Maximum commands committed per slot (see the batching rule above).
+  std::uint32_t batch = 1;
+
+  /// Buffering horizon for early envelopes: slots at distance
+  /// ≥ window + max_future_slots from the commit frontier are dropped
+  /// (counted in PipelineStats::future_dropped).  Bounds Byzantine
+  /// flooding of far-future slots.
+  std::uint32_t max_future_slots = 32;
+
+  /// Per-slot cap on buffered envelopes (same flooding bound).
+  std::uint32_t max_future_msgs_per_slot = 256;
 
   // Crash back-end.
   std::shared_ptr<fd::CrashDetector> detector;
@@ -48,8 +86,32 @@ struct ReplicaConfig {
   std::shared_ptr<const crypto::Verifier> verifier;
 };
 
+/// Pipeline observability, surfaced through runtime::RunStats::to_json.
+struct PipelineStats {
+  std::uint64_t slots_committed = 0;
+  std::uint64_t commands_committed = 0;
+  std::uint64_t noop_slots = 0;     // slots that released no command
+  std::uint64_t max_batch = 0;      // largest committed batch
+  std::uint64_t window_peak = 0;    // most slots live at once
+  /// Occupancy integral: live-slot count sampled at every slot start.
+  std::uint64_t window_occupancy_sum = 0;
+  std::uint64_t window_samples = 0;
+  std::uint64_t future_buffered = 0;  // early envelopes parked
+  std::uint64_t future_dropped = 0;   // beyond horizon or per-slot cap
+  std::uint64_t stale_dropped = 0;    // post-commit stragglers
+
+  double avg_window() const {
+    return window_samples == 0
+               ? 0.0
+               : static_cast<double>(window_occupancy_sum) /
+                     static_cast<double>(window_samples);
+  }
+};
+
 /// Invoked on every commit: (slot, command applied — nullptr for a no-op
-/// slot, state after application).
+/// slot, state after application).  A slot committing a batch of k
+/// commands invokes the callback k times with the same slot, in
+/// application (increasing id) order.
 using CommitFn =
     std::function<void(InstanceId, const Command*, const KvStore&)>;
 
@@ -66,30 +128,62 @@ class Replica final : public sim::Actor {
   void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
 
   const KvStore& store() const { return store_; }
-  std::uint64_t committed_slots() const { return next_slot_; }
-  bool done() const { return next_slot_ >= config_.slots; }
+  std::uint64_t committed_slots() const { return next_commit_; }
+  bool done() const { return next_commit_ >= config_.slots; }
+
+  const PipelineStats& pipeline_stats() const { return pstats_; }
+
+  /// The verified-signature cache shared across this replica's slots
+  /// (Byzantine back-end with verify_cache on), else nullptr.
+  const crypto::CachingVerifier* verify_cache() const {
+    return vcache_.get();
+  }
 
  private:
   class SlotContext;
 
-  void start_slot(sim::Context& ctx);
-  void finish_slot(sim::Context& ctx, std::uint64_t decided_id);
-  std::uint64_t pick_proposal() const;
+  /// One in-flight (or decided-but-uncommitted) consensus instance.
+  struct Slot {
+    std::unique_ptr<sim::Actor> actor;  // released once decided
+    bool decided = false;
+    std::uint64_t crash_value = 0;   // crash back-end decision
+    bft::VectorDecision vector;      // Byzantine back-end decision
+  };
+
+  /// Drives the pipeline to a fixpoint: commits the decided prefix in
+  /// slot order, releases decided actors, refills the window (replaying
+  /// buffered envelopes), and stops the replica when all slots committed.
+  /// Called after every dispatch into an instance.
+  void pump(sim::Context& ctx);
+  bool fill_window(sim::Context& ctx);
+  void commit_slot(sim::Context& ctx, Slot& st);
+  std::uint64_t pick_proposal(std::uint64_t slot);
   std::unique_ptr<sim::Actor> make_instance_actor(std::uint64_t slot);
+  std::uint64_t buffer_horizon() const {
+    return next_commit_ + config_.window + config_.max_future_slots;
+  }
 
   ReplicaConfig config_;
   std::map<std::uint64_t, Command> commands_;  // id → command
   CommitFn on_commit_;
 
   KvStore store_;
-  std::uint64_t next_slot_ = 0;
-  std::unique_ptr<sim::Actor> instance_;      // the active slot's actor
-  bool instance_decided_ = false;
-  std::uint64_t pending_decided_id_ = 0;
+  std::uint64_t next_commit_ = 0;  // commit frontier (first uncommitted)
+  std::uint64_t next_start_ = 0;   // first not-yet-started slot
+  std::map<std::uint64_t, Slot> slots_;  // window + reorder buffer
   std::set<std::uint64_t> committed_ids_;
+  /// Local proposal claims: ids already anchored by an in-flight slot, so
+  /// concurrent slots propose disjoint anchors.  A heuristic only —
+  /// correctness never depends on claims (the commit rule ignores them).
+  std::set<std::uint64_t> claimed_ids_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> claims_;  // slot → ids
   std::map<std::uint64_t, std::uint64_t> timer_slot_;  // timer id → slot
-  // Buffered envelopes for future slots (a peer may be a slot ahead).
+  // Buffered envelopes for not-yet-started slots (bounded; see config).
   std::map<std::uint64_t, std::vector<std::pair<ProcessId, Bytes>>> future_;
+  // Byzantine back-end: one verification cache for every slot instance.
+  std::shared_ptr<crypto::CachingVerifier> vcache_;
+  PipelineStats pstats_;
+  bool stopped_ = false;
 };
 
 }  // namespace modubft::smr

@@ -20,12 +20,17 @@
 //   scenario_cli smr   --n 4 --backend crash|byz [--f 1] [--slots 8]
 //                      [--window W] [--batch B] [--commands K]
 //                      [--verify-workers V] [--substrate sim|threads|tcp]
-//                      [--seed S] [--crash P:TIME_US]... [--budget-ms MS]
+//                      [--seed S] [--crash P:TIME_US]...
+//                      [--checkpoint-interval C]
+//                      [--restart P:KILL_US:RESTART_US]... [--budget-ms MS]
 //
 // `smr` runs the pipelined replicated KV machine (docs/SMR.md): --window
 // sets the number of concurrent consensus instances per replica, --batch
 // the commands committed per slot, --commands the synthetic workload size
-// (slots default to ceil(commands / batch)).
+// (slots default to ceil(commands / batch)).  --checkpoint-interval turns
+// on certified checkpoints + log compaction (docs/RECOVERY.md); --restart
+// kills replica P at KILL_US and brings it back at RESTART_US as a fresh
+// actor that recovers via state transfer (requires --checkpoint-interval).
 //
 // Faults take `<process>:<behavior>` with 1-based process ids; behaviours:
 //   crash mute corrupt-vector wrong-round duplicate-current duplicate-next
@@ -92,7 +97,8 @@ using namespace modubft;
             << "       scenario_cli smr   --n N --backend crash|byz [--f F] "
                "[--slots K] [--window W] [--batch B] [--commands C] "
                "[--verify-workers V] [--substrate sim|threads|tcp] "
-               "[--seed S] [--crash P:TIME_US]... [--budget-ms MS]\n";
+               "[--seed S] [--crash P:TIME_US]... [--checkpoint-interval C] "
+               "[--restart P:KILL_US:RESTART_US]... [--budget-ms MS]\n";
   std::exit(2);
 }
 
@@ -443,6 +449,8 @@ int run_smr(int argc, char** argv) {
       cfg.verify_workers = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--budget-ms") {
       cfg.budget = std::chrono::milliseconds(std::stoull(next()));
+    } else if (arg == "--checkpoint-interval") {
+      cfg.checkpoint_interval = std::stoull(next());
     } else if (arg == "--crash") {
       std::string spec = next();
       auto colon = spec.find(':');
@@ -452,13 +460,34 @@ int run_smr(int argc, char** argv) {
       if (pid < 1) usage("process ids are 1-based");
       cfg.crashes.push_back(
           faults::CrashSpec{ProcessId{static_cast<std::uint32_t>(pid - 1)},
-                            SimTime{at}});
+                            SimTime{at}, std::nullopt});
+    } else if (arg == "--restart") {
+      std::string spec = next();
+      auto c1 = spec.find(':');
+      auto c2 = c1 == std::string::npos ? std::string::npos
+                                        : spec.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        usage("restart must be P:KILL_US:RESTART_US");
+      }
+      const auto pid = std::stoul(spec.substr(0, c1));
+      const auto kill_at = std::stoull(spec.substr(c1 + 1, c2 - c1 - 1));
+      const auto back_at = std::stoull(spec.substr(c2 + 1));
+      if (pid < 1) usage("process ids are 1-based");
+      if (back_at <= kill_at) usage("RESTART_US must be > KILL_US");
+      cfg.crashes.push_back(
+          faults::CrashSpec{ProcessId{static_cast<std::uint32_t>(pid - 1)},
+                            SimTime{kill_at}, SimTime{back_at}});
     } else {
       usage(("unknown flag " + arg).c_str());
     }
   }
   if (cfg.n == 0) usage("--n is required");
   if (cfg.window < 1 || cfg.batch < 1) usage("--window/--batch must be >= 1");
+  for (const faults::CrashSpec& c : cfg.crashes) {
+    if (c.restart_at.has_value() && cfg.checkpoint_interval == 0) {
+      usage("--restart requires --checkpoint-interval");
+    }
+  }
 
   if (commands > 0) {
     // Synthetic workload: K puts/deletes cycling over 8 keys.
@@ -502,6 +531,14 @@ int run_smr(int argc, char** argv) {
             << pipe.max_batch << ")\n"
             << "window peak/avg: " << pipe.window_peak << " / "
             << pipe.avg_window << "\n";
+  if (cfg.checkpoint_interval > 0) {
+    std::cout << "checkpoints:     " << pipe.checkpoints_taken << " taken, "
+              << pipe.checkpoint_certs << " certified, " << pipe.log_truncated
+              << " slots compacted (log peak " << pipe.log_peak << ")\n"
+              << "recovered:       " << r.recovered.size() << " replica(s)";
+    for (std::uint32_t p : r.recovered) std::cout << " p" << p + 1;
+    std::cout << " (worst rejoin " << pipe.recovery_us / 1000.0 << " ms)\n";
+  }
   if (wall_s > 0) {
     std::cout << "commits/sec:     "
               << static_cast<double>(pipe.commands_committed) / wall_s << "\n";

@@ -3,10 +3,12 @@
 # artifacts at the repo root:
 #   BENCH_e15.json — certificate fast path, cached vs uncached verification
 #   BENCH_e17.json — pipelined SMR commit throughput, window × batch sweep
+#   BENCH_e18.json — checkpoint overhead + kill/restart recovery time
 #
-# Both binaries encode their acceptance headline in the exit status
+# Every binary encodes its acceptance headline in the exit status
 # (e15: cache speedup ≥ 3× at n=7 rounds=10; e17: threads W4B4 ≥ 2× the
-# W1B1 commits/sec), so this script fails loudly on a perf regression.
+# W1B1 commits/sec; e18: checkpointing retains ≥ 60% throughput and every
+# kill/restart rejoins), so this script fails loudly on a regression.
 #
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,8 +17,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_e15_cert_fastpath bench_e17_pipeline
+  --target bench_e15_cert_fastpath bench_e17_pipeline bench_e18_recovery
 
 "./${BUILD_DIR}/bench/bench_e15_cert_fastpath" --out BENCH_e15.json
 echo
 "./${BUILD_DIR}/bench/bench_e17_pipeline" --out BENCH_e17.json
+echo
+"./${BUILD_DIR}/bench/bench_e18_recovery" --out BENCH_e18.json

@@ -25,6 +25,12 @@
 # verify_pool_test (concurrent verify_all callers hammering one
 # crypto::VerifyPool and a shared CachingVerifier) and smr_pipeline_test
 # (pipelined replicas on the threaded cluster with the pool enabled).
+# The recovery subsystem (label `recovery`) adds three more: the
+# STATE_RESP decode fuzz loop runs under ASan/UBSan inside the full
+# suite, and smr_recovery_transport_test / recovery_attack_test carry the
+# threads/tcp labels so the TSan pass exercises the node-thread dormancy
+# loop, the restart handoff of actor/timers/rng, and the shared
+# CachingVerifier surviving across a replica's two lives.
 # TSan and ASan cannot share a build, so it uses its own build directory
 # (build-tsan, -DMODUBFT_TSAN=ON).
 #

@@ -54,6 +54,8 @@ const char* violation_name(ViolationKind kind) {
     case ViolationKind::kCorrectEquivocation: return "correct-equivocation";
     case ViolationKind::kUndetectedHarmfulEquivocation:
       return "undetected-harmful-equivocation";
+    case ViolationKind::kRecoveredStoreMismatch:
+      return "recovered-store-mismatch";
   }
   return "?";
 }

@@ -63,6 +63,9 @@ enum class ViolationKind : std::uint8_t {
   kCorrectEquivocation,
   /// An attacker equivocation went undetected AND agreement broke.
   kUndetectedHarmfulEquivocation,
+  /// A restarted replica rejoined with a store that does not match the
+  /// store a correct quorum agrees on (recovery safety, ISSUE 6).
+  kRecoveredStoreMismatch,
 };
 
 const char* violation_name(ViolationKind kind);

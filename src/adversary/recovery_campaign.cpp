@@ -1,0 +1,405 @@
+#include "adversary/recovery_campaign.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "bft/checkpoint_cert.hpp"
+#include "common/check.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac_signer.hpp"
+#include "smr/checkpoint.hpp"
+#include "smr/command.hpp"
+
+namespace modubft::adversary {
+
+namespace {
+
+/// True iff the frame rides the reserved control slot (recovery traffic).
+bool is_control_frame(const Bytes& payload) {
+  if (payload.size() < 9) return false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (payload[i] != 0xFF) return false;
+  }
+  return true;
+}
+
+/// The scenario CLI's synthetic workload: K puts/deletes cycling over 8
+/// keys, so consecutive runs of the same size produce identical stores.
+std::vector<smr::Command> synthetic_workload(std::uint32_t commands) {
+  std::vector<smr::Command> out;
+  out.reserve(commands);
+  for (std::uint32_t c = 1; c <= commands; ++c) {
+    smr::Command cmd;
+    cmd.id = c;
+    cmd.key = "key" + std::to_string(c % 8);
+    if (c % 5 == 0) {
+      cmd.op = smr::Command::Op::kDel;
+    } else {
+      cmd.op = smr::Command::Op::kPut;
+      cmd.value = "v" + std::to_string(c);
+    }
+    out.push_back(std::move(cmd));
+  }
+  return out;
+}
+
+std::uint32_t store_quorum(const RecoveryCellConfig& config) {
+  return config.backend == smr::Backend::kByzantine ? 2 * config.f + 1
+                                                    : config.n / 2 + 1;
+}
+
+std::string render_who(std::uint32_t id) { return "p" + std::to_string(id + 1); }
+
+}  // namespace
+
+const char* recovery_attack_name(RecoveryAttackKind kind) {
+  switch (kind) {
+    case RecoveryAttackKind::kNone: return "none";
+    case RecoveryAttackKind::kForgedCheckpoint: return "forged-checkpoint";
+    case RecoveryAttackKind::kCorruptStateResp: return "corrupt-state-resp";
+  }
+  return "?";
+}
+
+crypto::Digest forged_checkpoint_digest(std::uint64_t slot) {
+  Writer w;
+  w.str("forged-ckpt");
+  w.u64(slot);
+  return crypto::sha256(std::move(w).take());
+}
+
+Bytes forged_state_resp(
+    std::uint64_t claim_slot,
+    const std::vector<const crypto::Signer*>& coalition) {
+  smr::Snapshot fake;
+  fake.slot = claim_slot;
+  fake.applied = claim_slot;
+  fake.data = {{"forged", "state"}};
+
+  smr::StateResp resp;
+  resp.ckpt_slot = claim_slot;
+  resp.snapshot = smr::encode_snapshot(fake);
+  const crypto::Digest digest = smr::snapshot_digest(resp.snapshot);
+  const Bytes preimage = bft::checkpoint_signing_bytes(claim_slot, digest);
+  for (const crypto::Signer* signer : coalition) {
+    resp.cert_sigs.emplace_back(signer->id().value, signer->sign(preimage));
+  }
+  return smr::encode_control_state_resp(resp);
+}
+
+// ------------------------------------------------------ RecoveryAttacker
+
+/// Intercepts sends; consensus frames pass through byte-identical, control
+/// frames go through attack_frame().  broadcast stays a single mutation —
+/// a coalition's forged votes must agree to ever share a certificate.
+class RecoveryAttacker::AttackContext final : public sim::ForwardingContext {
+ public:
+  AttackContext(sim::Context& base, RecoveryAttacker& owner)
+      : ForwardingContext(base), owner_(owner) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    base_.send(to, owner_.attack_frame(payload));
+  }
+
+  void broadcast(const Bytes& payload) override {
+    base_.broadcast(owner_.attack_frame(payload));
+  }
+
+ private:
+  RecoveryAttacker& owner_;
+};
+
+RecoveryAttacker::RecoveryAttacker(std::unique_ptr<sim::Actor> inner,
+                                   RecoveryAttackerConfig config,
+                                   const crypto::Signer* self,
+                                   std::vector<const crypto::Signer*> coalition)
+    : inner_(std::move(inner)),
+      config_(config),
+      self_(self),
+      rng_(config.seed) {
+  MODUBFT_EXPECTS(inner_ != nullptr);
+  MODUBFT_EXPECTS(self_ != nullptr);
+  if (config_.kind == RecoveryAttackKind::kForgedCheckpoint) {
+    forged_resp_ = forged_state_resp(config_.claim_slot, coalition);
+  }
+}
+
+Bytes RecoveryAttacker::attack_frame(const Bytes& payload) {
+  if (config_.kind == RecoveryAttackKind::kNone || !is_control_frame(payload)) {
+    return payload;
+  }
+  const auto kind = static_cast<smr::ControlKind>(payload[8]);
+  try {
+    if (config_.kind == RecoveryAttackKind::kForgedCheckpoint) {
+      if (kind == smr::ControlKind::kCheckpointVote) {
+        // Re-sign a vote for the fabricated digest: the signature verifies
+        // (it is our key), only the claim is a lie — the shape a key-holding
+        // Byzantine replica actually produces.
+        Reader r(payload);
+        r.u64();
+        r.u8();
+        smr::CheckpointVote vote = smr::decode_checkpoint_vote(r);
+        vote.digest = forged_checkpoint_digest(vote.slot);
+        vote.sig = self_->sign(
+            bft::checkpoint_signing_bytes(vote.slot, vote.digest));
+        return smr::encode_control_vote(vote);
+      }
+      if (kind == smr::ControlKind::kStateResp) {
+        return forged_resp_;
+      }
+    } else if (config_.kind == RecoveryAttackKind::kCorruptStateResp) {
+      if (kind == smr::ControlKind::kStateResp) {
+        // Stomp a window past the control header so the frame still routes
+        // to the recovery decoder — that decoder is the attack surface.
+        Bytes out = payload;
+        const std::size_t body = 9;
+        if (out.size() > body) {
+          const std::size_t len = std::min<std::size_t>(
+              1 + rng_.next_below(8), out.size() - body);
+          const std::size_t start =
+              body + rng_.next_below(out.size() - body - len + 1);
+          for (std::size_t i = 0; i < len; ++i) {
+            out[start + i] = static_cast<std::uint8_t>(rng_.next_u64());
+          }
+        }
+        return out;
+      }
+    }
+  } catch (const std::exception&) {
+    // A frame our own replica emitted failed to re-decode — pass it
+    // through; the attack only ever weakens into honesty.
+  }
+  return payload;
+}
+
+void RecoveryAttacker::on_start(sim::Context& ctx) {
+  AttackContext atk(ctx, *this);
+  inner_->on_start(atk);
+}
+
+void RecoveryAttacker::on_message(sim::Context& ctx, ProcessId from,
+                                  const Bytes& payload) {
+  AttackContext atk(ctx, *this);
+  inner_->on_message(atk, from, payload);
+}
+
+void RecoveryAttacker::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  AttackContext atk(ctx, *this);
+  inner_->on_timer(atk, timer_id);
+}
+
+// ----------------------------------------------------------------- audit
+
+std::vector<Violation> audit_recovered_stores(
+    const faults::SmrScenarioResult& result,
+    const std::set<std::uint32_t>& restarted, std::uint32_t quorum,
+    const std::map<std::string, std::string>* expected) {
+  std::vector<Violation> out;
+
+  // Reference store: supplied baseline, or the store the largest set of
+  // correct replicas agrees on (the recovered replica votes too — with a
+  // victim down and ≤ f attackers, the survivors alone may be < quorum).
+  const std::map<std::string, std::string>* ref = expected;
+  std::size_t support = 0;
+  if (ref == nullptr) {
+    for (const auto& [id, store] : result.stores) {
+      std::size_t count = 0;
+      for (const auto& [other_id, other] : result.stores) {
+        if (other == store) ++count;
+      }
+      if (count > support) {
+        support = count;
+        ref = &store;
+      }
+    }
+    if (ref == nullptr || support < quorum) {
+      out.push_back({ViolationKind::kRecoveredStoreMismatch,
+                     "no store is shared by a correct quorum (best support " +
+                         std::to_string(support) + " < " +
+                         std::to_string(quorum) + ")"});
+      return out;
+    }
+  }
+
+  for (std::uint32_t id : restarted) {
+    const auto it = result.stores.find(id);
+    if (it == result.stores.end()) continue;  // not a correct replica
+    if (result.recovered.count(id) == 0) {
+      out.push_back({ViolationKind::kRecoveredStoreMismatch,
+                     render_who(id) +
+                         " restarted but never installed verified state"});
+      continue;
+    }
+    if (it->second != *ref) {
+      out.push_back({ViolationKind::kRecoveredStoreMismatch,
+                     render_who(id) + " recovered with " +
+                         std::to_string(it->second.size()) +
+                         " keys differing from the quorum store (" +
+                         std::to_string(ref->size()) + " keys)"});
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- cells
+
+namespace {
+
+/// Builds the scenario shared by the cell and the negative control.
+/// `trust_unverified` + attacker set vary between the two.
+faults::SmrScenarioConfig make_scenario(const RecoveryCellConfig& config) {
+  faults::SmrScenarioConfig sc;
+  sc.n = config.n;
+  sc.f = config.f;
+  sc.seed = config.seed;
+  sc.substrate = config.substrate;
+  sc.backend = config.backend;
+  sc.window = config.window;
+  sc.batch = config.batch;
+  sc.budget = config.budget;
+  sc.checkpoint_interval = config.checkpoint_interval;
+  sc.workload = synthetic_workload(config.commands);
+  sc.slots = (sc.workload.size() + config.batch - 1) / config.batch;
+
+  // Substrate-appropriate kill/restart instants: the simulator drains the
+  // whole workload in a few virtual ms; the wall-clock substrates need
+  // room for OS scheduling before the restart fires.
+  SimTime kill = config.kill_at;
+  SimTime back = config.restart_at;
+  if (kill == 0) {
+    kill = config.substrate == runtime::Backend::kSim ? 1'500
+           : config.substrate == runtime::Backend::kThreads ? 3'000
+                                                            : 5'000;
+  }
+  if (back == 0) {
+    back = config.substrate == runtime::Backend::kSim ? 3'000
+           : config.substrate == runtime::Backend::kThreads ? 60'000
+                                                            : 80'000;
+  }
+  sc.crashes.push_back({ProcessId{config.victim}, kill, back});
+  sc.assume_faulty = config.attackers;
+  return sc;
+}
+
+/// Splices RecoveryAttacker under every attacker replica.  `keys` must be
+/// the same HMAC system run_smr_scenario derives from (n, seed) — shared
+/// ownership keeps the signers alive for the run's whole lifetime.
+void arm_attackers(faults::SmrScenarioConfig& sc,
+                   const RecoveryCellConfig& config,
+                   std::shared_ptr<crypto::SignatureSystem> keys) {
+  if (config.attack == RecoveryAttackKind::kNone || config.attackers.empty()) {
+    return;
+  }
+  std::vector<const crypto::Signer*> coalition;
+  for (std::uint32_t a : config.attackers) {
+    coalition.push_back(keys->signers[a].get());
+  }
+  sc.wrap_actor = [config, keys, coalition, claim = sc.slots](
+                      ProcessId id, std::unique_ptr<sim::Actor> inner)
+      -> std::unique_ptr<sim::Actor> {
+    if (config.attackers.count(id.value) == 0) return inner;
+    RecoveryAttackerConfig acfg;
+    acfg.kind = config.attack;
+    acfg.claim_slot = claim;
+    acfg.seed = config.seed ^ (0x9e3779b97f4a7c15ull * (id.value + 1));
+    return std::make_unique<RecoveryAttacker>(std::move(inner), acfg,
+                                              keys->signers[id.value].get(),
+                                              coalition);
+  };
+}
+
+}  // namespace
+
+RecoveryCellOutcome run_recovery_cell(const RecoveryCellConfig& config) {
+  MODUBFT_EXPECTS(config.n > 0 && config.victim < config.n);
+  MODUBFT_EXPECTS(config.attackers.count(config.victim) == 0);
+  MODUBFT_EXPECTS(config.checkpoint_interval > 0);
+  for (std::uint32_t a : config.attackers) MODUBFT_EXPECTS(a < config.n);
+
+  faults::SmrScenarioConfig sc = make_scenario(config);
+  auto keys = std::make_shared<crypto::SignatureSystem>(
+      crypto::HmacScheme{}.make_system(config.n, config.seed));
+  arm_attackers(sc, config, keys);
+
+  RecoveryCellOutcome out;
+  out.result = faults::run_smr_scenario(sc);
+  out.recovered = out.result.recovered.count(config.victim) > 0;
+  out.violations =
+      audit_recovered_stores(out.result, {config.victim}, store_quorum(config));
+  out.pass = out.result.clean && out.result.all_committed && out.recovered &&
+             out.violations.empty();
+
+  std::ostringstream os;
+  os << recovery_attack_name(config.attack) << "/"
+     << runtime::backend_name(config.substrate) << " seed=" << config.seed
+     << ": " << (out.pass ? "pass" : "FAIL") << " (recovered="
+     << (out.recovered ? "yes" : "no")
+     << " rejects=" << out.result.run_stats.pipeline.recovery_rejects
+     << " violations=" << out.violations.size() << ")";
+  out.detail = os.str();
+  return out;
+}
+
+RecoveryControlOutcome run_recovery_negative_control(
+    std::uint64_t seed, runtime::Backend substrate) {
+  // Honest baseline of the same cell: its quorum store is the ground truth
+  // the forged run is audited against (in the forged run every peer lies,
+  // so no in-run quorum exists to vote).
+  RecoveryCellConfig base;
+  base.attack = RecoveryAttackKind::kNone;
+  base.attackers.clear();
+  base.substrate = substrate;
+  base.seed = seed;
+  const RecoveryCellOutcome honest = run_recovery_cell(base);
+
+  // Broken configuration: all peers forge, and the victim installs the
+  // first STATE_RESP without verification.  The fabricated snapshot claims
+  // the last slot, so the victim "finishes" with a store that exists on no
+  // honest replica.
+  RecoveryCellConfig forged = base;
+  forged.attack = RecoveryAttackKind::kForgedCheckpoint;
+  for (std::uint32_t i = 0; i < forged.n; ++i) {
+    if (i != forged.victim) forged.attackers.insert(i);
+  }
+  faults::SmrScenarioConfig sc = make_scenario(forged);
+  sc.recovery_trust_unverified = true;
+  auto keys = std::make_shared<crypto::SignatureSystem>(
+      crypto::HmacScheme{}.make_system(forged.n, forged.seed));
+  arm_attackers(sc, forged, keys);
+
+  const faults::SmrScenarioResult result = faults::run_smr_scenario(sc);
+
+  RecoveryControlOutcome out;
+  const auto it = result.stores.find(forged.victim);
+  if (it != result.stores.end()) out.installed = it->second;
+  out.violations = audit_recovered_stores(
+      result, {forged.victim},
+      /*quorum=*/2 * forged.f + 1, &honest.result.store);
+  out.flagged = std::any_of(out.violations.begin(), out.violations.end(),
+                            [](const Violation& v) {
+                              return v.kind ==
+                                     ViolationKind::kRecoveredStoreMismatch;
+                            });
+  return out;
+}
+
+std::string to_json(const RecoveryCellOutcome& outcome) {
+  std::ostringstream os;
+  os << "{\"pass\":" << (outcome.pass ? "true" : "false")
+     << ",\"recovered\":" << (outcome.recovered ? "true" : "false")
+     << ",\"clean\":" << (outcome.result.clean ? "true" : "false")
+     << ",\"all_committed\":" << (outcome.result.all_committed ? "true" : "false")
+     << ",\"recovery_rejects\":"
+     << outcome.result.run_stats.pipeline.recovery_rejects
+     << ",\"violations\":[";
+  for (std::size_t i = 0; i < outcome.violations.size(); ++i) {
+    if (i) os << ",";
+    os << '"' << violation_name(outcome.violations[i].kind) << '"';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace modubft::adversary

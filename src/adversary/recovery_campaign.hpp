@@ -1,0 +1,185 @@
+// Recovery-under-attack cells: certified state transfer vs live adversaries.
+//
+// ISSUE 6's recovery path has exactly one trust anchor — the checkpoint
+// certificate (bft/checkpoint_cert.hpp) — so the interesting attacks are
+// the ones that try to route around it:
+//
+//   kForgedCheckpoint   The attacker signs CHECKPOINT votes for a digest
+//                       of its own invention (valid signature, fabricated
+//                       claim) and answers STATE_REQs with a wholly
+//                       fabricated snapshot "certified" by whatever
+//                       coalition keys the attack controls.  With ≤ f
+//                       attackers the forged certificate can never reach
+//                       2f+1 distinct signers, so a correct recoverer must
+//                       reject it and recover from honest responders.
+//   kCorruptStateResp   The attacker relays its genuine replica's
+//                       STATE_RESP frames but stomps a byte window in each
+//                       body: truncated/spliced snapshots, flipped digest
+//                       bytes, mangled suffix entries.  The digest +
+//                       certificate check must reject every such frame
+//                       without UB (the decode fuzzer covers the same
+//                       surface offline).
+//
+// A cell = (attack, substrate, seed): one SMR run with checkpointing on,
+// one victim killed and restarted mid-run, and the attack spliced under
+// the attacker replicas via SmrScenarioConfig::wrap_actor.  The cell
+// passes iff the run terminates cleanly, the victim rejoins via verified
+// state transfer, and the post-run store audit finds no violation.
+//
+// The negative control runs the harness against a deliberately broken
+// configuration — every peer forges, and the victim installs the first
+// STATE_RESP *without* verification (recovery_trust_unverified, a switch
+// no correct build sets) — and must flag kRecoveredStoreMismatch.  A
+// harness that cannot catch the planted violation proves nothing when it
+// reports zero violations elsewhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adversary/auditor.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "faults/scenario.hpp"
+#include "runtime/substrate.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::adversary {
+
+enum class RecoveryAttackKind : std::uint8_t {
+  kNone = 0,
+  kForgedCheckpoint,
+  kCorruptStateResp,
+};
+
+const char* recovery_attack_name(RecoveryAttackKind kind);
+
+/// The digest a forging attacker votes for at `slot` — deterministic so a
+/// coalition of forgers endorses one consistent lie (the strongest form of
+/// the attack: inconsistent forgeries can never share a certificate).
+crypto::Digest forged_checkpoint_digest(std::uint64_t slot);
+
+/// A complete fabricated STATE_RESP control frame: a snapshot that exists
+/// on no correct replica, claimed at `claim_slot`, "certified" by the
+/// coalition's signatures.  Exposed for the unit tests, which feed it to
+/// RecoveryModule directly and assert rejection.
+Bytes forged_state_resp(std::uint64_t claim_slot,
+                        const std::vector<const crypto::Signer*>& coalition);
+
+/// Per-attacker knobs for RecoveryAttacker.
+struct RecoveryAttackerConfig {
+  RecoveryAttackKind kind = RecoveryAttackKind::kNone;
+  /// Slot the fabricated snapshot claims (pick the run's last slot so the
+  /// forged state always outbids every honest response).
+  std::uint64_t claim_slot = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Actor decorator that attacks ONLY the recovery control channel: frames
+/// whose envelope slot is smr::kControlSlot.  Consensus traffic passes
+/// through untouched — the wrapped replica keeps committing correctly, so
+/// the attack is invisible until a checkpoint or state transfer is in
+/// flight (exactly the adversary the certificate discipline must defeat).
+class RecoveryAttacker final : public sim::Actor {
+ public:
+  /// `self` signs the forged votes (the attacker legitimately holds its
+  /// own key); `coalition` signs the fabricated certificate (every key the
+  /// attack controls — ≤ f of them in a sound cell, all-but-victim in the
+  /// negative control).
+  RecoveryAttacker(std::unique_ptr<sim::Actor> inner,
+                   RecoveryAttackerConfig config, const crypto::Signer* self,
+                   std::vector<const crypto::Signer*> coalition);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
+
+ private:
+  class AttackContext;
+
+  /// Returns the frame to put on the wire in place of `payload`.
+  Bytes attack_frame(const Bytes& payload);
+
+  std::unique_ptr<sim::Actor> inner_;
+  RecoveryAttackerConfig config_;
+  const crypto::Signer* self_;
+  Rng rng_;
+  Bytes forged_resp_;  // cached fabricated STATE_RESP frame
+};
+
+// ---------------------------------------------------------------- cells
+
+struct RecoveryCellConfig {
+  RecoveryAttackKind attack = RecoveryAttackKind::kForgedCheckpoint;
+  runtime::Backend substrate = runtime::Backend::kSim;
+  smr::Backend backend = smr::Backend::kByzantine;
+  std::uint64_t seed = 1;
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  /// Synthetic workload size (puts/deletes cycling over 8 keys).
+  std::uint32_t commands = 60;
+  std::uint32_t window = 4;
+  std::uint32_t batch = 2;
+  std::uint64_t checkpoint_interval = 4;
+  /// The replica killed and restarted mid-run.
+  std::uint32_t victim = 2;
+  /// Replicas running the attack (must exclude the victim; ≤ f for a
+  /// sound cell).
+  std::set<std::uint32_t> attackers{1};
+  /// Kill/restart instants (µs); 0 = substrate-appropriate default.
+  SimTime kill_at = 0;
+  SimTime restart_at = 0;
+  std::chrono::milliseconds budget{20'000};
+};
+
+struct RecoveryCellOutcome {
+  faults::SmrScenarioResult result;
+  std::vector<Violation> violations;
+  /// The victim rejoined via verified state transfer.
+  bool recovered = false;
+  /// clean run ∧ all slots committed ∧ recovered ∧ zero violations.
+  bool pass = false;
+  std::string detail;
+};
+
+RecoveryCellOutcome run_recovery_cell(const RecoveryCellConfig& config);
+
+/// Store audit behind every cell: each restarted replica must (a) have
+/// installed verified state and (b) end with the store that at least
+/// `quorum` correct replicas share.  `expected` overrides the quorum store
+/// (the negative control supplies the honest baseline, since in that
+/// configuration no correct quorum exists to vote).  Returns
+/// kRecoveredStoreMismatch violations; empty = invariant holds.
+std::vector<Violation> audit_recovered_stores(
+    const faults::SmrScenarioResult& result,
+    const std::set<std::uint32_t>& restarted, std::uint32_t quorum,
+    const std::map<std::string, std::string>* expected = nullptr);
+
+// ----------------------------------------------------------- control
+
+struct RecoveryControlOutcome {
+  /// The planted violation was flagged (the harness works).
+  bool flagged = false;
+  std::vector<Violation> violations;
+  /// Store the victim actually installed (forged in a working control).
+  std::map<std::string, std::string> installed;
+};
+
+/// Negative control for the recovery audit: every peer forges, the victim
+/// installs unverified state, and audit_recovered_stores must flag the
+/// mismatch against an honest baseline run of the same cell.
+RecoveryControlOutcome run_recovery_negative_control(
+    std::uint64_t seed, runtime::Backend substrate);
+
+/// One-line JSON rendering for logs and campaign reports.
+std::string to_json(const RecoveryCellOutcome& outcome);
+
+}  // namespace modubft::adversary

@@ -1,0 +1,55 @@
+#include "bft/checkpoint_cert.hpp"
+
+#include <set>
+
+namespace modubft::bft {
+
+namespace {
+constexpr char kDomain[] = "MBFT-CKPT";
+}  // namespace
+
+Bytes checkpoint_signing_bytes(std::uint64_t slot,
+                               const crypto::Digest& digest) {
+  Writer w;
+  w.str(kDomain);
+  w.u64(slot);
+  w.raw(crypto::digest_bytes(digest));
+  return std::move(w).take();
+}
+
+void write_cert_sigs(
+    Writer& w, const std::vector<std::pair<std::uint32_t, Bytes>>& sigs) {
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const auto& [signer, sig] : sigs) {
+    w.u32(signer);
+    w.bytes(sig);
+  }
+}
+
+std::vector<std::pair<std::uint32_t, Bytes>> read_cert_sigs(
+    Reader& r, std::uint32_t max_sigs) {
+  const std::size_t count = r.seq_len(max_sigs);
+  std::vector<std::pair<std::uint32_t, Bytes>> sigs;
+  sigs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t signer = r.u32();
+    sigs.emplace_back(signer, r.bytes());
+  }
+  return sigs;
+}
+
+bool verify_checkpoint_cert(const CheckpointCert& cert,
+                            const crypto::Verifier& verifier, std::uint32_t n,
+                            std::uint32_t quorum) {
+  if (cert.slot == 0) return true;  // genesis: locally recomputable
+  const Bytes preimage = checkpoint_signing_bytes(cert.slot, cert.digest);
+  std::set<std::uint32_t> valid;
+  for (const auto& [signer, sig] : cert.sigs) {
+    if (signer >= n) return false;  // out-of-range signer: reject outright
+    if (!verifier.verify(ProcessId{signer}, preimage, sig)) return false;
+    valid.insert(signer);
+  }
+  return valid.size() >= quorum;
+}
+
+}  // namespace modubft::bft

@@ -1,0 +1,63 @@
+// Quorum-certified checkpoints: the signature discipline behind recovery.
+//
+// A checkpoint certificate binds a slot number to a SHA-256 digest of a
+// replica's serialized state with a quorum of per-process signatures, the
+// same detached-signature technique the BFT core's `Certificate` uses for
+// round messages (paper §4.2: signed messages turn a claim into evidence a
+// third party can check).  A recovering replica that never saw the
+// checkpoint being formed can verify the certificate offline — against the
+// public verifier only — and then trust any byte string whose digest the
+// certificate covers.  That is what makes state transfer safe under
+// Byzantine responders: the bytes come from an untrusted peer, the digest
+// binding comes from a quorum.
+//
+// The certificate is deliberately *detached* from the BFT consensus
+// message tree: checkpoints are not consensus proposals, they are claims
+// about the result of consensus, so they carry their own domain-separated
+// preimage ("MBFT-CKPT") and never collide with round-message signatures.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+
+namespace modubft::bft {
+
+/// Bytes a process signs to endorse "my state at `slot` hashes to
+/// `digest`".  Domain-separated from every consensus preimage.
+Bytes checkpoint_signing_bytes(std::uint64_t slot, const crypto::Digest& digest);
+
+/// A quorum of signatures over one (slot, digest) pair.  `sigs` holds
+/// (signer id, signature) pairs; validity is defined by
+/// `verify_checkpoint_cert`, not by construction.
+struct CheckpointCert {
+  std::uint64_t slot = 0;
+  crypto::Digest digest{};
+  std::vector<std::pair<std::uint32_t, Bytes>> sigs;
+};
+
+/// Appends the certificate's signature list to `w` (the slot and digest
+/// travel separately — they are bound into the enclosing message).
+void write_cert_sigs(Writer& w,
+                     const std::vector<std::pair<std::uint32_t, Bytes>>& sigs);
+
+/// Reads a signature list written by write_cert_sigs.  Throws SerialError
+/// if the list exceeds `max_sigs` or is malformed.
+std::vector<std::pair<std::uint32_t, Bytes>> read_cert_sigs(
+    Reader& r, std::uint32_t max_sigs);
+
+/// True iff the certificate carries at least `quorum` *distinct* in-range
+/// signers whose signatures verify over checkpoint_signing_bytes(slot,
+/// digest).  A genesis certificate (slot 0) is vacuously valid with zero
+/// signatures: every correct replica can recompute the empty-state digest
+/// locally, so there is nothing a quorum needs to vouch for.
+bool verify_checkpoint_cert(const CheckpointCert& cert,
+                            const crypto::Verifier& verifier, std::uint32_t n,
+                            std::uint32_t quorum);
+
+}  // namespace modubft::bft

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/ids.hpp"
 
@@ -114,6 +115,12 @@ struct CrashSpec {
   ProcessId who;
   /// Microseconds from run start (substrate clock domain).
   SimTime at = 0;
+  /// Kill/restart schedule: if set, the process comes back at `restart_at`
+  /// (same clock domain, must be > `at`) as a FRESH actor with no memory
+  /// of its former life — the recovery subsystem's job is to re-learn the
+  /// state.  Restart events are one-shot: a restart that would fire after
+  /// the substrate began stopping is a no-op, never a hang.
+  std::optional<SimTime> restart_at;
 };
 
 }  // namespace modubft::faults

@@ -228,6 +228,30 @@ struct SmrScenarioConfig {
   /// Unset = substrate default (sim: 0 — the synchronous deterministic
   /// pool; threads/tcp: 3 workers).
   std::optional<std::uint32_t> verify_workers;
+
+  // --- checkpointing / recovery (ISSUE 6) ---
+  /// Checkpoint every C committed slots (0 = off; wire format identical
+  /// to a pre-recovery build).  When on, a CrashSpec carrying
+  /// `restart_at` brings the replica back as a FRESH actor that recovers
+  /// via certified state transfer; such replicas count as correct and are
+  /// expected to end with the quorum's store.
+  std::uint64_t checkpoint_interval = 0;
+  /// Recovery retry-timer base (µs); unset = substrate default
+  /// (sim 20 ms, threads 50 ms, tcp 100 ms).
+  std::optional<SimTime> recovery_retry_delay;
+  /// Negative-control switch: recovering replicas install the first
+  /// STATE_RESP without verification (adversary harness only).
+  bool recovery_trust_unverified = false;
+  /// Optional decorator applied to every installed actor (including
+  /// restarted lives) — the adversary layer splices wire-level mutators
+  /// under selected replicas this way.  A wrapper that makes a replica
+  /// misbehave must list it in `assume_faulty`.
+  std::function<std::unique_ptr<sim::Actor>(ProcessId,
+                                            std::unique_ptr<sim::Actor>)>
+      wrap_actor;
+  /// Replicas the evaluation must count as faulty although they carry no
+  /// CrashSpec (e.g. forged-checkpoint senders).
+  std::set<std::uint32_t> assume_faulty;
 };
 
 struct SmrScenarioResult {
@@ -242,6 +266,13 @@ struct SmrScenarioResult {
   bool stores_agree = false;   // all correct stores byte-identical
   /// Contents of the first correct replica's store.
   std::map<std::string, std::string> store;
+  /// Killed replicas that rejoined via verified state transfer — a
+  /// certified snapshot install, or a quorum-verified suffix replay from
+  /// genesis when no checkpoint had certified before the kill.
+  std::set<std::uint32_t> recovered;
+  /// Final store of every correct replica (recovery audits compare the
+  /// recovered replica against the surviving quorum entry by entry).
+  std::map<std::uint32_t, std::map<std::string, std::string>> stores;
 
   runtime::RunStats run_stats;
 };

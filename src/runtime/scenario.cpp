@@ -169,7 +169,7 @@ BftScenarioResult run_bft_scenario(const BftScenarioConfig& config) {
       install(id, std::move(inner));
     } else if (spec.behavior == Behavior::kCrash) {
       install(id, std::move(inner));
-      world->crash(CrashSpec{id, spec.at});
+      world->crash(CrashSpec{id, spec.at, std::nullopt});
     } else {
       install(id, std::make_unique<ByzantineActor>(
                       std::move(inner), keys.signers[i].get(), spec,
@@ -324,7 +324,7 @@ CrashScenarioResult run_crash_scenario(const CrashScenarioConfig& config) {
     }
     world->set_actor(id, std::move(actor));
     if (crash_times[i].has_value()) {
-      world->crash(CrashSpec{id, *crash_times[i]});
+      world->crash(CrashSpec{id, *crash_times[i], std::nullopt});
     }
   }
 
@@ -431,14 +431,19 @@ LockstepScenarioResult run_lockstep_scenario(
 SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
   const std::vector<smr::Command> workload =
       config.workload.empty() ? sample_workload() : config.workload;
+  const bool checkpointing = config.checkpoint_interval > 0;
 
   crypto::SignatureSystem keys =
       make_keys(Scheme::kHmac, config.n, config.seed);
 
   std::vector<std::optional<SimTime>> crash_times(config.n);
+  std::vector<CrashSpec> crash_specs(config.n);
   for (const CrashSpec& c : config.crashes) {
     MODUBFT_EXPECTS(c.who.value < config.n);
+    MODUBFT_EXPECTS(!c.restart_at.has_value() ||
+                    (checkpointing && *c.restart_at > c.at));
     crash_times[c.who.value] = c.at;
+    crash_specs[c.who.value] = c;
   }
 
   runtime::SubstrateConfig world_cfg;
@@ -463,11 +468,36 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     pool = std::make_shared<crypto::VerifyPool>(workers);
   }
 
-  std::vector<const smr::Replica*> views(config.n, nullptr);
+  // Correct = never crashed, or crashed WITH a restart (expected to
+  // recover and match the quorum) — minus the adversary's assumed-faulty.
   for (std::uint32_t i = 0; i < config.n; ++i) {
-    const ProcessId id{i};
-    if (!crash_times[i].has_value()) result.correct.insert(i);
+    const bool comes_back = crash_specs[i].restart_at.has_value();
+    if ((!crash_times[i].has_value() || comes_back) &&
+        config.assume_faulty.count(i) == 0) {
+      result.correct.insert(i);
+    }
+  }
+  // Finished replicas stay alive until every correct peer announced done,
+  // so late recoverers always find someone to serve their STATE_REQ.
+  const std::set<std::uint32_t> await_done =
+      checkpointing ? result.correct : std::set<std::uint32_t>{};
 
+  const SimTime retry_delay = config.recovery_retry_delay.value_or(
+      config.substrate == runtime::Backend::kSim
+          ? 20'000
+          : (config.substrate == runtime::Backend::kThreads ? 50'000
+                                                            : 100'000));
+
+  // Restarted lives of a Byzantine replica share the first life's verify
+  // cache (the cross-restart boundedness satellite exercises this).
+  std::vector<std::shared_ptr<crypto::CachingVerifier>> caches(config.n);
+
+  // views[i] always points at the CURRENT life of replica i; a restart
+  // factory rewrites the slot on the node's own thread, and run() joins
+  // every node before the views are read back.
+  std::vector<const smr::Replica*> views(config.n, nullptr);
+
+  auto make_rcfg = [&](std::uint32_t i, bool recover) {
     smr::ReplicaConfig rcfg;
     rcfg.n = config.n;
     rcfg.backend = config.backend;
@@ -486,17 +516,55 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       rcfg.bft.suspicion_poll_period =
           tune_poll_period(config.substrate, std::nullopt);
       rcfg.bft.verify_pool = pool;
+      rcfg.bft.shared_verify_cache = caches[i];
       rcfg.bft.validate();
       rcfg.signer = keys.signers[i].get();
       rcfg.verifier = keys.verifier;
     }
+    if (checkpointing) {
+      rcfg.signer = keys.signers[i].get();
+      rcfg.verifier = keys.verifier;
+      rcfg.checkpoint.interval = config.checkpoint_interval;
+      rcfg.checkpoint.retry_delay = retry_delay;
+      rcfg.checkpoint.recover = recover;
+      rcfg.checkpoint.trust_unverified =
+          recover && config.recovery_trust_unverified;
+      rcfg.await_done = await_done;
+    }
+    return rcfg;
+  };
 
-    auto replica =
-        std::make_unique<smr::Replica>(rcfg, workload, smr::CommitFn{});
+  auto install = [&](ProcessId id, std::unique_ptr<sim::Actor> actor) {
+    if (config.wrap_actor) actor = config.wrap_actor(id, std::move(actor));
+    world->set_actor(id, std::move(actor));
+  };
+
+  for (std::uint32_t i = 0; i < config.n; ++i) {
+    const ProcessId id{i};
+    if (config.backend == smr::Backend::kByzantine &&
+        crash_specs[i].restart_at.has_value()) {
+      caches[i] = std::make_shared<crypto::CachingVerifier>(
+          keys.verifier, bft::BftConfig{}.verify_cache_capacity);
+    }
+
+    auto replica = std::make_unique<smr::Replica>(make_rcfg(i, false),
+                                                  workload, smr::CommitFn{});
     views[i] = replica.get();
-    world->set_actor(id, std::move(replica));
+    install(id, std::move(replica));
     if (crash_times[i].has_value()) {
-      world->crash(CrashSpec{id, *crash_times[i]});
+      world->crash(crash_specs[i]);
+      if (crash_specs[i].restart_at.has_value()) {
+        world->restart(crash_specs[i], [&, i, workload] {
+          auto fresh = std::make_unique<smr::Replica>(
+              make_rcfg(i, /*recover=*/true), workload, smr::CommitFn{});
+          views[i] = fresh.get();
+          std::unique_ptr<sim::Actor> actor = std::move(fresh);
+          if (config.wrap_actor) {
+            actor = config.wrap_actor(ProcessId{i}, std::move(actor));
+          }
+          return actor;
+        });
+      }
     }
   }
 
@@ -514,11 +582,16 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     if (views[i]->committed_slots() < config.slots) {
       result.all_committed = false;
     }
+    result.stores.emplace(i, views[i]->store().contents());
     if (reference == nullptr) {
       reference = views[i];
       result.store = views[i]->store().contents();
     } else if (views[i]->store().contents() != reference->store().contents()) {
       result.stores_agree = false;
+    }
+    if (crash_specs[i].restart_at.has_value() && !views[i]->recovering() &&
+        views[i]->pipeline_stats().recovery_join_us > 0) {
+      result.recovered.insert(i);
     }
   }
   if (result.correct.empty()) {
@@ -540,11 +613,25 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       pipe.commands_committed = ps.commands_committed;
       pipe.noop_slots = ps.noop_slots;
       pipe.max_batch = ps.max_batch;
+      pipe.checkpoints_taken = ps.checkpoints_taken;
+      pipe.checkpoint_certs = ps.checkpoint_certs;
     }
     pipe.window_peak = std::max(pipe.window_peak, ps.window_peak);
     pipe.future_buffered += ps.future_buffered;
     pipe.future_dropped += ps.future_dropped;
     pipe.stale_dropped += ps.stale_dropped;
+    pipe.log_truncated += ps.log_truncated;
+    pipe.log_peak = std::max(pipe.log_peak, ps.log_peak);
+    pipe.state_reqs += ps.state_reqs;
+    pipe.state_resps += ps.state_resps;
+    pipe.recovery_installs += ps.recovery_installs;
+    pipe.recovery_rejects += ps.recovery_rejects;
+    if (ps.recovery_join_us > 0 &&
+        ps.recovery_join_us >= ps.recovery_start_us) {
+      pipe.recovery_us = std::max(
+          pipe.recovery_us, static_cast<std::uint64_t>(
+                                ps.recovery_join_us - ps.recovery_start_us));
+    }
     avg_sum += ps.avg_window();
     avg_count += 1;
     if (const crypto::CachingVerifier* cache = views[i]->verify_cache()) {

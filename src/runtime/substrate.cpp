@@ -47,6 +47,15 @@ class SimSubstrate final : public Substrate {
     crash_scheduled_.insert(spec.who.value);
   }
 
+  void restart(const faults::CrashSpec& spec,
+               std::function<std::unique_ptr<sim::Actor>()> factory) override {
+    MODUBFT_EXPECTS(spec.restart_at.has_value());
+    world_->restart_at(spec.who, *spec.restart_at, std::move(factory));
+    // A restarted process must stop like any correct one — keep it in the
+    // unstopped audit so a hung recovery is a named failure.
+    crash_scheduled_.erase(spec.who.value);
+  }
+
   void set_delivery_tap(
       std::function<void(const sim::Delivery&)> tap) override {
     world_->set_delivery_tap(std::move(tap));
@@ -116,6 +125,13 @@ class ThreadSubstrate final : public Substrate {
     cluster_->crash_after(spec.who, std::chrono::microseconds(spec.at));
   }
 
+  void restart(const faults::CrashSpec& spec,
+               std::function<std::unique_ptr<sim::Actor>()> factory) override {
+    MODUBFT_EXPECTS(spec.restart_at.has_value());
+    cluster_->set_restart(spec.who, std::chrono::microseconds(*spec.restart_at),
+                          std::move(factory));
+  }
+
   void set_delivery_tap(
       std::function<void(const sim::Delivery&)> tap) override {
     cluster_->set_delivery_tap(std::move(tap));
@@ -166,6 +182,13 @@ class TcpSubstrate final : public Substrate {
 
   void crash(const faults::CrashSpec& spec) override {
     cluster_->crash_after(spec.who, std::chrono::microseconds(spec.at));
+  }
+
+  void restart(const faults::CrashSpec& spec,
+               std::function<std::unique_ptr<sim::Actor>()> factory) override {
+    MODUBFT_EXPECTS(spec.restart_at.has_value());
+    cluster_->set_restart(spec.who, std::chrono::microseconds(*spec.restart_at),
+                          std::move(factory));
   }
 
   void set_delivery_tap(
@@ -260,7 +283,16 @@ std::string to_json(Backend backend, const RunStats& stats) {
      << ",\"avg_window\":" << stats.pipeline.avg_window
      << ",\"future_buffered\":" << stats.pipeline.future_buffered
      << ",\"future_dropped\":" << stats.pipeline.future_dropped
-     << ",\"stale_dropped\":" << stats.pipeline.stale_dropped << '}';
+     << ",\"stale_dropped\":" << stats.pipeline.stale_dropped
+     << ",\"checkpoints_taken\":" << stats.pipeline.checkpoints_taken
+     << ",\"checkpoint_certs\":" << stats.pipeline.checkpoint_certs
+     << ",\"log_truncated\":" << stats.pipeline.log_truncated
+     << ",\"log_peak\":" << stats.pipeline.log_peak
+     << ",\"state_reqs\":" << stats.pipeline.state_reqs
+     << ",\"state_resps\":" << stats.pipeline.state_resps
+     << ",\"recovery_installs\":" << stats.pipeline.recovery_installs
+     << ",\"recovery_rejects\":" << stats.pipeline.recovery_rejects
+     << ",\"recovery_us\":" << stats.pipeline.recovery_us << '}';
   return os.str();
 }
 

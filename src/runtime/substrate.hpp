@@ -94,6 +94,18 @@ struct PipelineSummary {
   std::uint64_t future_buffered = 0;
   std::uint64_t future_dropped = 0;
   std::uint64_t stale_dropped = 0;
+  // --- recovery subsystem (zero when checkpointing is off) ---
+  std::uint64_t checkpoints_taken = 0;   // reference replica
+  std::uint64_t checkpoint_certs = 0;    // reference replica
+  std::uint64_t log_truncated = 0;       // summed over correct replicas
+  std::uint64_t log_peak = 0;            // max over correct replicas
+  std::uint64_t state_reqs = 0;          // summed
+  std::uint64_t state_resps = 0;         // summed
+  std::uint64_t recovery_installs = 0;   // summed
+  std::uint64_t recovery_rejects = 0;    // summed
+  /// Worst request-to-rejoin latency among recovered replicas (µs, 0 if
+  /// none recovered).
+  std::uint64_t recovery_us = 0;
 };
 
 /// Unified counters, comparable across backends.  The core message
@@ -172,6 +184,18 @@ class Substrate {
   /// starts — simulated time on kSim, wall clock on kThreads/kTcp.
   /// Messages already handed to the channels may still reach peers.
   virtual void crash(const faults::CrashSpec& spec) = 0;
+
+  /// Schedules the restart half of a kill/restart schedule: `spec` must
+  /// have been passed to crash() already and carry `restart_at`; at that
+  /// instant `factory()` builds a FRESH actor that takes over the process
+  /// (same id, same rng stream, empty timers; outage-era deliveries are
+  /// discarded).  One-shot on every backend: a restart that would fire
+  /// after the substrate began stopping is abandoned, never a hang.  A
+  /// restarted process is expected to stop like any correct one, so it is
+  /// NOT excluded from the unstopped audit.
+  virtual void restart(const faults::CrashSpec& spec,
+                       std::function<std::unique_ptr<sim::Actor>()> factory)
+      = 0;
 
   /// Optional observer invoked on every delivery, before the receiving
   /// actor's on_message.  On the threaded backends calls are serialized by

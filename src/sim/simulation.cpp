@@ -26,10 +26,12 @@ class Simulation::SimContext final : public Context {
   std::uint64_t set_timer(SimTime delay) override {
     ProcessState& ps = world_.state_[self_.value];
     const std::uint64_t id = ps.next_timer_id++;
+    const std::uint64_t epoch = ps.epoch;
     const ProcessId owner = self_;
     Simulation& world = world_;
-    world_.queue_.push(world_.now_ + delay,
-                       [&world, owner, id] { world.fire_timer(owner, id); });
+    world_.queue_.push(world_.now_ + delay, [&world, owner, id, epoch] {
+      world.fire_timer(owner, id, epoch);
+    });
     return id;
   }
 
@@ -87,6 +89,26 @@ void Simulation::crash_at(ProcessId id, SimTime when) {
   queue_.push(when, [this, id] { state_[id.value].crashed = true; });
 }
 
+void Simulation::restart_at(ProcessId id, SimTime when,
+                            std::function<std::unique_ptr<Actor>()> factory) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(factory != nullptr);
+  queue_.push(when, [this, id, factory = std::move(factory)] {
+    ProcessState& ps = state_[id.value];
+    // One-shot: only a process that actually died comes back.  (If the
+    // crash never fired, or the world drained first, this is a no-op —
+    // run() also exits on all-stopped before reaching a pending restart.)
+    if (!ps.crashed) return;
+    ps.crashed = false;
+    ps.stopped = false;
+    ps.epoch += 1;
+    ps.cancelled_timers.clear();
+    ps.actor = factory();
+    SimContext ctx(*this, id);
+    ps.actor->on_start(ctx);
+  });
+}
+
 void Simulation::set_delivery_tap(std::function<void(const Delivery&)> tap) {
   tap_ = std::move(tap);
 }
@@ -122,8 +144,10 @@ void Simulation::deliver(ProcessId from, ProcessId to, const Bytes& payload,
   state_[to.value].actor->on_message(ctx, from, payload);
 }
 
-void Simulation::fire_timer(ProcessId owner, std::uint64_t timer_id) {
+void Simulation::fire_timer(ProcessId owner, std::uint64_t timer_id,
+                            std::uint64_t epoch) {
   ProcessState& ps = state_[owner.value];
+  if (ps.epoch != epoch) return;  // armed by a pre-restart life
   if (ps.cancelled_timers.erase(timer_id) > 0) return;
   if (!live(owner)) return;
   SimContext ctx(*this, owner);

@@ -83,6 +83,16 @@ class Simulation {
   /// channel); nothing is delivered to or sent by it afterwards.
   void crash_at(ProcessId id, SimTime when);
 
+  /// Schedules a restart of a previously crashed process: at `when`,
+  /// `factory()` builds a FRESH actor that is started in place of the dead
+  /// one (same process id, same rng stream — the schedule stays
+  /// deterministic).  Timers set by the former life never fire (each life
+  /// has an epoch; stale timer events are discarded).  One-shot: if the
+  /// process is not crashed at `when` (never crashed, or the run already
+  /// ended), the event is a no-op.
+  void restart_at(ProcessId id, SimTime when,
+                  std::function<std::unique_ptr<Actor>()> factory);
+
   /// Optional observer invoked on every delivery (tracing, statistics).
   void set_delivery_tap(std::function<void(const Delivery&)> tap);
 
@@ -133,13 +143,17 @@ class Simulation {
     std::unique_ptr<Rng> rng;
     std::uint64_t next_timer_id = 1;
     std::unordered_set<std::uint64_t> cancelled_timers;
+    /// Incremented on every restart; timer events capture the epoch they
+    /// were armed in and are dropped if the process has since been reborn.
+    std::uint64_t epoch = 0;
   };
 
   void start_if_needed();
   void enqueue_message(ProcessId from, ProcessId to, Bytes payload);
   void deliver(ProcessId from, ProcessId to, const Bytes& payload,
                SimTime send_time);
-  void fire_timer(ProcessId owner, std::uint64_t timer_id);
+  void fire_timer(ProcessId owner, std::uint64_t timer_id,
+                  std::uint64_t epoch);
   bool live(ProcessId id) const {
     const ProcessState& ps = state_[id.value];
     return !ps.crashed && !ps.stopped;

@@ -1,0 +1,169 @@
+#include "smr/checkpoint.hpp"
+
+#include <algorithm>
+
+namespace modubft::smr {
+
+namespace {
+
+void write_frame_header(Writer& w, ControlKind kind) {
+  w.u64(kControlSlot);
+  w.u8(static_cast<std::uint8_t>(kind));
+}
+
+crypto::Digest read_digest(Reader& r) {
+  const Bytes raw = r.bytes();
+  if (raw.size() != crypto::Digest{}.size()) {
+    throw SerialError("digest field has wrong length");
+  }
+  crypto::Digest d{};
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+Bytes encode_snapshot(const Snapshot& snap) {
+  Writer w;
+  w.u64(snap.slot);
+  w.u64(snap.applied);
+  w.u32(static_cast<std::uint32_t>(snap.data.size()));
+  for (const auto& [key, value] : snap.data) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u32(static_cast<std::uint32_t>(snap.committed_ids.size()));
+  for (std::uint64_t id : snap.committed_ids) w.u64(id);
+  return std::move(w).take();
+}
+
+Snapshot decode_snapshot(const Bytes& buf, const StateLimits& limits) {
+  if (buf.size() > limits.max_snapshot_bytes) {
+    throw SerialError("snapshot exceeds size cap");
+  }
+  Reader r(buf);
+  Snapshot snap;
+  snap.slot = r.u64();
+  snap.applied = r.u64();
+  const std::uint32_t entries = r.seq_len(limits.max_store_entries);
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    // Canonical form: strictly ascending keys, no duplicates.
+    if (!snap.data.empty() && key <= snap.data.rbegin()->first) {
+      throw SerialError("snapshot store keys not strictly ascending");
+    }
+    snap.data.emplace_hint(snap.data.end(), std::move(key), std::move(value));
+  }
+  const std::uint32_t ids = r.seq_len(limits.max_committed_ids);
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < ids; ++i) {
+    const std::uint64_t id = r.u64();
+    if (id == 0 || (i > 0 && id <= prev)) {
+      throw SerialError("snapshot committed ids not strictly ascending");
+    }
+    snap.committed_ids.insert(snap.committed_ids.end(), id);
+    prev = id;
+  }
+  r.expect_end();
+  return snap;
+}
+
+crypto::Digest snapshot_digest(const Bytes& encoded) {
+  return crypto::sha256(encoded);
+}
+
+Bytes genesis_snapshot() { return encode_snapshot(Snapshot{}); }
+
+Bytes encode_control_vote(const CheckpointVote& vote) {
+  Writer w;
+  write_frame_header(w, ControlKind::kCheckpointVote);
+  w.u64(vote.slot);
+  w.bytes(crypto::digest_bytes(vote.digest));
+  w.bytes(vote.sig);
+  return std::move(w).take();
+}
+
+Bytes encode_control_state_req(std::uint64_t from_slot) {
+  Writer w;
+  write_frame_header(w, ControlKind::kStateReq);
+  w.u64(from_slot);
+  return std::move(w).take();
+}
+
+Bytes encode_control_state_resp(const StateResp& resp) {
+  Writer w;
+  write_frame_header(w, ControlKind::kStateResp);
+  w.u64(resp.ckpt_slot);
+  w.bytes(resp.snapshot);
+  bft::write_cert_sigs(w, resp.cert_sigs);
+  w.u32(static_cast<std::uint32_t>(resp.suffix.size()));
+  for (const SuffixEntry& entry : resp.suffix) {
+    w.u64(entry.slot);
+    w.u32(static_cast<std::uint32_t>(entry.ids.size()));
+    for (std::uint64_t id : entry.ids) w.u64(id);
+  }
+  return std::move(w).take();
+}
+
+CheckpointVote decode_checkpoint_vote(Reader& r) {
+  CheckpointVote vote;
+  vote.slot = r.u64();
+  vote.digest = read_digest(r);
+  vote.sig = r.bytes();
+  r.expect_end();
+  return vote;
+}
+
+std::uint64_t decode_state_req(Reader& r) {
+  const std::uint64_t from_slot = r.u64();
+  r.expect_end();
+  return from_slot;
+}
+
+StateResp decode_state_resp(Reader& r, const StateLimits& limits) {
+  StateResp resp;
+  resp.ckpt_slot = r.u64();
+  resp.snapshot = r.bytes();
+  if (resp.snapshot.size() > limits.max_snapshot_bytes) {
+    throw SerialError("snapshot exceeds size cap");
+  }
+  resp.cert_sigs = bft::read_cert_sigs(r, limits.max_cert_sigs);
+  const std::uint32_t slots = r.seq_len(limits.max_suffix_slots);
+  resp.suffix.reserve(slots);
+  std::uint64_t prev_slot = 0;
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    SuffixEntry entry;
+    entry.slot = r.u64();
+    if (entry.slot < resp.ckpt_slot || (i > 0 && entry.slot <= prev_slot)) {
+      throw SerialError("suffix slots not strictly ascending from checkpoint");
+    }
+    prev_slot = entry.slot;
+    const std::uint32_t ids = r.seq_len(limits.max_batch);
+    entry.ids.reserve(ids);
+    std::uint64_t prev_id = 0;
+    for (std::uint32_t j = 0; j < ids; ++j) {
+      const std::uint64_t id = r.u64();
+      if (id == 0 || (j > 0 && id <= prev_id)) {
+        throw SerialError("suffix command ids not strictly ascending");
+      }
+      entry.ids.push_back(id);
+      prev_id = id;
+    }
+    resp.suffix.push_back(std::move(entry));
+  }
+  r.expect_end();
+  return resp;
+}
+
+std::optional<StateResp> try_decode_state_resp(const Bytes& body,
+                                               const StateLimits& limits) {
+  try {
+    Reader r(body);
+    return decode_state_resp(r, limits);
+  } catch (const SerialError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace modubft::smr

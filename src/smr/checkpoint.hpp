@@ -1,0 +1,125 @@
+// Checkpoint and state-transfer wire formats for the replicated log.
+//
+// The replica's envelope is `u64 slot ‖ inner frame`, and every replica
+// (including pre-recovery builds) silently drops slots beyond its
+// configured log — so the all-ones slot value is a free control channel:
+// frames tagged kControlSlot never collide with consensus traffic and are
+// invisible to replicas that do not speak recovery.  Enabling checkpoints
+// therefore changes *no byte* of the existing consensus wire format; it
+// only adds frames on the reserved tag.
+//
+//   control frame = u64 kControlSlot ‖ u8 kind ‖ body
+//     kind 1  CHECKPOINT  — signed vote for (slot, state digest)
+//     kind 2  STATE_REQ   — "send me your certified state from `slot`"
+//     kind 3  STATE_RESP  — certificate + snapshot bytes + slot suffix
+//
+// Snapshots use the canonical Writer encoding (fixed-width, sorted map
+// order), so every correct replica at the same commit frontier produces
+// byte-identical snapshots and therefore identical SHA-256 digests — the
+// property that lets 2f+1 independent votes certify a single digest.
+//
+// Every decoder here is fully defensive (`StateLimits` caps each
+// sequence): STATE_RESP bodies come from untrusted peers and are also the
+// target of the decode fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bft/checkpoint_cert.hpp"
+#include "common/bytes.hpp"
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace modubft::smr {
+
+/// Reserved envelope slot tag carrying recovery control frames.
+inline constexpr std::uint64_t kControlSlot = ~std::uint64_t{0};
+
+enum class ControlKind : std::uint8_t {
+  kCheckpointVote = 1,
+  kStateReq = 2,
+  kStateResp = 3,
+};
+
+/// A replica's full service state at a slot boundary: everything needed to
+/// resume committing from `slot` (the KV map, the applied-command counter,
+/// and the set of already-committed command ids that defines "pending").
+struct Snapshot {
+  std::uint64_t slot = 0;
+  std::uint64_t applied = 0;
+  std::map<std::string, std::string> data;
+  std::set<std::uint64_t> committed_ids;
+};
+
+/// Decode caps for hostile input.  Defaults are far above anything the
+/// test scenarios produce but small enough to bound a malicious
+/// allocation.
+struct StateLimits {
+  std::uint32_t max_store_entries = 1u << 20;
+  std::uint32_t max_committed_ids = 1u << 20;
+  std::uint32_t max_cert_sigs = 256;
+  std::uint32_t max_suffix_slots = 1u << 16;
+  std::uint32_t max_batch = 1u << 12;
+  std::uint32_t max_snapshot_bytes = 64u << 20;
+};
+
+Bytes encode_snapshot(const Snapshot& snap);
+Snapshot decode_snapshot(const Bytes& buf, const StateLimits& limits);
+
+/// Digest certified by checkpoint votes: SHA-256 of the canonical
+/// snapshot encoding.
+crypto::Digest snapshot_digest(const Bytes& encoded);
+
+/// The canonical empty state at slot 0.  Its digest is recomputable by
+/// anyone, which is what lets a replica serve (and a recoverer accept) a
+/// certificate-free genesis response before the first checkpoint forms.
+Bytes genesis_snapshot();
+
+/// One replica's signed endorsement of (slot, digest).  The signer is the
+/// envelope sender; the signature covers
+/// bft::checkpoint_signing_bytes(slot, digest).
+struct CheckpointVote {
+  std::uint64_t slot = 0;
+  crypto::Digest digest{};
+  Bytes sig;
+};
+
+/// One committed slot of the replay suffix: the command ids the slot
+/// committed, in commit order (empty = no-op slot).
+struct SuffixEntry {
+  std::uint64_t slot = 0;
+  std::vector<std::uint64_t> ids;
+};
+
+/// STATE_RESP body: the responder's latest certified checkpoint plus the
+/// committed-slot suffix from that checkpoint to its commit frontier.
+struct StateResp {
+  std::uint64_t ckpt_slot = 0;
+  Bytes snapshot;  // encoded Snapshot; digest-bound to the certificate
+  std::vector<std::pair<std::uint32_t, Bytes>> cert_sigs;
+  std::vector<SuffixEntry> suffix;
+};
+
+/// Complete control frames, ready for Context::send / broadcast.
+Bytes encode_control_vote(const CheckpointVote& vote);
+Bytes encode_control_state_req(std::uint64_t from_slot);
+Bytes encode_control_state_resp(const StateResp& resp);
+
+/// Body decoders (input = the bytes after the kind octet).  All throw
+/// SerialError on malformed input.
+CheckpointVote decode_checkpoint_vote(Reader& r);
+std::uint64_t decode_state_req(Reader& r);
+StateResp decode_state_resp(Reader& r, const StateLimits& limits);
+
+/// Non-throwing STATE_RESP decode for the fuzz harness and the recovery
+/// path: malformed input yields nullopt, never UB and never an exception
+/// escaping to the actor loop.
+std::optional<StateResp> try_decode_state_resp(const Bytes& body,
+                                               const StateLimits& limits);
+
+}  // namespace modubft::smr

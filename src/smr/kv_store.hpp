@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "smr/command.hpp"
 
@@ -22,6 +23,13 @@ class KvStore {
 
   /// Order-insensitive fingerprint check helper: the full contents.
   const std::map<std::string, std::string>& contents() const { return data_; }
+
+  /// Replaces the whole state from a verified snapshot (recovery install).
+  void install(std::map<std::string, std::string> data,
+               std::uint64_t applied) {
+    data_ = std::move(data);
+    applied_ = applied;
+  }
 
  private:
   std::map<std::string, std::string> data_;

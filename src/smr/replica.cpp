@@ -1,6 +1,7 @@
 #include "smr/replica.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -113,6 +114,45 @@ Replica::Replica(ReplicaConfig config, std::vector<Command> workload,
     MODUBFT_EXPECTS(cmd.id != 0);  // 0 is the no-op marker
     commands_.emplace(cmd.id, std::move(cmd));
   }
+
+  if (checkpointing()) {
+    // Checkpoint votes are signed under BOTH backends: the certificate
+    // must convince a recovering replica that trusts nobody, even when
+    // the consensus protocol itself assumed only crash faults.
+    MODUBFT_EXPECTS(config_.signer != nullptr);
+    MODUBFT_EXPECTS(config_.verifier != nullptr ||
+                    config_.checkpoint.trust_unverified);
+    if (config_.checkpoint.recover) {
+      RecoveryConfig rc;
+      rc.n = config_.n;
+      rc.cert_quorum = cert_quorum();
+      rc.suffix_quorum = suffix_quorum();
+      rc.verifier = config_.verifier.get();
+      rc.limits = config_.checkpoint.limits;
+      rc.trust_unverified = config_.checkpoint.trust_unverified;
+      recovery_ = std::make_unique<RecoveryModule>(rc);
+      recovering_ = true;
+      retry_delay_ = config_.checkpoint.retry_delay;
+      // A restarted replica adopting the verify cache of its previous
+      // life must not inherit stale negative verdicts: positives stay
+      // sound, negatives keyed to pre-restart traffic are flushed.
+      if (vcache_) vcache_->flush_negative();
+    }
+  }
+}
+
+std::uint32_t Replica::cert_quorum() const {
+  if (config_.checkpoint.cert_quorum > 0) return config_.checkpoint.cert_quorum;
+  if (config_.backend == Backend::kByzantine) return 2 * config_.bft.f + 1;
+  return config_.n / 2 + 1;
+}
+
+std::uint32_t Replica::suffix_quorum() const {
+  if (config_.checkpoint.suffix_quorum > 0) {
+    return config_.checkpoint.suffix_quorum;
+  }
+  if (config_.backend == Backend::kByzantine) return config_.bft.f + 1;
+  return 1;
 }
 
 std::uint64_t Replica::pick_proposal(std::uint64_t slot) {
@@ -163,6 +203,16 @@ std::unique_ptr<sim::Actor> Replica::make_instance_actor(std::uint64_t slot) {
 }
 
 void Replica::on_start(sim::Context& ctx) {
+  if (recovering_) {
+    // Restarted with no state: fetch a certified checkpoint before
+    // touching the window.  The retry timer re-broadcasts with backoff
+    // until peers answer, and keeps driving catch-up after the join.
+    pstats_.recovery_start_us = ctx.now();
+    last_seen_frontier_ = next_commit_;
+    request_state(ctx);
+    recovery_timer_ = ctx.set_timer(retry_delay_);
+    return;
+  }
   pump(ctx);
 }
 
@@ -197,8 +247,6 @@ bool Replica::fill_window(sim::Context& ctx) {
 }
 
 void Replica::commit_slot(sim::Context& ctx, Slot& st) {
-  const InstanceId slot{next_commit_};
-
   // Deterministic anchor extraction from the raw decision.  A real anchor
   // (a non-zero id present in the command table) releases a batch; an
   // all-null / unknown decision is a no-op slot.  Note the rule reads
@@ -221,26 +269,47 @@ void Replica::commit_slot(sim::Context& ctx, Slot& st) {
   // committed set is (inductively) identical at the frontier; and since
   // every batch drains the smallest pending ids, the overall application
   // order is increasing id order regardless of (window, batch).
-  std::uint64_t applied = 0;
+  std::vector<std::uint64_t> batch;
   if (anchor != 0) {
     for (const auto& [id, cmd] : commands_) {
-      if (applied >= config_.batch) break;
+      if (batch.size() >= config_.batch) break;
       if (committed_ids_.count(id) > 0) continue;
-      store_.apply(cmd);
-      committed_ids_.insert(id);
-      ++applied;
-      ++pstats_.commands_committed;
-      log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " cmd ", id);
-      if (on_commit_) on_commit_(slot, &cmd, store_);
+      batch.push_back(id);
     }
   }
-  if (applied == 0) {
+  apply_committed_batch(ctx, batch);
+}
+
+void Replica::apply_committed_batch(sim::Context& ctx,
+                                    const std::vector<std::uint64_t>& ids) {
+  const InstanceId slot{next_commit_};
+  std::vector<std::uint64_t> applied;
+  for (std::uint64_t id : ids) {
+    auto c = commands_.find(id);
+    // Defensive for the suffix-replay caller: an id a hostile responder
+    // slipped past the quorum cannot corrupt the store, only be skipped.
+    if (c == commands_.end() || committed_ids_.count(id) > 0) continue;
+    store_.apply(c->second);
+    committed_ids_.insert(id);
+    applied.push_back(id);
+    ++pstats_.commands_committed;
+    log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " cmd ", id);
+    if (on_commit_) on_commit_(slot, &c->second, store_);
+  }
+  if (applied.empty()) {
     ++pstats_.noop_slots;
     log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " (no-op)");
     if (on_commit_) on_commit_(slot, nullptr, store_);
   }
-  pstats_.max_batch = std::max(pstats_.max_batch, applied);
+  pstats_.max_batch = std::max<std::uint64_t>(pstats_.max_batch,
+                                              applied.size());
   ++pstats_.slots_committed;
+
+  if (checkpointing()) {
+    slot_log_.emplace(slot.value, std::move(applied));
+    pstats_.log_peak =
+        std::max<std::uint64_t>(pstats_.log_peak, slot_log_.size());
+  }
 
   // Release this slot's proposal claims.
   auto c = claims_.find(slot.value);
@@ -254,6 +323,8 @@ void Replica::commit_slot(sim::Context& ctx, Slot& st) {
   for (auto t = timer_slot_.begin(); t != timer_slot_.end();) {
     t = t->second < next_commit_ ? timer_slot_.erase(t) : std::next(t);
   }
+
+  maybe_checkpoint(ctx);
 }
 
 void Replica::pump(sim::Context& ctx) {
@@ -277,10 +348,255 @@ void Replica::pump(sim::Context& ctx) {
     if (next_commit_ >= config_.slots) break;
     if (fill_window(ctx)) progress = true;
   }
-  if (done() && !stopped_) {
-    stopped_ = true;
-    ctx.stop();
+  maybe_stop(ctx);
+}
+
+void Replica::maybe_stop(sim::Context& ctx) {
+  if (!done() || stopped_) return;
+  if (checkpointing()) {
+    // Stay alive to serve state transfer until every awaited peer has
+    // announced completion (its end-of-log checkpoint vote).  Without
+    // this, a replica recovering late would find nobody left to ask.
+    for (std::uint32_t id : config_.await_done) {
+      if (id == ctx.id().value) continue;
+      if (heard_end_.count(id) == 0) return;
+    }
   }
+  stopped_ = true;
+  ctx.stop();
+}
+
+void Replica::maybe_checkpoint(sim::Context& ctx) {
+  if (!checkpointing() || next_commit_ == 0) return;
+  const bool boundary = next_commit_ % config_.checkpoint.interval == 0 ||
+                        next_commit_ == config_.slots;
+  if (!boundary || next_commit_ <= last_ckpt_slot_) return;
+  last_ckpt_slot_ = next_commit_;
+
+  Snapshot snap;
+  snap.slot = next_commit_;
+  snap.applied = store_.applied_count();
+  snap.data = store_.contents();
+  snap.committed_ids = committed_ids_;
+  Bytes encoded = encode_snapshot(snap);
+  const crypto::Digest digest = snapshot_digest(encoded);
+  pending_ckpts_[next_commit_] = {std::move(encoded), digest};
+  ++pstats_.checkpoints_taken;
+
+  CheckpointVote vote;
+  vote.slot = next_commit_;
+  vote.digest = digest;
+  vote.sig = config_.signer->sign(
+      bft::checkpoint_signing_bytes(vote.slot, vote.digest));
+  Bytes frame = encode_control_vote(vote);
+  if (vote.slot == config_.slots) end_vote_frame_ = frame;
+  log_debug("SMR ", ctx.id(), " checkpoint at slot ", vote.slot);
+  ctx.broadcast(frame);  // includes self: our own vote is recorded on RX
+}
+
+bool Replica::verify_vote(ProcessId from, const CheckpointVote& vote) const {
+  if (config_.checkpoint.trust_unverified) return true;
+  const Bytes preimage =
+      bft::checkpoint_signing_bytes(vote.slot, vote.digest);
+  if (vcache_) return vcache_->verify(from, preimage, vote.sig);
+  return config_.verifier->verify(from, preimage, vote.sig);
+}
+
+void Replica::handle_vote(sim::Context& ctx, ProcessId from, Reader& r) {
+  const CheckpointVote vote = decode_checkpoint_vote(r);
+  const bool boundary =
+      vote.slot % config_.checkpoint.interval == 0 ||
+      vote.slot == config_.slots;
+  if (vote.slot == 0 || vote.slot > config_.slots || !boundary ||
+      !verify_vote(from, vote)) {
+    ++pstats_.recovery_rejects;
+    return;
+  }
+
+  if (vote.slot == config_.slots) {
+    // End-of-log vote doubles as a DONE announcement.  Replying with our
+    // own end vote (once, on first contact) closes the race where the
+    // sender was down when we broadcast ours.
+    const bool fresh = heard_end_.insert(from.value).second;
+    if (fresh && done() && !end_vote_frame_.empty() &&
+        from.value != ctx.id().value) {
+      ctx.send(from, end_vote_frame_);
+    }
+  }
+
+  if (!latest_cert_.has_value() || vote.slot > latest_cert_->slot) {
+    auto& digests = votes_[vote.slot];
+    auto d = digests.find(vote.digest);
+    if (d == digests.end()) {
+      // Cap digest variants per slot: at most one per possible faulty
+      // voter plus the correct one.
+      if (digests.size() < config_.n) {
+        d = digests.emplace(vote.digest,
+                            std::map<std::uint32_t, Bytes>{}).first;
+      }
+    }
+    if (d != digests.end()) {
+      d->second[from.value] = vote.sig;
+      try_certify(vote.slot);
+    }
+  }
+  maybe_stop(ctx);
+}
+
+void Replica::try_certify(std::uint64_t slot) {
+  // A certificate needs our own snapshot at that slot: the digest we can
+  // vouch for is the one we computed ourselves.
+  auto p = pending_ckpts_.find(slot);
+  if (p == pending_ckpts_.end()) return;
+  auto v = votes_.find(slot);
+  if (v == votes_.end()) return;
+  auto d = v->second.find(p->second.second);
+  if (d == v->second.end() || d->second.size() < cert_quorum()) return;
+
+  bft::CheckpointCert cert;
+  cert.slot = slot;
+  cert.digest = p->second.second;
+  cert.sigs.assign(d->second.begin(), d->second.end());
+  latest_cert_ = std::move(cert);
+  latest_snapshot_ = std::move(p->second.first);
+  ++pstats_.checkpoint_certs;
+
+  // Log compaction: everything below the certified slot is recoverable
+  // from the certificate, so the committed-slot log drops it.
+  const auto cut = slot_log_.lower_bound(slot);
+  pstats_.log_truncated +=
+      static_cast<std::uint64_t>(std::distance(slot_log_.begin(), cut));
+  slot_log_.erase(slot_log_.begin(), cut);
+  votes_.erase(votes_.begin(), votes_.upper_bound(slot));
+  pending_ckpts_.erase(pending_ckpts_.begin(),
+                       pending_ckpts_.upper_bound(slot));
+}
+
+void Replica::request_state(sim::Context& ctx) {
+  ctx.broadcast(encode_control_state_req(next_commit_));
+  ++pstats_.state_reqs;
+}
+
+void Replica::handle_state_req(sim::Context& ctx, ProcessId from, Reader& r) {
+  (void)decode_state_req(r);  // validated; we always serve from our best
+  if (from.value == ctx.id().value) return;  // own broadcast echo
+  if (recovering_) return;  // nothing trustworthy to serve yet
+
+  StateResp resp;
+  if (latest_cert_.has_value()) {
+    resp.ckpt_slot = latest_cert_->slot;
+    resp.snapshot = latest_snapshot_;
+    resp.cert_sigs = latest_cert_->sigs;
+  } else {
+    resp.snapshot = genesis_snapshot();
+  }
+  for (const auto& [s, ids] : slot_log_) {
+    if (s >= resp.ckpt_slot) resp.suffix.push_back(SuffixEntry{s, ids});
+  }
+  ctx.send(from, encode_control_state_resp(resp));
+  ++pstats_.state_resps;
+  // A done responder reminds the requester of its end vote: the requester
+  // was down when the broadcast went out.
+  if (done() && !end_vote_frame_.empty()) ctx.send(from, end_vote_frame_);
+}
+
+void Replica::advance_recovery(sim::Context& ctx) {
+  if (auto inst = recovery_->best_snapshot(next_commit_)) {
+    // Drop live instances the snapshot supersedes.
+    for (auto it = slots_.begin();
+         it != slots_.end() && it->first < inst->snapshot.slot;) {
+      auto c = claims_.find(it->first);
+      if (c != claims_.end()) {
+        for (std::uint64_t id : c->second) claimed_ids_.erase(id);
+        claims_.erase(c);
+      }
+      it = slots_.erase(it);
+    }
+    store_.install(inst->snapshot.data, inst->snapshot.applied);
+    committed_ids_ = inst->snapshot.committed_ids;
+    next_commit_ = inst->snapshot.slot;
+    next_start_ = std::max(next_start_, next_commit_);
+    latest_cert_ = inst->cert;
+    latest_snapshot_ = inst->encoded;
+    slot_log_.erase(slot_log_.begin(), slot_log_.lower_bound(next_commit_));
+    future_.erase(future_.begin(), future_.lower_bound(next_commit_));
+    votes_.erase(votes_.begin(), votes_.lower_bound(next_commit_));
+    for (auto t = timer_slot_.begin(); t != timer_slot_.end();) {
+      t = t->second < next_commit_ ? timer_slot_.erase(t) : std::next(t);
+    }
+    ++pstats_.recovery_installs;
+    log_debug("SMR ", ctx.id(), " installed checkpoint at slot ",
+              next_commit_);
+    // The install landing on a boundary (or the end) takes our own
+    // checkpoint, which at the end of the log broadcasts our DONE vote.
+    maybe_checkpoint(ctx);
+  }
+
+  // Replay quorum-agreed suffix slots, strictly in order.
+  while (next_commit_ < config_.slots) {
+    auto ids = recovery_->batch_for(next_commit_);
+    if (!ids.has_value()) break;
+    auto it = slots_.find(next_commit_);
+    if (it != slots_.end()) {
+      auto c = claims_.find(next_commit_);
+      if (c != claims_.end()) {
+        for (std::uint64_t id : c->second) claimed_ids_.erase(id);
+        claims_.erase(c);
+      }
+      slots_.erase(it);
+    }
+    apply_committed_batch(ctx, *ids);
+  }
+  // Replayed slots need no instances of our own; without this, pump would
+  // start consensus for slots every peer already committed (pure stale
+  // traffic that can never decide).
+  next_start_ = std::max(next_start_, next_commit_);
+  recovery_->prune_below(next_commit_);
+
+  if (recovering_) {
+    // First verified response = the rejoin point, even if it carried
+    // nothing newer than genesis: the replica now provably holds the best
+    // certified state and can participate from its frontier.
+    recovering_ = false;
+    pstats_.recovery_join_us = ctx.now();
+    log_debug("SMR ", ctx.id(), " rejoined at slot ", next_commit_);
+  }
+  pump(ctx);
+}
+
+void Replica::handle_control(sim::Context& ctx, ProcessId from,
+                             const Bytes& inner) {
+  if (inner.empty()) {
+    ++pstats_.recovery_rejects;
+    return;
+  }
+  const auto kind = static_cast<ControlKind>(inner[0]);
+  const Bytes body(inner.begin() + 1, inner.end());
+  try {
+    switch (kind) {
+      case ControlKind::kCheckpointVote: {
+        Reader r(body);
+        handle_vote(ctx, from, r);
+        return;
+      }
+      case ControlKind::kStateReq: {
+        Reader r(body);
+        handle_state_req(ctx, from, r);
+        return;
+      }
+      case ControlKind::kStateResp: {
+        if (!recovery_) return;  // we never asked
+        if (!recovery_->ingest(from, body)) {
+          ++pstats_.recovery_rejects;
+          return;
+        }
+        advance_recovery(ctx);
+        return;
+      }
+    }
+  } catch (const SerialError&) {
+  }
+  ++pstats_.recovery_rejects;
 }
 
 void Replica::on_message(sim::Context& ctx, ProcessId from,
@@ -294,7 +610,22 @@ void Replica::on_message(sim::Context& ctx, ProcessId from,
   } catch (const SerialError&) {
     return;  // not an SMR frame
   }
+  if (slot == kControlSlot) {
+    // Reserved tag: recovery control traffic.  With checkpointing off the
+    // frame is dropped exactly like any other out-of-range slot — the
+    // silent drop a pre-recovery replica already performs.
+    if (checkpointing()) handle_control(ctx, from, inner);
+    return;
+  }
   if (slot >= config_.slots) return;  // no such instance
+
+  if (recovering_) {
+    // No trusted state yet: consensus traffic is meaningless to us (our
+    // instances would start from a blank store).  State transfer will
+    // bring the committed outcome instead.
+    ++pstats_.stale_dropped;
+    return;
+  }
 
   if (slot < next_commit_) {  // committed slot (covers done()): stale
     ++pstats_.stale_dropped;
@@ -334,6 +665,21 @@ void Replica::on_message(sim::Context& ctx, ProcessId from,
 
 void Replica::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
   if (done()) return;
+  if (recovery_ != nullptr && timer_id == recovery_timer_) {
+    // Catch-up tick: a stalled frontier means peers are ahead (or our
+    // first request was lost) — re-ask with exponential backoff; progress
+    // resets the backoff.
+    if (next_commit_ == last_seen_frontier_) {
+      request_state(ctx);
+      retry_delay_ = std::min<SimTime>(
+          retry_delay_ * 2, config_.checkpoint.retry_delay * 16);
+    } else {
+      retry_delay_ = config_.checkpoint.retry_delay;
+    }
+    last_seen_frontier_ = next_commit_;
+    recovery_timer_ = ctx.set_timer(retry_delay_);
+    return;
+  }
   auto it = timer_slot_.find(timer_id);
   if (it == timer_slot_.end()) return;
   const std::uint64_t slot = it->second;

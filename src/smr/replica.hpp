@@ -50,11 +50,45 @@
 #include "crypto/verify_cache.hpp"
 #include "fd/failure_detector.hpp"
 #include "sim/actor.hpp"
+#include "smr/checkpoint.hpp"
 #include "smr/kv_store.hpp"
+#include "smr/recovery.hpp"
 
 namespace modubft::smr {
 
 enum class Backend { kCrashHurfinRaynal, kByzantine };
+
+/// Checkpointing + recovery knobs.  interval == 0 disables the whole
+/// subsystem: no control frames are sent or accepted, and the wire
+/// traffic is byte-identical to a pre-recovery build.
+struct CheckpointConfig {
+  /// Take a checkpoint every `interval` committed slots (and always at
+  /// the end of the log).  0 = off.
+  std::uint64_t interval = 0;
+
+  /// Signatures a checkpoint certificate needs.  0 = derive from the
+  /// backend: 2f+1 (Byzantine) or a simple majority (crash).
+  std::uint32_t cert_quorum = 0;
+
+  /// Matching responders per replayed suffix slot.  0 = derive: f+1
+  /// (Byzantine) or 1 (crash).
+  std::uint32_t suffix_quorum = 0;
+
+  /// Start in recovery: the replica owns no state, broadcasts STATE_REQ,
+  /// and only joins the window after installing a verified response.
+  bool recover = false;
+
+  /// Base delay of the recovery retry/catch-up timer (doubles per silent
+  /// retry, capped at 16x).
+  SimTime retry_delay = 20'000;
+
+  /// Decode caps applied to inbound control frames.
+  StateLimits limits;
+
+  /// Negative-control switch (adversary harness only): install the first
+  /// response without verification.
+  bool trust_unverified = false;
+};
 
 struct ReplicaConfig {
   std::uint32_t n = 0;
@@ -84,6 +118,20 @@ struct ReplicaConfig {
   bft::BftConfig bft;
   const crypto::Signer* signer = nullptr;
   std::shared_ptr<const crypto::Verifier> verifier;
+
+  /// Checkpoints, log compaction and state transfer.  When
+  /// checkpoint.interval > 0, signer and verifier are required for BOTH
+  /// backends (checkpoint votes are signed even under the crash model —
+  /// the certificate must be verifiable by a recovering replica that
+  /// trusts nobody).
+  CheckpointConfig checkpoint;
+
+  /// Replicas whose end-of-log checkpoint votes this replica must hear
+  /// before stopping (itself excluded implicitly).  Keeps finished
+  /// replicas alive to serve state transfer to late recoverers; empty =
+  /// stop as soon as the log commits (the pre-recovery behaviour).  Only
+  /// honoured when checkpointing is on.
+  std::set<std::uint32_t> await_done;
 };
 
 /// Pipeline observability, surfaced through runtime::RunStats::to_json.
@@ -99,6 +147,18 @@ struct PipelineStats {
   std::uint64_t future_buffered = 0;  // early envelopes parked
   std::uint64_t future_dropped = 0;   // beyond horizon or per-slot cap
   std::uint64_t stale_dropped = 0;    // post-commit stragglers
+
+  // Checkpoint / recovery counters (all zero when checkpointing is off).
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_certs = 0;  // quorum certificates formed
+  std::uint64_t log_truncated = 0;     // slots compacted out of the log
+  std::uint64_t log_peak = 0;          // most committed-log slots retained
+  std::uint64_t state_reqs = 0;        // STATE_REQs broadcast (recoverer)
+  std::uint64_t state_resps = 0;       // STATE_RESPs served (responder)
+  std::uint64_t recovery_installs = 0;  // verified snapshots installed
+  std::uint64_t recovery_rejects = 0;   // corrupt/unverifiable control msgs
+  SimTime recovery_start_us = 0;  // restart instant (ctx.now at on_start)
+  SimTime recovery_join_us = 0;   // first verified state accepted
 
   double avg_window() const {
     return window_samples == 0
@@ -139,6 +199,18 @@ class Replica final : public sim::Actor {
     return vcache_.get();
   }
 
+  /// True while a recovering replica has not yet accepted a verified
+  /// STATE_RESP (it drops consensus traffic in that window).
+  bool recovering() const { return recovering_; }
+
+  /// Committed-slot log entries currently retained (compaction bound).
+  std::uint64_t committed_log_size() const { return slot_log_.size(); }
+
+  /// Latest certified checkpoint, if one has formed.
+  const std::optional<bft::CheckpointCert>& latest_cert() const {
+    return latest_cert_;
+  }
+
  private:
   class SlotContext;
 
@@ -163,6 +235,30 @@ class Replica final : public sim::Actor {
     return next_commit_ + config_.window + config_.max_future_slots;
   }
 
+  // --- checkpointing / recovery (all no-ops when interval == 0) ---
+  bool checkpointing() const { return config_.checkpoint.interval > 0; }
+  std::uint32_t cert_quorum() const;
+  std::uint32_t suffix_quorum() const;
+  bool verify_vote(ProcessId from, const CheckpointVote& vote) const;
+  /// Applies one committed batch (shared by consensus commit and suffix
+  /// replay) and advances the frontier by one slot.
+  void apply_committed_batch(sim::Context& ctx,
+                             const std::vector<std::uint64_t>& ids);
+  /// Takes + broadcasts a checkpoint vote if the frontier is on an
+  /// interval boundary (or the end of the log).
+  void maybe_checkpoint(sim::Context& ctx);
+  void handle_control(sim::Context& ctx, ProcessId from, const Bytes& inner);
+  void handle_vote(sim::Context& ctx, ProcessId from, Reader& r);
+  void handle_state_req(sim::Context& ctx, ProcessId from, Reader& r);
+  void try_certify(std::uint64_t slot);
+  void request_state(sim::Context& ctx);
+  /// Installs verified recovered state (snapshot and/or quorumed suffix
+  /// batches) and leaves recovery mode on first success.
+  void advance_recovery(sim::Context& ctx);
+  /// Stops the replica when done AND every awaited peer announced done
+  /// (their end-of-log checkpoint vote doubles as the announcement).
+  void maybe_stop(sim::Context& ctx);
+
   ReplicaConfig config_;
   std::map<std::uint64_t, Command> commands_;  // id → command
   CommitFn on_commit_;
@@ -184,6 +280,33 @@ class Replica final : public sim::Actor {
   std::shared_ptr<crypto::CachingVerifier> vcache_;
   PipelineStats pstats_;
   bool stopped_ = false;
+
+  // --- checkpointing / recovery state (inert when interval == 0) ---
+  /// Committed-slot log: slot → committed ids (empty = no-op slot).
+  /// Spans [latest certified checkpoint, frontier); compacted whenever a
+  /// new certificate forms.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> slot_log_;
+  /// Own snapshots awaiting certification: slot → (encoded, digest).
+  std::map<std::uint64_t, std::pair<Bytes, crypto::Digest>> pending_ckpts_;
+  /// Checkpoint votes: slot → digest → signer → signature.  Digest
+  /// variants per slot are capped (a Byzantine voter can invent digests).
+  std::map<std::uint64_t,
+           std::map<crypto::Digest, std::map<std::uint32_t, Bytes>>>
+      votes_;
+  std::optional<bft::CheckpointCert> latest_cert_;
+  Bytes latest_snapshot_;  // encoded bytes the certificate covers
+  std::uint64_t last_ckpt_slot_ = 0;
+
+  // End-of-log coordination: who has announced completion.
+  std::set<std::uint32_t> heard_end_;
+  Bytes end_vote_frame_;  // our own end-of-log vote, for unicast replies
+
+  // Recovery client state.
+  bool recovering_ = false;
+  std::unique_ptr<RecoveryModule> recovery_;
+  std::uint64_t recovery_timer_ = 0;
+  SimTime retry_delay_ = 0;
+  std::uint64_t last_seen_frontier_ = 0;
 };
 
 }  // namespace modubft::smr

@@ -28,7 +28,14 @@ struct Cluster::Node {
 
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> stopped{false};
+  // crash_at / restart_at are rebased onto the epoch before the node
+  // thread spawns and are owned by the node thread afterwards (the run()
+  // straggler audit reads only the immutable *_scheduled flags).
   std::optional<Clock::time_point> crash_at;
+  std::optional<Clock::time_point> restart_at;
+  std::function<std::unique_ptr<sim::Actor>()> restart_factory;
+  bool crash_scheduled = false;
+  bool restart_scheduled = false;
 
   Cluster* cluster = nullptr;
 };
@@ -121,6 +128,19 @@ void Cluster::crash_after(ProcessId id, std::chrono::microseconds after) {
   nodes_[id.value]->crash_at = Clock::time_point(after.count() >= 0
                                                      ? Clock::duration(after)
                                                      : Clock::duration::zero());
+  nodes_[id.value]->crash_scheduled = true;
+}
+
+void Cluster::set_restart(ProcessId id, std::chrono::microseconds after,
+                          std::function<std::unique_ptr<sim::Actor>()> factory) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(!ran_);
+  MODUBFT_EXPECTS(nodes_[id.value]->crash_scheduled);
+  MODUBFT_EXPECTS(factory != nullptr);
+  nodes_[id.value]->restart_at = Clock::time_point(
+      after.count() >= 0 ? Clock::duration(after) : Clock::duration::zero());
+  nodes_[id.value]->restart_factory = std::move(factory);
+  nodes_[id.value]->restart_scheduled = true;
 }
 
 void Cluster::set_delivery_tap(std::function<void(const sim::Delivery&)> tap) {
@@ -155,10 +175,7 @@ void Cluster::tap_delivery(const Envelope& env, ProcessId to) {
   tap_(d);
 }
 
-void Cluster::node_main(Node& node) {
-  NodeContext ctx(*this, node);
-  node.actor->on_start(ctx);
-
+void Cluster::node_pump(Node& node, NodeContext& ctx) {
   while (!node.stop_requested.load()) {
     if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) {
       break;  // silent halt: no more receives, no more sends
@@ -216,6 +233,40 @@ void Cluster::node_main(Node& node) {
       break;  // shutdown requested by the cluster
     }
   }
+}
+
+void Cluster::node_main(Node& node) {
+  NodeContext ctx(*this, node);
+  for (;;) {
+    node.actor->on_start(ctx);
+    node_pump(node, ctx);
+
+    // Crash with a scheduled restart: lie dormant (discarding deliveries —
+    // a dead node receives nothing) until the restart instant, then come
+    // back as a fresh actor.  One-shot semantics: a stop request during
+    // the outage abandons the restart instead of hanging the teardown.
+    if (!node.crash_at.has_value() || Clock::now() < *node.crash_at ||
+        !node.restart_at.has_value() || node.stop_requested.load()) {
+      break;  // voluntary stop, teardown, or crash-for-good
+    }
+    bool aborted = false;
+    while (Clock::now() < *node.restart_at) {
+      if (node.stop_requested.load()) {
+        aborted = true;
+        break;
+      }
+      const Clock::time_point wait_until = std::min(
+          *node.restart_at, Clock::now() + std::chrono::milliseconds(20));
+      (void)node.mailbox.pop_until(wait_until);  // outage traffic is lost
+    }
+    if (aborted || node.stop_requested.load()) break;
+    node.actor = node.restart_factory();
+    node.timers.clear();
+    node.cancelled.clear();
+    node.crash_at.reset();
+    node.restart_at.reset();
+    node.restart_factory = nullptr;
+  }
   node.stopped.store(true);
 }
 
@@ -225,10 +276,13 @@ bool Cluster::run() {
   for (auto& node : nodes_) MODUBFT_EXPECTS(node->actor != nullptr);
 
   epoch_ = Clock::now();
-  // Rebase crash deadlines onto the epoch.
+  // Rebase crash/restart deadlines onto the epoch.
   for (auto& node : nodes_) {
     if (node->crash_at.has_value()) {
       node->crash_at = epoch_ + node->crash_at->time_since_epoch();
+    }
+    if (node->restart_at.has_value()) {
+      node->restart_at = epoch_ + node->restart_at->time_since_epoch();
     }
   }
 
@@ -253,8 +307,13 @@ bool Cluster::run() {
 
   // Snapshot the stragglers before teardown forces everyone to stop, so a
   // budget expiry is diagnosable (and attributable) after run() returns.
+  // A crash-for-good node is expected to never stop on its own; a node
+  // with a restart schedule is expected to come back and finish, so it IS
+  // reported if still running (the node thread owns crash_at by now —
+  // audit only the immutable scheduling flags).
   for (auto& node : nodes_) {
-    if (!node->stopped.load() && !node->crash_at.has_value()) {
+    if (!node->stopped.load() &&
+        (!node->crash_scheduled || node->restart_scheduled)) {
       unstopped_.push_back(node->id);
     }
   }

@@ -51,6 +51,16 @@ class Cluster {
   /// Schedules a silent halt of `id` after `after` of wall-clock run time.
   void crash_after(ProcessId id, std::chrono::microseconds after);
 
+  /// Schedules a restart of a node previously given to crash_after: at
+  /// `after` (from the run epoch, > the crash instant), `factory()` builds
+  /// a FRESH actor that takes over the node — same id, same rng stream,
+  /// empty timer set; deliveries that arrived during the outage are
+  /// discarded.  One-shot: a restart whose deadline falls after the
+  /// cluster began stopping (budget expiry / teardown) is abandoned, never
+  /// a hang.
+  void set_restart(ProcessId id, std::chrono::microseconds after,
+                   std::function<std::unique_ptr<sim::Actor>()> factory);
+
   /// Optional observer invoked on every delivery, right before the
   /// receiving actor's on_message.  Calls are serialized by an internal
   /// mutex (they come from every node thread), so the tap itself needs no
@@ -97,6 +107,7 @@ class Cluster {
   class NodeContext;
 
   void node_main(Node& node);
+  void node_pump(Node& node, NodeContext& ctx);
   SimTime since_epoch() const;
   void tap_delivery(const Envelope& env, ProcessId to);
 

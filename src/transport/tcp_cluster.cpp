@@ -78,7 +78,12 @@ struct TcpCluster::Node {
 
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> stopped{false};
+  // crash_at / restart_at / restart_factory are owned by the node thread
+  // once run() spawns it (run() rebases them onto the epoch before the
+  // spawn; the thread resets them after a restart fires).
   std::optional<Clock::time_point> crash_at;
+  std::optional<Clock::time_point> restart_at;
+  std::function<std::unique_ptr<sim::Actor>()> restart_factory;
   std::atomic<bool> crashed{false};
 
   TcpCluster* cluster = nullptr;
@@ -159,6 +164,19 @@ void TcpCluster::crash_after(ProcessId id, std::chrono::microseconds after) {
   // Resolved against the epoch when run() starts.
   nodes_[id.value]->crash_at = Clock::time_point(
       after.count() >= 0 ? Clock::duration(after) : Clock::duration::zero());
+}
+
+void TcpCluster::set_restart(
+    ProcessId id, std::chrono::microseconds after,
+    std::function<std::unique_ptr<sim::Actor>()> factory) {
+  MODUBFT_EXPECTS(id.value < config_.n);
+  MODUBFT_EXPECTS(!ran_);
+  MODUBFT_EXPECTS(nodes_[id.value]->crash_at.has_value());
+  MODUBFT_EXPECTS(factory != nullptr);
+  // Resolved against the epoch when run() starts.
+  nodes_[id.value]->restart_at = Clock::time_point(
+      after.count() >= 0 ? Clock::duration(after) : Clock::duration::zero());
+  nodes_[id.value]->restart_factory = std::move(factory);
 }
 
 void TcpCluster::set_delivery_tap(
@@ -353,8 +371,43 @@ void TcpCluster::reader_main(Node& node, int fd) {
 
 void TcpCluster::node_main(Node& node) {
   NodeContext ctx(*this, node);
-  node.actor->on_start(ctx);
+  for (;;) {
+    node.actor->on_start(ctx);
+    node_pump(node, ctx);
+    if (!node.crashed.load() || !node.restart_at.has_value() ||
+        node.stop_requested.load()) {
+      break;
+    }
+    // Dormancy: the node is dead until the restart instant.  Frames that
+    // arrive meanwhile are discarded (a crashed process receives nothing),
+    // in bounded slices so teardown can always interrupt the wait.
+    bool aborted = false;
+    for (;;) {
+      if (node.stop_requested.load()) {
+        aborted = true;
+        break;
+      }
+      const Clock::time_point now = Clock::now();
+      if (now >= *node.restart_at) break;
+      Clock::time_point deadline = now + std::chrono::milliseconds(20);
+      if (*node.restart_at < deadline) deadline = *node.restart_at;
+      node.mailbox.pop_until(deadline);
+    }
+    if (aborted) break;
+    // Rebirth: fresh actor, empty timer set, sends re-enabled.  The rng
+    // stream continues where the former life left it.
+    node.actor = node.restart_factory();
+    node.timers.clear();
+    node.cancelled.clear();
+    node.crash_at.reset();
+    node.restart_at.reset();
+    node.restart_factory = nullptr;
+    node.crashed.store(false);
+  }
+  node.stopped.store(true);
+}
 
+void TcpCluster::node_pump(Node& node, NodeContext& ctx) {
   while (!node.stop_requested.load()) {
     if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) {
       node.crashed.store(true);
@@ -412,7 +465,6 @@ void TcpCluster::node_main(Node& node) {
     }
     if (node.mailbox.closed() && node.timers.empty()) break;
   }
-  node.stopped.store(true);
 }
 
 bool TcpCluster::run() {
@@ -489,6 +541,9 @@ bool TcpCluster::run() {
   for (auto& node : nodes_) {
     if (node->crash_at.has_value()) {
       node->crash_at = epoch_ + node->crash_at->time_since_epoch();
+    }
+    if (node->restart_at.has_value()) {
+      node->restart_at = epoch_ + node->restart_at->time_since_epoch();
     }
   }
   threads_.reserve(config_.n);

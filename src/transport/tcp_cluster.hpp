@@ -92,6 +92,15 @@ class TcpCluster {
   /// are "in the channel", as in the simulator's model).
   void crash_after(ProcessId id, std::chrono::microseconds after);
 
+  /// Schedules a restart of a node previously given to crash_after: at
+  /// `after` (from the run epoch, > the crash instant), `factory()` builds
+  /// a FRESH actor that takes over the node — same id, same rng stream,
+  /// empty timer set; frames that arrived during the outage are discarded.
+  /// One-shot: a restart whose deadline falls after the cluster began
+  /// stopping (budget expiry / teardown) is abandoned, never a hang.
+  void set_restart(ProcessId id, std::chrono::microseconds after,
+                   std::function<std::unique_ptr<sim::Actor>()> factory);
+
   /// Optional observer invoked on every delivery, right before the
   /// receiving actor's on_message.  Serialized by an internal mutex;
   /// `Delivery::payload` is valid only for the call.  `send_time` is the
@@ -157,6 +166,7 @@ class TcpCluster {
   class NodeContext;
 
   void node_main(Node& node);
+  void node_pump(Node& node, NodeContext& ctx);
   void accept_main(Node& node);
   void reader_main(Node& node, int fd);
   bool send_frame(Node& node, ProcessId to, const Bytes& payload);

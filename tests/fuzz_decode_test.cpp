@@ -24,10 +24,13 @@
 #include <vector>
 
 #include "adversary/fuzzer.hpp"
+#include "bft/checkpoint_cert.hpp"
 #include "bft/message.hpp"
 #include "bft/modules.hpp"
 #include "common/rng.hpp"
 #include "crypto/hmac_signer.hpp"
+#include "smr/checkpoint.hpp"
+#include "smr/recovery.hpp"
 
 namespace modubft {
 namespace {
@@ -263,6 +266,117 @@ TEST(FuzzDecode, SignatureModuleFlagsSenderOnMutatedFrames) {
         << bft::fault_kind_name(in.verdict.kind);
   }
   EXPECT_GT(flagged, 0u);
+}
+
+// ------------------------------------------- STATE_RESP (recovery) frames
+
+/// A realistic certified STATE_RESP body: snapshot, quorum certificate,
+/// two suffix slots — every field class the decoder parses.
+Bytes sample_state_resp_body(const crypto::SignatureSystem& keys) {
+  smr::Snapshot snap;
+  snap.slot = 8;
+  snap.applied = 14;
+  snap.data = {{"alpha", "1"}, {"beta", "2"}};
+  for (std::uint64_t id = 1; id <= 14; ++id) snap.committed_ids.insert(id);
+
+  smr::StateResp resp;
+  resp.ckpt_slot = 8;
+  resp.snapshot = smr::encode_snapshot(snap);
+  const crypto::Digest digest = smr::snapshot_digest(resp.snapshot);
+  const Bytes preimage = bft::checkpoint_signing_bytes(8, digest);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    resp.cert_sigs.emplace_back(i, keys.signers[i]->sign(preimage));
+  }
+  resp.suffix = {{9, {15, 16}}, {10, {}}};
+  const Bytes frame = smr::encode_control_state_resp(resp);
+  return Bytes(frame.begin() + 9, frame.end());
+}
+
+TEST(FuzzStateResp, EveryTruncationRejectedWithoutUB) {
+  const Bytes body = sample_state_resp_body(test_keys());
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    const Bytes prefix(body.begin(), body.begin() + len);
+    // The canonical encoding is exact: no strict prefix is a valid body.
+    EXPECT_FALSE(
+        smr::try_decode_state_resp(prefix, smr::StateLimits{}).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(FuzzStateResp, MutatedBodiesNeverCorruptInstalledState) {
+  const crypto::SignatureSystem keys = test_keys();
+  const Bytes body = sample_state_resp_body(keys);
+  smr::RecoveryConfig rc;
+  rc.n = 4;
+  rc.cert_quorum = 3;
+  rc.suffix_quorum = 2;
+  rc.verifier = keys.verifier.get();
+
+  const MutationSpec specs[] = {
+      {.bitflip_prob = 1.0},
+      {.truncate_prob = 1.0},
+      {.splice_prob = 1.0},
+  };
+  // The certificate-covered bytes: the only snapshot a module may expose.
+  const Bytes original_snapshot = [&] {
+    Reader r(body);
+    return smr::decode_state_resp(r, smr::StateLimits{}).snapshot;
+  }();  // encoded Snapshot bytes (StateResp::snapshot)
+
+  std::size_t decoded = 0, rejected = 0, verified = 0;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    Rng rng(seed);
+    for (const MutationSpec& spec : specs) {
+      const Bytes mutated = mutate_frame(body, rng, spec);
+      // Decode must never throw or read out of bounds (the sanitizer pass
+      // runs this loop under ASan/UBSan).
+      const auto out = smr::try_decode_state_resp(mutated, smr::StateLimits{});
+      if (!out) {
+        ++rejected;
+        continue;
+      }
+      ++decoded;
+      // The stronger property: whatever decodes, a fresh RecoveryModule
+      // only ever exposes a snapshot whose bytes the certificate covers —
+      // i.e. the original ones.  Mutations inside the (opaque) snapshot or
+      // certificate fields decode fine but must fail verification.
+      smr::RecoveryModule mod{rc};
+      mod.ingest(ProcessId{1}, mutated);
+      if (const auto best = mod.best_snapshot(0)) {
+        ++verified;
+        EXPECT_EQ(best->encoded, original_snapshot);
+      }
+    }
+  }
+  EXPECT_GT(decoded, 0u);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(verified, 0u);  // some mutations miss every covered byte
+}
+
+TEST(FuzzStateResp, DigestFlipInSnapshotRejected) {
+  const crypto::SignatureSystem keys = test_keys();
+  smr::RecoveryConfig rc;
+  rc.n = 4;
+  rc.cert_quorum = 3;
+  rc.suffix_quorum = 2;
+  rc.verifier = keys.verifier.get();
+
+  Bytes body = sample_state_resp_body(keys);
+  Reader r(body);
+  smr::StateResp resp = smr::decode_state_resp(r, smr::StateLimits{});
+  // Flip one bit in every snapshot byte position in turn: each flip moves
+  // the digest outside the certificate, so each must be rejected.
+  std::size_t rejected = 0;
+  for (std::size_t pos = 0; pos < resp.snapshot.size(); pos += 7) {
+    smr::StateResp bad = resp;
+    bad.snapshot[pos] ^= 0x80;
+    const Bytes frame = smr::encode_control_state_resp(bad);
+    smr::RecoveryModule mod{rc};
+    if (!mod.ingest(ProcessId{1}, Bytes(frame.begin() + 9, frame.end()))) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, (resp.snapshot.size() + 6) / 7);
 }
 
 }  // namespace

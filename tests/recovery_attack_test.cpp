@@ -1,0 +1,109 @@
+// Recovery under active Byzantine attack (adversary/recovery_campaign.hpp):
+// a victim is killed and restarted while an attacker replica forges
+// checkpoint votes and fabricates or corrupts STATE_RESP frames.  Every
+// sound cell must end with the victim holding the correct quorum's store
+// and zero audit violations; the negative control proves the audit can
+// catch the planted violation when verification is switched off.
+#include <gtest/gtest.h>
+
+#include "adversary/recovery_campaign.hpp"
+
+namespace modubft {
+namespace {
+
+using adversary::RecoveryAttackKind;
+using adversary::RecoveryCellConfig;
+using adversary::RecoveryCellOutcome;
+using adversary::run_recovery_cell;
+
+RecoveryCellConfig cell(RecoveryAttackKind attack, runtime::Backend substrate,
+                        std::uint64_t seed) {
+  RecoveryCellConfig config;
+  config.attack = attack;
+  config.substrate = substrate;
+  config.seed = seed;
+  if (substrate != runtime::Backend::kSim) {
+    // Wall-clock substrates need a longer run and later instants.
+    config.commands = 200;
+    config.checkpoint_interval = 8;
+    config.kill_at = substrate == runtime::Backend::kTcp ? 5'000 : 3'000;
+    config.restart_at = substrate == runtime::Backend::kTcp ? 80'000 : 60'000;
+    config.budget = std::chrono::milliseconds(30'000);
+  }
+  return config;
+}
+
+TEST(RecoveryAttack, ForgedCheckpointCellSim) {
+  const RecoveryCellOutcome out =
+      run_recovery_cell(cell(RecoveryAttackKind::kForgedCheckpoint,
+                             runtime::Backend::kSim, 41));
+  EXPECT_TRUE(out.pass) << out.detail;
+  EXPECT_TRUE(out.violations.empty());
+}
+
+TEST(RecoveryAttack, CorruptStateRespCellSim) {
+  const RecoveryCellOutcome out =
+      run_recovery_cell(cell(RecoveryAttackKind::kCorruptStateResp,
+                             runtime::Backend::kSim, 42));
+  EXPECT_TRUE(out.pass) << out.detail;
+  EXPECT_TRUE(out.violations.empty());
+}
+
+TEST(RecoveryAttack, ForgedCheckpointCellThreads) {
+  const RecoveryCellOutcome out =
+      run_recovery_cell(cell(RecoveryAttackKind::kForgedCheckpoint,
+                             runtime::Backend::kThreads, 43));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(RecoveryAttack, CorruptStateRespCellTcp) {
+  const RecoveryCellOutcome out =
+      run_recovery_cell(cell(RecoveryAttackKind::kCorruptStateResp,
+                             runtime::Backend::kTcp, 44));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+// The audit itself, unit-level: a restarted replica whose store differs
+// from the quorum store is a named violation.
+TEST(RecoveryAttack, AuditFlagsDivergentRecoveredStore) {
+  faults::SmrScenarioResult result;
+  result.stores[0] = {{"k", "v"}};
+  result.stores[1] = {{"k", "v"}};
+  result.stores[2] = {{"k", "v"}};
+  result.stores[3] = {{"k", "FORGED"}};
+  result.recovered = {3};
+  const auto violations =
+      adversary::audit_recovered_stores(result, {3}, /*quorum=*/3);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind,
+            adversary::ViolationKind::kRecoveredStoreMismatch);
+}
+
+TEST(RecoveryAttack, AuditFlagsNeverInstalled) {
+  faults::SmrScenarioResult result;
+  result.stores[0] = {{"k", "v"}};
+  result.stores[1] = {{"k", "v"}};
+  result.stores[2] = {{"k", "v"}};
+  result.stores[3] = {{"k", "v"}};
+  result.recovered = {};  // p4 restarted but never installed state
+  const auto violations =
+      adversary::audit_recovered_stores(result, {3}, /*quorum=*/3);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind,
+            adversary::ViolationKind::kRecoveredStoreMismatch);
+}
+
+// Negative control: all peers forge, the victim installs unverified state
+// — the harness must flag the planted kRecoveredStoreMismatch, or a clean
+// report from the sound cells means nothing.
+TEST(RecoveryAttack, NegativeControlFlagsPlantedViolation) {
+  const adversary::RecoveryControlOutcome out =
+      adversary::run_recovery_negative_control(45, runtime::Backend::kSim);
+  EXPECT_TRUE(out.flagged);
+  EXPECT_FALSE(out.violations.empty());
+  // The victim really did install the fabricated state.
+  EXPECT_EQ(out.installed.count("forged"), 1u);
+}
+
+}  // namespace
+}  // namespace modubft

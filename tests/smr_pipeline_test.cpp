@@ -101,7 +101,7 @@ TEST(SmrPipeline, ByzantineBackendStoreEquivalentAcrossWindowAndBatch) {
 TEST(SmrPipeline, CrashBackendPipelinedSurvivesReplicaCrash) {
   faults::SmrScenarioConfig cfg =
       pipelined_config(Backend::kCrashHurfinRaynal, 3, 2);
-  cfg.crashes.push_back({ProcessId{4}, 3'000});
+  cfg.crashes.push_back({ProcessId{4}, 3'000, std::nullopt});
   const faults::SmrScenarioResult r = faults::run_smr_scenario(cfg);
   EXPECT_TRUE(r.all_committed);
   EXPECT_TRUE(r.stores_agree);

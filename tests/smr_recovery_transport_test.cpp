@@ -1,0 +1,93 @@
+// Kill/restart recovery on the wall-clock substrates: the same certified
+// state transfer that the sim tests pin down must survive real threads,
+// real mailboxes and real sockets — dormant node threads, restart while
+// frames are in flight, recovery racing live consensus traffic.  The
+// whole file runs under TSan in scripts/run_sanitizers.sh (labels
+// threads/tcp/recovery), which is what makes the restart path's handoff
+// of the node's actor, timers and rng stream a checked property instead
+// of a hope.
+#include <gtest/gtest.h>
+
+#include "faults/scenario.hpp"
+#include "smr/replica.hpp"
+
+namespace modubft {
+namespace {
+
+faults::SmrScenarioConfig wall_clock_scenario(runtime::Backend substrate,
+                                              smr::Backend backend,
+                                              std::uint64_t seed) {
+  faults::SmrScenarioConfig sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.seed = seed;
+  sc.substrate = substrate;
+  sc.backend = backend;
+  sc.window = 4;
+  sc.batch = 2;
+  sc.checkpoint_interval = 8;
+  for (std::uint32_t c = 1; c <= 200; ++c) {
+    smr::Command cmd;
+    cmd.id = c;
+    cmd.key = "key" + std::to_string(c % 8);
+    cmd.op = c % 5 == 0 ? smr::Command::Op::kDel : smr::Command::Op::kPut;
+    if (cmd.op == smr::Command::Op::kPut) cmd.value = "v" + std::to_string(c);
+    sc.workload.push_back(cmd);
+  }
+  sc.slots = 100;
+  sc.budget = std::chrono::milliseconds(30'000);
+  // Wall-clock instants: kill while the run is mid-flight, restart after
+  // the survivors have certified further checkpoints (the dormancy loop
+  // must discard the victim's stale mailbox the whole time).
+  const SimTime kill = substrate == runtime::Backend::kTcp ? 5'000 : 3'000;
+  const SimTime back = substrate == runtime::Backend::kTcp ? 80'000 : 60'000;
+  sc.crashes.push_back({ProcessId{2}, kill, back});
+  return sc;
+}
+
+void expect_recovered(const faults::SmrScenarioResult& r) {
+  EXPECT_TRUE(r.clean);
+  EXPECT_TRUE(r.all_committed);
+  EXPECT_TRUE(r.stores_agree);
+  EXPECT_EQ(r.recovered.count(2), 1u);
+  EXPECT_GT(r.run_stats.pipeline.recovery_installs, 0u);
+  EXPECT_GT(r.run_stats.pipeline.checkpoint_certs, 0u);
+}
+
+TEST(RecoveryThreads, CrashBackendKillRestartRecovers) {
+  expect_recovered(faults::run_smr_scenario(wall_clock_scenario(
+      runtime::Backend::kThreads, smr::Backend::kCrashHurfinRaynal, 21)));
+}
+
+TEST(RecoveryThreads, ByzantineBackendKillRestartRecovers) {
+  expect_recovered(faults::run_smr_scenario(wall_clock_scenario(
+      runtime::Backend::kThreads, smr::Backend::kByzantine, 22)));
+}
+
+// The TSan determinism variant: not bit-identical stores across runs (a
+// wall-clock substrate schedules freely) but the invariant determinism
+// protects — every run, whatever the interleaving, converges every correct
+// replica (including the restarted one) onto one store.
+TEST(RecoveryThreads, RestartRacesConvergeAcrossSeeds) {
+  for (std::uint64_t seed : {31, 32}) {
+    const faults::SmrScenarioResult r = faults::run_smr_scenario(
+        wall_clock_scenario(runtime::Backend::kThreads,
+                            smr::Backend::kCrashHurfinRaynal, seed));
+    EXPECT_TRUE(r.clean) << "seed " << seed;
+    EXPECT_TRUE(r.stores_agree) << "seed " << seed;
+    EXPECT_EQ(r.recovered.count(2), 1u) << "seed " << seed;
+  }
+}
+
+TEST(RecoveryTcp, CrashBackendKillRestartRecovers) {
+  expect_recovered(faults::run_smr_scenario(wall_clock_scenario(
+      runtime::Backend::kTcp, smr::Backend::kCrashHurfinRaynal, 23)));
+}
+
+TEST(RecoveryTcp, ByzantineBackendKillRestartRecovers) {
+  expect_recovered(faults::run_smr_scenario(wall_clock_scenario(
+      runtime::Backend::kTcp, smr::Backend::kByzantine, 24)));
+}
+
+}  // namespace
+}  // namespace modubft

@@ -176,7 +176,7 @@ TEST(SubstrateEquivalence, LockstepBarrierTolerationEverywhere) {
     cfg.rounds = 3;
     cfg.seed = 5;
     cfg.substrate = backend;
-    cfg.crashes = {CrashSpec{ProcessId{3}, 5'000}};
+    cfg.crashes = {CrashSpec{ProcessId{3}, 5'000, std::nullopt}};
 
     const LockstepScenarioResult r = run_lockstep_scenario(cfg);
     EXPECT_TRUE(r.clean) << runtime::run_outcome_name(r.outcome);

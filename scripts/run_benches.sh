@@ -1,26 +1,65 @@
 #!/usr/bin/env bash
 # Builds and runs the JSON-emitting benchmarks, writing the machine-readable
-# artifacts at the repo root:
-#   BENCH_e15.json — certificate fast path, cached vs uncached verification
-#   BENCH_e17.json — pipelined SMR commit throughput, window × batch sweep
-#   BENCH_e18.json — checkpoint overhead + kill/restart recovery time
+# artifacts at the repo root (BENCH_<id>.json per manifest row below).
 #
 # Every binary encodes its acceptance headline in the exit status
 # (e15: cache speedup ≥ 3× at n=7 rounds=10; e17: threads W4B4 ≥ 2× the
 # W1B1 commits/sec; e18: checkpointing retains ≥ 60% throughput and every
-# kill/restart rejoins), so this script fails loudly on a regression.
+# kill/restart rejoins; e19: staged ingest ≥ 1.5× the E17-configuration
+# baseline at n=7/n=10 on both wall-clock substrates), so this script
+# fails loudly on a regression.
 #
-# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+# Usage: scripts/run_benches.sh [--only eNN] [build-dir]
+#   scripts/run_benches.sh               # every manifest row
+#   scripts/run_benches.sh --only e19    # just the staged-ingest bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_e15_cert_fastpath bench_e17_pipeline bench_e18_recovery
+ONLY=""
+BUILD_DIR=build
+while [[ $# -ge 1 ]]; do
+  case "$1" in
+    --only)
+      [[ $# -ge 2 ]] || { echo "--only needs an experiment id (e.g. e19)" >&2; exit 2; }
+      ONLY="$2"
+      shift 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
 
-"./${BUILD_DIR}/bench/bench_e15_cert_fastpath" --out BENCH_e15.json
-echo
-"./${BUILD_DIR}/bench/bench_e17_pipeline" --out BENCH_e17.json
-echo
-"./${BUILD_DIR}/bench/bench_e18_recovery" --out BENCH_e18.json
+# Manifest: one row per acceptance-carrying benchmark — "<id> <binary>".
+# The artifact is BENCH_<id>.json; extra per-bench flags go after the
+# binary name.  Adding an experiment = adding a row.
+MANIFEST=(
+  "e15 bench_e15_cert_fastpath"
+  "e17 bench_e17_pipeline"
+  "e18 bench_e18_recovery"
+  "e19 bench_e19_ingest"
+)
+
+TARGETS=()
+for row in "${MANIFEST[@]}"; do
+  read -r id binary _ <<< "${row}"
+  [[ -n "${ONLY}" && "${id}" != "${ONLY}" ]] && continue
+  TARGETS+=("${binary}")
+done
+if [[ ${#TARGETS[@]} -eq 0 ]]; then
+  echo "no manifest row matches --only ${ONLY}" >&2
+  exit 2
+fi
+
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TARGETS[@]}"
+
+for row in "${MANIFEST[@]}"; do
+  read -r id binary flags <<< "${row}"
+  [[ -n "${ONLY}" && "${id}" != "${ONLY}" ]] && continue
+  echo
+  echo "=== ${id}: ${binary} → BENCH_${id}.json ==="
+  # shellcheck disable=SC2086
+  "./${BUILD_DIR}/bench/${binary}" --out "BENCH_${id}.json" ${flags:-}
+done

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -16,6 +17,9 @@ class VerifyPool;
 }  // namespace modubft::crypto
 
 namespace modubft::bft {
+
+struct MessageCore;
+class Certificate;
 
 /// Certification-service bound C: the maximum number of faulty processes
 /// the certification mechanism copes with.  "Usual certification mechanisms
@@ -80,6 +84,21 @@ struct BftConfig {
   /// which is synchronous, when it wants pool accounting).  One pool is
   /// typically shared by every process of a run.
   std::shared_ptr<crypto::VerifyPool> verify_pool;
+
+  /// Egress staging hook (the batched-signing half of the staged ingest
+  /// pipeline, docs/INGEST.md).  When non-null, send_signed offers every
+  /// outgoing (core, certificate) pair to the hook BEFORE signing; a true
+  /// return transfers ownership — the owner (the pipelined SMR replica,
+  /// which installs a per-instance hook) signs, encodes and broadcasts
+  /// the staged messages in staging order at the end of the current batch
+  /// dispatch, in one signing pass over pooled encode buffers.  A false
+  /// return must leave the arguments untouched: the process then signs
+  /// and broadcasts inline, exactly as without a hook.  Since staged
+  /// messages are flushed in staging order within the same dispatch,
+  /// per-sender FIFO — all the protocol assumes of the network — is
+  /// preserved, and the wire bytes are identical (signing is a pure
+  /// function of core ‖ cert digest).
+  std::function<bool(MessageCore&&, Certificate&&)> egress_stage;
 
   /// Period of the ◇M / faulty-coordinator poll.
   SimTime suspicion_poll_period = 10'000;

@@ -1,0 +1,105 @@
+// Reusable byte-buffer arena for the encode path.
+//
+// The staged ingest pipeline (docs/INGEST.md) encodes many frames per
+// dispatch: batched signatures on egress, slot-prefixed wrappers, wire
+// frames in the resilient channels.  Each of those used to allocate a
+// fresh Bytes and throw it away after the copy into the transport — the
+// "residual per-send copies" called out in PR 2.  BufferPool keeps a
+// small free list of retired buffers so a hot encode loop reuses the same
+// allocations instead of hammering the allocator.
+//
+// Ownership contract (see docs/INGEST.md "Buffer-pool ownership"):
+//
+//   * acquire() transfers ownership OUT of the pool: the caller owns the
+//     buffer outright and may resize, move or abandon it freely.  The
+//     returned buffer is always empty (size 0) but keeps its previous
+//     capacity — that retained capacity is the entire point.
+//   * release() transfers ownership back IN.  The caller must not touch
+//     the buffer afterwards.  Releasing a buffer that came from anywhere
+//     else is fine (the pool does not track provenance).
+//   * Dropping an acquired buffer without releasing it is legal — the
+//     pool never blocks on outstanding buffers, it just allocates fresh
+//     ones when the free list is empty.
+//
+// Thread-safe: acquire/release are a mutex-guarded free-list exchange, so
+// a pool can back concurrent encode paths (e.g. one per node thread).
+// Buffers above `max_buffer_bytes` are not retained: a single oversized
+// frame must not pin megabytes in the free list forever.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace modubft {
+
+/// Pool counters, exposed for RunStats / benchmarks / tests.
+struct BufferPoolStats {
+  std::uint64_t acquires = 0;  ///< total acquire() calls
+  std::uint64_t reuses = 0;    ///< acquires satisfied from the free list
+  std::uint64_t releases = 0;  ///< buffers returned (retained or not)
+
+  double reuse_rate() const {
+    return acquires == 0 ? 0.0
+                         : static_cast<double>(reuses) /
+                               static_cast<double>(acquires);
+  }
+};
+
+class BufferPool {
+ public:
+  static constexpr std::size_t kDefaultMaxPooled = 64;
+  static constexpr std::size_t kDefaultMaxBufferBytes = 1u << 20;
+
+  explicit BufferPool(std::size_t max_pooled = kDefaultMaxPooled,
+                      std::size_t max_buffer_bytes = kDefaultMaxBufferBytes)
+      : max_pooled_(max_pooled), max_buffer_bytes_(max_buffer_bytes) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer, reusing a retired one's capacity when the
+  /// free list is non-empty.
+  Bytes acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquires;
+    if (free_.empty()) return Bytes{};
+    ++stats_.reuses;
+    Bytes buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();  // keeps capacity
+    return buf;
+  }
+
+  /// Retires a buffer back into the free list (or drops it when the list
+  /// is full or the buffer grew past the retention cap).
+  void release(Bytes buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.releases;
+    if (free_.size() >= max_pooled_ || buf.capacity() > max_buffer_bytes_) {
+      return;  // drop: bounded memory beats a perfect hit rate
+    }
+    free_.push_back(std::move(buf));
+  }
+
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const std::size_t max_pooled_;
+  const std::size_t max_buffer_bytes_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace modubft

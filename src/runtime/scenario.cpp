@@ -5,7 +5,9 @@
 // all three runtimes, so they sit at the top of the dependency chain.
 #include "faults/scenario.hpp"
 
+#include <algorithm>
 #include <mutex>
+#include <thread>
 
 #include "bft/config.hpp"
 #include "bft/lockstep.hpp"
@@ -434,7 +436,7 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
   const bool checkpointing = config.checkpoint_interval > 0;
 
   crypto::SignatureSystem keys =
-      make_keys(Scheme::kHmac, config.n, config.seed);
+      make_keys(config.scheme, config.n, config.seed);
 
   std::vector<std::optional<SimTime>> crash_times(config.n);
   std::vector<CrashSpec> crash_specs(config.n);
@@ -460,11 +462,19 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
 
   // Byzantine backend: one verification pool shared by every replica.
   // The sim default of 0 workers is the synchronous pool — identical
-  // execution order to no pool at all, but with accounting.
+  // execution order to no pool at all, but with accounting.  Wall-clock
+  // substrates size the pool to the machine: up to 3 workers, but never
+  // more than the spare cores — on a box with no spare cores the pool
+  // degrades to synchronous, where prologue jobs run inline on the
+  // dispatching thread (same semantics, no cross-thread handoff to lose
+  // time on).  An explicit verify_workers overrides both.
   std::shared_ptr<crypto::VerifyPool> pool;
   if (config.backend == smr::Backend::kByzantine) {
+    const std::uint32_t hw =
+        std::max(1u, std::thread::hardware_concurrency());
     const std::uint32_t workers = config.verify_workers.value_or(
-        config.substrate == runtime::Backend::kSim ? 0u : 3u);
+        config.substrate == runtime::Backend::kSim ? 0u
+                                                   : std::min(3u, hw - 1));
     pool = std::make_shared<crypto::VerifyPool>(workers);
   }
 
@@ -497,6 +507,12 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
   // every node before the views are read back.
   std::vector<const smr::Replica*> views(config.n, nullptr);
 
+  // Staged ingest default mirrors the verify-pool default: off on the
+  // deterministic simulator (whose event loop never forms a batch), on
+  // for the wall-clock substrates.
+  const bool staged_ingest = config.staged_ingest.value_or(
+      config.substrate != runtime::Backend::kSim);
+
   auto make_rcfg = [&](std::uint32_t i, bool recover) {
     smr::ReplicaConfig rcfg;
     rcfg.n = config.n;
@@ -504,6 +520,7 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     rcfg.slots = config.slots;
     rcfg.window = config.window;
     rcfg.batch = config.batch;
+    rcfg.staged_ingest = staged_ingest;
     if (config.backend == smr::Backend::kCrashHurfinRaynal) {
       fd::OracleConfig oracle = config.oracle;
       oracle.seed = config.oracle.seed ^ (0x1000 + i);
@@ -634,6 +651,17 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     }
     avg_sum += ps.avg_window();
     avg_count += 1;
+    const smr::IngestStats& is = views[i]->ingest_stats();
+    runtime::IngestSummary& ing = result.run_stats.ingest;
+    ing.batches += is.batches;
+    ing.batch_messages += is.batch_messages;
+    ing.max_batch = std::max(ing.max_batch, is.max_batch);
+    ing.prologue_frames += is.prologue_frames;
+    ing.prologue_jobs += is.prologue_jobs;
+    ing.staged_sends += is.staged_sends;
+    ing.staged_bytes += is.staged_bytes;
+    ing.sign_flushes += is.sign_flushes;
+    ing.encode_reuses += is.encode_reuses;
     if (const crypto::CachingVerifier* cache = views[i]->verify_cache()) {
       const crypto::VerifyCacheStats cs = cache->stats();
       result.run_stats.verify.cache_hits += cs.hits;
@@ -642,6 +670,7 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     }
   }
   if (avg_count > 0) pipe.avg_window = avg_sum / static_cast<double>(avg_count);
+  result.run_stats.ingest.staged = staged_ingest ? 1 : 0;
   if (pool) {
     const crypto::VerifyPoolStats ps = pool->stats();
     result.run_stats.verify.pool_workers = pool->workers();

@@ -292,7 +292,18 @@ std::string to_json(Backend backend, const RunStats& stats) {
      << ",\"state_resps\":" << stats.pipeline.state_resps
      << ",\"recovery_installs\":" << stats.pipeline.recovery_installs
      << ",\"recovery_rejects\":" << stats.pipeline.recovery_rejects
-     << ",\"recovery_us\":" << stats.pipeline.recovery_us << '}';
+     << ",\"recovery_us\":" << stats.pipeline.recovery_us
+     << ",\"ingest_staged\":" << stats.ingest.staged
+     << ",\"ingest_batches\":" << stats.ingest.batches
+     << ",\"ingest_batch_messages\":" << stats.ingest.batch_messages
+     << ",\"ingest_max_batch\":" << stats.ingest.max_batch
+     << ",\"ingest_avg_batch\":" << stats.ingest.avg_batch()
+     << ",\"ingest_prologue_frames\":" << stats.ingest.prologue_frames
+     << ",\"ingest_prologue_jobs\":" << stats.ingest.prologue_jobs
+     << ",\"ingest_staged_sends\":" << stats.ingest.staged_sends
+     << ",\"ingest_staged_bytes\":" << stats.ingest.staged_bytes
+     << ",\"ingest_sign_flushes\":" << stats.ingest.sign_flushes
+     << ",\"ingest_encode_reuses\":" << stats.ingest.encode_reuses << '}';
   return os.str();
 }
 

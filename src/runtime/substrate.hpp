@@ -108,6 +108,30 @@ struct PipelineSummary {
   std::uint64_t recovery_us = 0;
 };
 
+/// Staged-ingest counters (smr::IngestStats summed over a run's correct
+/// replicas, plus the staged/sequential knob actually in force).  All
+/// zero when staged ingest is off or the substrate never delivered a
+/// multi-frame batch — the deterministic simulator in particular
+/// dispatches one message per event, so its batches never form.
+struct IngestSummary {
+  std::uint64_t staged = 0;  // 1 iff the staged pipeline was enabled
+  std::uint64_t batches = 0;
+  std::uint64_t batch_messages = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t prologue_frames = 0;
+  std::uint64_t prologue_jobs = 0;
+  std::uint64_t staged_sends = 0;
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t sign_flushes = 0;
+  std::uint64_t encode_reuses = 0;
+
+  double avg_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batch_messages) /
+                              static_cast<double>(batches);
+  }
+};
+
 /// Unified counters, comparable across backends.  The core message
 /// counters are protocol-level on every substrate (counted at the
 /// Context::send boundary and at actor dispatch), so a scenario's message
@@ -129,6 +153,8 @@ struct RunStats {
   VerifySummary verify;
   /// SMR pipeline counters (run_smr_scenario only).
   PipelineSummary pipeline;
+  /// Staged-ingest counters (run_smr_scenario only).
+  IngestSummary ingest;
 };
 
 /// One-line JSON object for benchmark emission (keys stable across

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
@@ -53,6 +54,12 @@ class Context {
   virtual void stop() = 0;
 };
 
+/// One delivered message inside a batch dispatch (see Actor::on_batch).
+struct Incoming {
+  ProcessId from;
+  Bytes payload;
+};
+
 /// A deterministic protocol participant.
 class Actor {
  public:
@@ -64,6 +71,18 @@ class Actor {
   /// Invoked for each delivered message.
   virtual void on_message(Context& ctx, ProcessId from,
                           const Bytes& payload) = 0;
+
+  /// Invoked when the runtime drained several deliveries at once (the
+  /// wall-clock substrates batch their mailboxes; the deterministic
+  /// simulator never calls this).  The batch is in delivery order — the
+  /// index of each message is its ordering ticket, and the default
+  /// implementation dispatches strictly in ticket order, which is the
+  /// observable-equivalence contract every override must preserve (an
+  /// override may precompute across the batch, but protocol effects must
+  /// occur as if each message were delivered alone, in order).
+  virtual void on_batch(Context& ctx, std::vector<Incoming>& batch) {
+    for (Incoming& m : batch) on_message(ctx, m.from, m.payload);
+  }
 
   /// Invoked when a timer armed via Context::set_timer fires.
   virtual void on_timer(Context& ctx, std::uint64_t timer_id) {

@@ -195,15 +195,24 @@ void Cluster::node_pump(Node& node, NodeContext& ctx) {
       deadline = *node.crash_at;
     }
 
-    std::optional<Envelope> env = node.mailbox.pop_until(deadline);
+    std::vector<Envelope> drained = node.mailbox.drain_until(
+        deadline, std::max<std::size_t>(1, config_.max_batch));
     if (node.stop_requested.load()) break;
     if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) break;
 
-    if (env.has_value()) {
-      tap_delivery(*env, node.id);
-      stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
-      stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
-      node.actor->on_message(ctx, env->from, env->payload);
+    if (!drained.empty()) {
+      // Taps and counters fire per delivery, in delivery order, before the
+      // batch dispatch; the actor then consumes the batch in that same
+      // order (the ordering-ticket contract, docs/INGEST.md).
+      std::vector<sim::Incoming> batch;
+      batch.reserve(drained.size());
+      for (Envelope& env : drained) {
+        tap_delivery(env, node.id);
+        stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
+        batch.push_back(sim::Incoming{env.from, std::move(env.payload)});
+      }
+      node.actor->on_batch(ctx, batch);
       continue;
     }
 
@@ -229,7 +238,7 @@ void Cluster::node_pump(Node& node, NodeContext& ctx) {
       stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
       node.actor->on_timer(ctx, id);
     }
-    if (node.mailbox.closed() && !env.has_value() && node.timers.empty()) {
+    if (node.mailbox.closed() && drained.empty() && node.timers.empty()) {
       break;  // shutdown requested by the cluster
     }
   }

@@ -35,6 +35,10 @@ struct ClusterConfig {
   /// Wall-clock budget for run(); nodes still running afterwards are
   /// abandoned (their threads are joined after a close).
   std::chrono::milliseconds budget{10'000};
+  /// Maximum deliveries drained from the mailbox into one Actor::on_batch
+  /// dispatch.  1 restores strict one-message-at-a-time dispatch; the
+  /// default keeps batches small enough that timers stay responsive.
+  std::size_t max_batch = 64;
 };
 
 class Cluster {

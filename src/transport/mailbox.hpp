@@ -12,6 +12,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace modubft::transport {
 
@@ -39,6 +40,24 @@ class Mailbox {
     T item = std::move(queue_.front());
     queue_.pop_front();
     return item;
+  }
+
+  /// Pops up to `max` immediately-available items after waiting (until
+  /// `deadline`) for at least one.  Returns items in queue order — the
+  /// batched counterpart of pop_until for runtimes that dispatch whole
+  /// mailbox drains at once.  Empty result on deadline expiry or when
+  /// closed and drained.
+  std::vector<T> drain_until(std::chrono::steady_clock::time_point deadline,
+                             std::size_t max) {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [this] { return !queue_.empty() || closed_; });
+    while (!queue_.empty() && out.size() < max) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return out;
   }
 
   /// Non-blocking pop.

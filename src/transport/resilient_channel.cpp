@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -61,14 +62,52 @@ bool net_write_all(int fd, const void* buf, std::size_t len) {
   return true;
 }
 
+bool net_write2_all(int fd, const void* a, std::size_t alen, const void* b,
+                    std::size_t blen) {
+  const auto* pa = static_cast<const std::uint8_t*>(a);
+  const auto* pb = static_cast<const std::uint8_t*>(b);
+  while (alen + blen > 0) {
+    iovec iov[2];
+    int cnt = 0;
+    if (alen > 0) {
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(pa);
+      iov[cnt].iov_len = alen;
+      ++cnt;
+    }
+    if (blen > 0) {
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(pb);
+      iov[cnt].iov_len = blen;
+      ++cnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(cnt);
+    const ssize_t put = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    std::size_t n = static_cast<std::size_t>(put);
+    const std::size_t from_a = std::min(n, alen);
+    pa += from_a;
+    alen -= from_a;
+    n -= from_a;
+    pb += n;
+    blen -= n;
+  }
+  return true;
+}
+
+void encode_frame_header(std::uint64_t seq, const Bytes& payload,
+                         std::uint8_t out[kFrameHeaderBytes]) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out + 4, seq);
+  std::uint32_t crc = crc32c_init();
+  crc = crc32c_update(crc, out, 12);  // len ‖ seq
+  crc = crc32c_update(crc, payload.data(), payload.size());
+  put_u32(out + 12, crc32c_final(crc));
+}
+
 Bytes encode_frame(std::uint64_t seq, const Bytes& payload) {
   Bytes wire(kFrameHeaderBytes + payload.size());
-  put_u32(wire.data(), static_cast<std::uint32_t>(payload.size()));
-  put_u64(wire.data() + 4, seq);
-  std::uint32_t crc = crc32c_init();
-  crc = crc32c_update(crc, wire.data(), 12);  // len ‖ seq
-  crc = crc32c_update(crc, payload.data(), payload.size());
-  put_u32(wire.data() + 12, crc32c_final(crc));
+  encode_frame_header(seq, payload, wire.data());
   if (!payload.empty()) {
     std::memcpy(wire.data() + kFrameHeaderBytes, payload.data(),
                 payload.size());
@@ -142,6 +181,11 @@ void ResilientChannel::join() {
 }
 
 bool ResilientChannel::enqueue(Bytes payload) {
+  return enqueue(std::make_shared<const Bytes>(std::move(payload)));
+}
+
+bool ResilientChannel::enqueue(PayloadPtr payload) {
+  MODUBFT_EXPECTS(payload != nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return false;
@@ -293,7 +337,8 @@ void ResilientChannel::transmit_pending(std::unique_lock<std::mutex>& lock) {
     queue_.pop_front();
     UnackedFrame f;
     f.seq = next_seq_++;
-    f.wire = encode_frame(f.seq, q.payload);
+    f.payload = std::move(q.payload);
+    encode_frame_header(f.seq, *f.payload, f.header);
     unacked_.push_back(std::move(f));
   }
   lock.unlock();
@@ -316,8 +361,10 @@ void ResilientChannel::transmit_pending(std::unique_lock<std::mutex>& lock) {
 }
 
 bool ResilientChannel::write_frame(UnackedFrame& frame) {
+  const Bytes& payload = *frame.payload;
+  const std::size_t wire_size = frame.wire_size();
   FrameFaultDecision d;
-  if (injector_) d = injector_->next_attempt(frame.wire.size());
+  if (injector_) d = injector_->next_attempt(wire_size);
   if (d.delay_us > 0) {
     delays_injected_.fetch_add(1);
     sleep_interruptible(std::chrono::microseconds(d.delay_us));
@@ -330,32 +377,45 @@ bool ResilientChannel::write_frame(UnackedFrame& frame) {
   if (d.truncate) {
     truncates_injected_.fetch_add(1);
     if (d.truncate_prefix > 0) {
-      net_write_all(fd_, frame.wire.data(), d.truncate_prefix);
+      const std::size_t prefix =
+          std::min<std::size_t>(d.truncate_prefix, wire_size);
+      const std::size_t from_hdr =
+          std::min<std::size_t>(prefix, kFrameHeaderBytes);
+      if (net_write_all(fd_, frame.header, from_hdr) &&
+          prefix > kFrameHeaderBytes) {
+        net_write_all(fd_, payload.data(), prefix - kFrameHeaderBytes);
+      }
     }
     return false;
   }
-  const Bytes* img = &frame.wire;
-  Bytes flipped;
-  if (d.flip) {
-    flips_injected_.fetch_add(1);
-    flipped = frame.wire;
-    flipped[d.flip_offset] ^= static_cast<std::uint8_t>(
-        1u << (d.flip_offset % 8));
-    img = &flipped;
-  }
-  if (d.throttle_chunk > 0) {
-    std::size_t off = 0;
-    while (off < img->size()) {
-      const std::size_t n = std::min<std::size_t>(d.throttle_chunk,
-                                                  img->size() - off);
-      if (!net_write_all(fd_, img->data() + off, n)) return false;
-      off += n;
+  if (d.flip || d.throttle_chunk > 0) {
+    // Perturbed attempts materialize a private contiguous image: the
+    // shared payload must never be mutated, and chaos configs are not
+    // the path the copy elimination targets.
+    Bytes img(frame.header, frame.header + kFrameHeaderBytes);
+    img.insert(img.end(), payload.begin(), payload.end());
+    if (d.flip) {
+      flips_injected_.fetch_add(1);
+      img[d.flip_offset] ^= static_cast<std::uint8_t>(
+          1u << (d.flip_offset % 8));
     }
-  } else if (!net_write_all(fd_, img->data(), img->size())) {
+    if (d.throttle_chunk > 0) {
+      std::size_t off = 0;
+      while (off < img.size()) {
+        const std::size_t n = std::min<std::size_t>(d.throttle_chunk,
+                                                    img.size() - off);
+        if (!net_write_all(fd_, img.data() + off, n)) return false;
+        off += n;
+      }
+    } else if (!net_write_all(fd_, img.data(), img.size())) {
+      return false;
+    }
+  } else if (!net_write2_all(fd_, frame.header, kFrameHeaderBytes,
+                             payload.data(), payload.size())) {
     return false;
   }
   frames_sent_.fetch_add(1);
-  bytes_sent_.fetch_add(img->size());
+  bytes_sent_.fetch_add(wire_size);
   return true;
 }
 

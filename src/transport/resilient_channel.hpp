@@ -62,8 +62,17 @@ struct FrameHeader {
   std::uint32_t crc = 0;
 };
 
-/// Builds the full wire image (header + payload) for one frame.
+/// Builds the full wire image (header + payload) for one frame.  The
+/// reference encoder: tests compare against it byte for byte.  The hot
+/// send path uses encode_frame_header + a gathered write instead — same
+/// bytes on the wire, no contiguous copy.
 Bytes encode_frame(std::uint64_t seq, const Bytes& payload);
+
+/// Fills the 16 header bytes (len ‖ seq ‖ crc32c(len‖seq‖payload)) for a
+/// frame whose payload will be written separately — the zero-copy
+/// counterpart of encode_frame.
+void encode_frame_header(std::uint64_t seq, const Bytes& payload,
+                         std::uint8_t out[kFrameHeaderBytes]);
 
 /// Decodes the 16 header bytes (no validation beyond field extraction).
 FrameHeader decode_frame_header(const std::uint8_t hdr[kFrameHeaderBytes]);
@@ -79,6 +88,11 @@ std::optional<std::uint32_t> decode_hello(const std::uint8_t hello[kHelloBytes])
 /// Both return false on EOF or error (the connection is done).
 bool net_read_exact(int fd, void* buf, std::size_t len);
 bool net_write_all(int fd, const void* buf, std::size_t len);
+
+/// Gathered write of two ranges (header ‖ payload) in one syscall stream
+/// via sendmsg — the wire bytes are identical to concatenating first.
+bool net_write2_all(int fd, const void* a, std::size_t alen, const void* b,
+                    std::size_t blen);
 
 /// Reconnect/backoff/timeout policy shared by all links of a cluster.
 struct RetryPolicy {
@@ -132,9 +146,17 @@ class ResilientChannel {
   void shutdown();
   void join();
 
+  /// Shared immutable payload: a broadcast enqueues ONE allocation on all
+  /// n−1 channels instead of copying the frame per recipient, and the
+  /// retransmit buffer aliases it too (the wire header lives separately,
+  /// see UnackedFrame).  Nobody mutates the pointee — fault injection
+  /// that flips bytes materializes a private copy at write time.
+  using PayloadPtr = std::shared_ptr<const Bytes>;
+
   /// Queues one payload for FIFO transmission.  Never blocks; returns
   /// false (and counts a drop) when the channel is stopped or full.
   bool enqueue(Bytes payload);
+  bool enqueue(PayloadPtr payload);
 
   ChannelStats stats() const;
 
@@ -142,13 +164,22 @@ class ResilientChannel {
 
  private:
   struct QueuedFrame {
-    Bytes payload;
+    PayloadPtr payload;
     std::chrono::steady_clock::time_point enqueued;
   };
+  /// Retransmit-buffer entry: the 16 wire-header bytes live inline, the
+  /// payload is shared with every other channel of the same broadcast.
+  /// Together they ARE the frame — write_frame gathers them with one
+  /// sendmsg, producing bytes identical to the old contiguous wire image.
   struct UnackedFrame {
     std::uint64_t seq = 0;
-    Bytes wire;
+    std::uint8_t header[kFrameHeaderBytes] = {};
+    PayloadPtr payload;
     bool transmitted = false;
+
+    std::size_t wire_size() const {
+      return kFrameHeaderBytes + (payload ? payload->size() : 0);
+    }
   };
 
   void thread_main();

@@ -1,14 +1,19 @@
 #include "transport/tcp_cluster.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.hpp"
@@ -34,6 +39,11 @@ void close_fd(int& fd) {
 void encode_u64(std::uint8_t out[8], std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
 }  // namespace
 
 /// Receive-side state of one directed link sender → this node.  Survives
@@ -50,6 +60,32 @@ struct TcpCluster::RecvLink {
   std::vector<std::uint64_t> audit;
 };
 
+/// One inbound connection's state inside the node's epoll loop: a small
+/// per-fd state machine (hello → frame header → frame payload) plus an
+/// outbound staging buffer for resume/ack bytes the nonblocking socket
+/// refused to take immediately.
+struct TcpCluster::Conn {
+  int fd = -1;
+  enum class Phase { kHello, kHeader, kPayload } phase = Phase::kHello;
+  /// Accumulates the fixed-size prefix of the current phase (hello or
+  /// frame header — whichever is larger bounds the buffer).
+  std::uint8_t prefix[kFrameHeaderBytes] = {};
+  std::size_t prefix_have = 0;
+  FrameHeader header;
+  Bytes payload;
+  std::size_t payload_have = 0;
+  /// Peer id once the hello was accepted; -1 while unidentified.
+  std::int64_t sender = -1;
+  /// Hello- or payload-completion deadline (the two phases a stalled or
+  /// desynced peer must not be able to pin forever).
+  std::optional<Clock::time_point> deadline;
+  /// Resume/ack bytes not yet accepted by the socket; flushed on
+  /// EPOLLOUT.
+  Bytes pending_out;
+  std::size_t pending_off = 0;
+  bool want_write = false;
+};
+
 struct TcpCluster::Node {
   ProcessId id;
   std::unique_ptr<sim::Actor> actor;
@@ -58,15 +94,17 @@ struct TcpCluster::Node {
 
   int listen_fd = -1;
   std::atomic<std::uint16_t> port{0};
-  std::thread accept_thread;
+
+  // The receive event loop: one epoll instance + one thread per node.
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread io_thread;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
 
   // channels[j]: resilient sender for my link to p_{j+1} (null for j == id).
   std::vector<std::unique_ptr<ResilientChannel>> channels;
   // recv_links[j]: receive state for the link p_{j+1} → me.
   std::vector<std::unique_ptr<RecvLink>> recv_links;
-
-  std::mutex readers_mu;
-  std::vector<std::thread> readers;
 
   mutable std::mutex errors_mu;
   std::vector<std::string> errors;
@@ -109,9 +147,7 @@ class TcpCluster::NodeContext final : public sim::Context {
   }
 
   void broadcast(const Bytes& payload) override {
-    for (std::uint32_t j = 0; j < cluster_.config_.n; ++j) {
-      cluster_.send_frame(node_, ProcessId{j}, payload);
-    }
+    cluster_.broadcast_frame(node_, payload);
   }
 
   std::uint64_t set_timer(SimTime delay) override {
@@ -231,142 +267,359 @@ bool TcpCluster::send_frame(Node& node, ProcessId to, const Bytes& payload) {
   return channel->enqueue(payload);
 }
 
-void TcpCluster::accept_main(Node& node) {
-  for (;;) {
-    int fd = ::accept(node.listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket shut down: teardown in progress
+void TcpCluster::broadcast_frame(Node& node, const Bytes& payload) {
+  if (node.crashed.load(std::memory_order_relaxed)) return;
+  msg_stats_.messages_sent.fetch_add(config_.n, std::memory_order_relaxed);
+  msg_stats_.bytes_sent.fetch_add(payload.size() * config_.n,
+                                  std::memory_order_relaxed);
+  // One allocation for all n−1 wire copies: every channel's queue and
+  // retransmit buffer alias the same immutable payload.
+  const auto shared = std::make_shared<const Bytes>(payload);
+  for (std::uint32_t j = 0; j < config_.n; ++j) {
+    if (j == node.id.value) {
+      node.mailbox.push(Envelope{node.id, payload, since_epoch()});
+      continue;
     }
-    if (shutting_down_.load()) {
-      ::close(fd);
-      return;
+    if (ResilientChannel* channel = node.channels[j].get()) {
+      channel->enqueue(shared);
     }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    std::lock_guard<std::mutex> lock(node.readers_mu);
-    node.readers.emplace_back(
-        [this, &node, fd] { reader_main(node, fd); });
   }
 }
 
-void TcpCluster::reader_main(Node& node, int fd) {
-  // Hello: who is on the other end.  Reject anything that is not a
-  // well-formed peer identity — a malformed dialer must cost this node
-  // nothing but a log line.  The hello phase has a receive timeout: until
-  // the sender is identified this fd is not registered anywhere, so a
-  // silent dialer must not be able to pin this reader forever.
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(config_.retry.handshake_timeout.count() /
-                                  1000);
-  tv.tv_usec = static_cast<suseconds_t>(
-      (config_.retry.handshake_timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  std::uint8_t hello[kHelloBytes];
-  if (!net_read_exact(fd, hello, kHelloBytes)) {
-    ::close(fd);
-    return;
-  }
-  timeval forever{};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &forever, sizeof forever);
-  const std::optional<std::uint32_t> sender = decode_hello(hello);
-  if (!sender.has_value()) {
-    node.malformed_hellos.fetch_add(1);
-    record_error(node, "hello: bad magic from peer");
-    ::close(fd);
-    return;
-  }
-  if (*sender >= config_.n || *sender == node.id.value) {
-    node.malformed_hellos.fetch_add(1);
-    std::ostringstream os;
-    os << "hello: sender id " << *sender << " out of range (n="
-       << config_.n << ")";
-    record_error(node, os.str());
-    ::close(fd);
-    return;
-  }
+void TcpCluster::io_main(Node& node) {
+  // The node's whole receive side on one thread: the listen socket, the
+  // teardown eventfd and every inbound connection share one level-triggered
+  // epoll set.  All sockets are nonblocking — a stalled peer costs a
+  // deadline sweep, never a blocked thread.
+  const auto hello_timeout = config_.retry.handshake_timeout;
 
-  RecvLink& link = *node.recv_links[*sender];
-  {
-    std::lock_guard<std::mutex> lock(link.mu);
-    if (link.current_fd >= 0) {
-      // A newer connection supersedes the old one; waking its reader with
-      // shutdown() (not close) avoids racing on a recycled descriptor.
-      ::shutdown(link.current_fd, SHUT_RDWR);
+  auto arm = [&](Conn& conn) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(node.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  };
+
+  auto close_conn = [&](Conn& conn) {
+    if (conn.sender >= 0) {
+      RecvLink& link = *node.recv_links[static_cast<std::size_t>(conn.sender)];
+      std::lock_guard<std::mutex> lock(link.mu);
+      if (link.current_fd == conn.fd) link.current_fd = -1;
     }
-    link.current_fd = fd;
-    link.since_ack = 0;
-    // Resume reply: tell the dialer where to pick the stream back up.
+    ::epoll_ctl(node.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    node.conns.erase(conn.fd);  // destroys conn — caller must not touch it
+  };
+
+  // Attempts to hand `len` bytes to the socket; whatever the kernel
+  // refuses is staged in pending_out and flushed on EPOLLOUT.  Only fatal
+  // socket errors return false (the conn should then be closed).
+  auto queue_out = [&](Conn& conn, const std::uint8_t* data,
+                       std::size_t len) -> bool {
+    if (conn.pending_out.size() == conn.pending_off) {
+      conn.pending_out.clear();
+      conn.pending_off = 0;
+      while (len > 0) {
+        const ssize_t put = ::send(conn.fd, data, len, MSG_NOSIGNAL);
+        if (put > 0) {
+          data += put;
+          len -= static_cast<std::size_t>(put);
+          continue;
+        }
+        if (put < 0 && errno == EINTR) continue;
+        if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        return false;
+      }
+    }
+    if (len > 0) {
+      conn.pending_out.insert(conn.pending_out.end(), data, data + len);
+      if (!conn.want_write) {
+        conn.want_write = true;
+        arm(conn);
+      }
+    }
+    return true;
+  };
+
+  auto flush_out = [&](Conn& conn) -> bool {
+    while (conn.pending_off < conn.pending_out.size()) {
+      const ssize_t put = ::send(conn.fd, conn.pending_out.data() +
+                                              conn.pending_off,
+                                 conn.pending_out.size() - conn.pending_off,
+                                 MSG_NOSIGNAL);
+      if (put > 0) {
+        conn.pending_off += static_cast<std::size_t>(put);
+        continue;
+      }
+      if (put < 0 && errno == EINTR) continue;
+      if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;
+    }
+    conn.pending_out.clear();
+    conn.pending_off = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      arm(conn);
+    }
+    return true;
+  };
+
+  auto send_ack = [&](Conn& conn, std::uint64_t next_expected) -> bool {
     std::uint8_t ack[kAckBytes];
-    encode_u64(ack, link.expected_seq);
-    if (!net_write_all(fd, ack, kAckBytes)) {
-      link.current_fd = -1;
-      ::close(fd);
-      return;
-    }
-  }
+    encode_u64(ack, next_expected);
+    return queue_out(conn, ack, kAckBytes);
+  };
 
-  const ProcessId from{*sender};
-  for (;;) {
-    std::uint8_t hdr[kFrameHeaderBytes];
-    if (!net_read_exact(fd, hdr, kFrameHeaderBytes)) break;
-    const FrameHeader h = decode_frame_header(hdr);
-    if (h.len > config_.max_frame_bytes) {
+  // Hello complete: identify the peer, supersede any older connection of
+  // the same link, reply with the resume sequence number.  Returns false
+  // when the conn must be closed (the accounting mirrors the former
+  // blocking reader byte for byte).
+  auto accept_hello = [&](Conn& conn) -> bool {
+    const std::optional<std::uint32_t> sender = decode_hello(conn.prefix);
+    if (!sender.has_value()) {
+      node.malformed_hellos.fetch_add(1);
+      record_error(node, "hello: bad magic from peer");
+      return false;
+    }
+    if (*sender >= config_.n || *sender == node.id.value) {
+      node.malformed_hellos.fetch_add(1);
       std::ostringstream os;
-      os << "frame from " << from << ": length " << h.len
-         << " exceeds max_frame_bytes=" << config_.max_frame_bytes;
+      os << "hello: sender id " << *sender << " out of range (n="
+         << config_.n << ")";
       record_error(node, os.str());
-      break;
+      return false;
     }
-    Bytes payload(h.len);
-    if (h.len > 0) {
-      // A frame, once its header arrived, must complete promptly: if the
-      // length prefix was corrupted in flight the stream is desynced and
-      // this read would otherwise hang forever on a half-frame.
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-      const bool got_payload = net_read_exact(fd, payload.data(), h.len);
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &forever, sizeof forever);
-      if (!got_payload) break;
-    }
-
-    std::lock_guard<std::mutex> lock(link.mu);
-    if (link.current_fd != fd) break;  // superseded mid-frame
-    if (!verify_frame_crc(h, payload)) {
-      // Wire corruption: tear the connection down; the sender still holds
-      // the frame unacked and will retransmit it on resume.
-      ++link.checksum_failures;
-      break;
-    }
-    if (h.seq < link.expected_seq) {
-      // Duplicate from a retransmit race: suppress, but re-ack so the
-      // sender can trim its buffer.
-      ++link.dup_suppressed;
-      std::uint8_t ack[kAckBytes];
-      encode_u64(ack, link.expected_seq);
-      net_write_all(fd, ack, kAckBytes);
-      continue;
-    }
-    if (h.seq > link.expected_seq) {
-      // A gap cannot happen on a healthy resumed stream; force a resync.
-      ++link.gap_resets;
-      break;
-    }
-    ++link.expected_seq;
-    if (config_.audit_deliveries) link.audit.push_back(h.seq);
-    node.mailbox.push(Envelope{from, std::move(payload), since_epoch()});
-    if (++link.since_ack >= config_.retry.ack_every) {
+    RecvLink& link = *node.recv_links[*sender];
+    std::uint64_t resume = 0;
+    int old_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      old_fd = link.current_fd;
+      link.current_fd = conn.fd;
       link.since_ack = 0;
-      std::uint8_t ack[kAckBytes];
-      encode_u64(ack, link.expected_seq);
-      net_write_all(fd, ack, kAckBytes);
+      resume = link.expected_seq;
+    }
+    if (old_fd >= 0) {
+      // A newer connection supersedes the old one; its conn (owned by
+      // this same loop) is simply closed, partial frame and all.
+      auto it = node.conns.find(old_fd);
+      if (it != node.conns.end()) close_conn(*it->second);
+    }
+    conn.sender = *sender;
+    conn.phase = Conn::Phase::kHeader;
+    conn.prefix_have = 0;
+    conn.deadline.reset();
+    return send_ack(conn, resume);
+  };
+
+  // One complete frame: CRC, duplicate suppression, gap detection,
+  // in-order delivery into the mailbox — the same ladder as the former
+  // reader thread.  Returns false when the connection must be torn down.
+  auto accept_frame = [&](Conn& conn) -> bool {
+    RecvLink& link = *node.recv_links[static_cast<std::size_t>(conn.sender)];
+    const ProcessId from{static_cast<std::uint32_t>(conn.sender)};
+    Bytes payload = std::move(conn.payload);
+    conn.payload = Bytes{};
+    conn.phase = Conn::Phase::kHeader;
+    conn.prefix_have = 0;
+    conn.payload_have = 0;
+    conn.deadline.reset();
+
+    std::uint64_t ack_value = 0;
+    bool want_ack = false;
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      if (!verify_frame_crc(conn.header, payload)) {
+        // Wire corruption: tear the connection down; the sender still
+        // holds the frame unacked and will retransmit it on resume.
+        ++link.checksum_failures;
+        return false;
+      }
+      if (conn.header.seq < link.expected_seq) {
+        // Duplicate from a retransmit race: suppress, but re-ack so the
+        // sender can trim its buffer.
+        ++link.dup_suppressed;
+        ack_value = link.expected_seq;
+        want_ack = true;
+      } else if (conn.header.seq > link.expected_seq) {
+        // A gap cannot happen on a healthy resumed stream; force a resync.
+        ++link.gap_resets;
+        return false;
+      } else {
+        ++link.expected_seq;
+        if (config_.audit_deliveries) link.audit.push_back(conn.header.seq);
+        node.mailbox.push(Envelope{from, std::move(payload), since_epoch()});
+        if (++link.since_ack >= config_.retry.ack_every) {
+          link.since_ack = 0;
+          ack_value = link.expected_seq;
+          want_ack = true;
+        }
+      }
+    }
+    return !want_ack || send_ack(conn, ack_value);
+  };
+
+  // Reads until EAGAIN, stepping the per-conn state machine.  Returns
+  // false when the conn died (EOF, error, protocol violation).
+  auto handle_readable = [&](Conn& conn) -> bool {
+    for (;;) {
+      std::uint8_t* dst = nullptr;
+      std::size_t want = 0;
+      switch (conn.phase) {
+        case Conn::Phase::kHello:
+          dst = conn.prefix + conn.prefix_have;
+          want = kHelloBytes - conn.prefix_have;
+          break;
+        case Conn::Phase::kHeader:
+          dst = conn.prefix + conn.prefix_have;
+          want = kFrameHeaderBytes - conn.prefix_have;
+          break;
+        case Conn::Phase::kPayload:
+          dst = conn.payload.data() + conn.payload_have;
+          want = conn.payload.size() - conn.payload_have;
+          break;
+      }
+      const ssize_t got = ::recv(conn.fd, dst, want, 0);
+      if (got == 0) return false;  // EOF
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      const std::size_t n = static_cast<std::size_t>(got);
+      switch (conn.phase) {
+        case Conn::Phase::kHello:
+          conn.prefix_have += n;
+          if (conn.prefix_have == kHelloBytes && !accept_hello(conn)) {
+            return false;
+          }
+          break;
+        case Conn::Phase::kHeader:
+          conn.prefix_have += n;
+          if (conn.prefix_have < kFrameHeaderBytes) break;
+          conn.header = decode_frame_header(conn.prefix);
+          if (conn.header.len > config_.max_frame_bytes) {
+            std::ostringstream os;
+            os << "frame from p" << conn.sender << ": length "
+               << conn.header.len << " exceeds max_frame_bytes="
+               << config_.max_frame_bytes;
+            record_error(node, os.str());
+            return false;
+          }
+          if (conn.header.len == 0) {
+            conn.payload.clear();
+            if (!accept_frame(conn)) return false;
+            break;
+          }
+          conn.payload.assign(conn.header.len, 0);
+          conn.payload_have = 0;
+          conn.phase = Conn::Phase::kPayload;
+          // A frame, once its header arrived, must complete promptly: a
+          // corrupted length prefix desyncs the stream, and the half-frame
+          // would otherwise linger forever.
+          conn.deadline = Clock::now() + hello_timeout;
+          break;
+        case Conn::Phase::kPayload:
+          conn.payload_have += n;
+          if (conn.payload_have == conn.payload.size() &&
+              !accept_frame(conn)) {
+            return false;
+          }
+          break;
+      }
+    }
+  };
+
+  auto handle_accept = [&] {
+    for (;;) {
+      int fd = ::accept(node.listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN, or listen socket shut down
+      if (shutting_down_.load()) {
+        ::close(fd);
+        return;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      set_nonblocking(fd);
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      // Until the sender is identified this fd is accountable to nobody,
+      // so a silent dialer must not be able to pin it forever.
+      conn->deadline = Clock::now() + hello_timeout;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(node.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      node.conns.emplace(fd, std::move(conn));
+    }
+  };
+
+  epoll_event events[64];
+  while (!shutting_down_.load()) {
+    // The nearest conn deadline bounds the wait (capped so shutdown is
+    // never far away even with no deadlines armed).
+    int timeout_ms = 50;
+    const Clock::time_point now = Clock::now();
+    for (const auto& [fd, conn] : node.conns) {
+      if (!conn->deadline.has_value()) continue;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *conn->deadline - now);
+      timeout_ms = std::max(0, std::min<int>(timeout_ms,
+                                             static_cast<int>(left.count())));
+    }
+    const int ready = ::epoll_wait(node.epoll_fd, events, 64, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == node.wake_fd) {
+        std::uint64_t drained = 0;
+        (void)::read(node.wake_fd, &drained, sizeof drained);
+        continue;  // the while condition re-checks shutting_down_
+      }
+      if (fd == node.listen_fd) {
+        handle_accept();
+        continue;
+      }
+      auto it = node.conns.find(fd);
+      if (it == node.conns.end()) continue;  // closed earlier in this batch
+      Conn& conn = *it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !flush_out(conn)) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0 && !handle_readable(conn)) {
+        close_conn(conn);
+        continue;
+      }
+    }
+    // Deadline sweep: hello never arrived, or a half-frame stalled.
+    const Clock::time_point after = Clock::now();
+    for (auto it = node.conns.begin(); it != node.conns.end();) {
+      Conn& conn = *it->second;
+      ++it;  // close_conn erases — advance first
+      if (conn.deadline.has_value() && after >= *conn.deadline) {
+        close_conn(conn);
+      }
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(link.mu);
-    if (link.current_fd == fd) link.current_fd = -1;
+  // Loop exit: drop every remaining connection (listen/epoll/wake fds are
+  // closed by teardown, which owns their lifecycle).
+  for (auto it = node.conns.begin(); it != node.conns.end();) {
+    Conn& conn = *it->second;
+    ++it;
+    close_conn(conn);
   }
-  ::close(fd);
 }
 
 void TcpCluster::node_main(Node& node) {
@@ -427,18 +680,26 @@ void TcpCluster::node_pump(Node& node, NodeContext& ctx) {
       deadline = *node.crash_at;
     }
 
-    std::optional<Envelope> env = node.mailbox.pop_until(deadline);
+    std::vector<Envelope> drained = node.mailbox.drain_until(
+        deadline, std::max<std::size_t>(1, config_.max_batch));
     if (node.stop_requested.load()) break;
     if (node.crash_at.has_value() && Clock::now() >= *node.crash_at) {
       node.crashed.store(true);
       break;
     }
 
-    if (env.has_value()) {
-      tap_delivery(*env, node.id);
-      msg_stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
-      msg_stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
-      node.actor->on_message(ctx, env->from, env->payload);
+    if (!drained.empty()) {
+      // Taps and counters fire per delivery, in delivery order, before
+      // the batch dispatch (the ordering-ticket contract, docs/INGEST.md).
+      std::vector<sim::Incoming> batch;
+      batch.reserve(drained.size());
+      for (Envelope& env : drained) {
+        tap_delivery(env, node.id);
+        msg_stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+        msg_stats_.events_executed.fetch_add(1, std::memory_order_relaxed);
+        batch.push_back(sim::Incoming{env.from, std::move(env.payload)});
+      }
+      node.actor->on_batch(ctx, batch);
       continue;
     }
 
@@ -494,12 +755,25 @@ bool TcpCluster::run() {
                             static_cast<int>(2 * config_.n)) == 0);
   }
 
-  // 2. Accept loops (they run for the whole cluster lifetime: reconnecting
-  //    links arrive as fresh inbound connections at any point).
+  // 2. Receive event loops (they run for the whole cluster lifetime:
+  //    reconnecting links arrive as fresh inbound connections at any
+  //    point).  One epoll set per node watches the listen socket, a
+  //    teardown eventfd and every accepted connection.
   for (auto& node : nodes_) {
-    node->accept_thread = std::thread([this, &node = *node] {
-      accept_main(node);
-    });
+    set_nonblocking(node->listen_fd);
+    node->epoll_fd = ::epoll_create1(0);
+    MODUBFT_ASSERT(node->epoll_fd >= 0);
+    node->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    MODUBFT_ASSERT(node->wake_fd >= 0);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = node->listen_fd;
+    MODUBFT_ASSERT(::epoll_ctl(node->epoll_fd, EPOLL_CTL_ADD, node->listen_fd,
+                               &ev) == 0);
+    ev.data.fd = node->wake_fd;
+    MODUBFT_ASSERT(::epoll_ctl(node->epoll_fd, EPOLL_CTL_ADD, node->wake_fd,
+                               &ev) == 0);
+    node->io_thread = std::thread([this, &node = *node] { io_main(node); });
   }
 
   // 3. Resilient channels for the full mesh; they dial lazily on first
@@ -610,29 +884,20 @@ void TcpCluster::teardown() {
     }
   }
 
-  // 3. Stop accepting: shutdown() wakes the blocked accept, then join.
+  // 3. Stop the receive event loops: poke each eventfd (shutting_down_ is
+  //    already set, so the loop exits and closes its connections), join,
+  //    then release the loop's fds.
   for (auto& node : nodes_) {
-    if (node->listen_fd >= 0) ::shutdown(node->listen_fd, SHUT_RDWR);
+    if (node->wake_fd >= 0) {
+      const std::uint64_t one = 1;
+      (void)::write(node->wake_fd, &one, sizeof one);
+    }
   }
   for (auto& node : nodes_) {
-    if (node->accept_thread.joinable()) node->accept_thread.join();
+    if (node->io_thread.joinable()) node->io_thread.join();
     close_fd(node->listen_fd);
-  }
-
-  // 4. Wake and join the readers.
-  for (auto& node : nodes_) {
-    for (auto& link : node->recv_links) {
-      std::lock_guard<std::mutex> lock(link->mu);
-      if (link->current_fd >= 0) ::shutdown(link->current_fd, SHUT_RDWR);
-    }
-  }
-  for (auto& node : nodes_) {
-    std::vector<std::thread> readers;
-    {
-      std::lock_guard<std::mutex> lock(node->readers_mu);
-      readers.swap(node->readers);
-    }
-    for (std::thread& t : readers) t.join();
+    close_fd(node->wake_fd);
+    close_fd(node->epoll_fd);
   }
 }
 

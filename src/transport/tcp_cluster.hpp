@@ -9,7 +9,11 @@
 // Topology: full mesh of unidirectional links.  Every node dials every
 // peer and uses that connection exclusively for its own sends (i → j);
 // inbound connections are identified by a hello frame carrying the
-// dialer's id.  Unlike the first-generation transport, the reliable-FIFO
+// dialer's id.  The receive side of each node is a single level-triggered
+// epoll event loop driving nonblocking sockets (accept + every inbound
+// link), so a node costs one IO thread regardless of n — the former
+// thread-per-connection readers are gone (see docs/INGEST.md).  Unlike
+// the first-generation transport, the reliable-FIFO
 // contract the protocols assume is *re-established by this layer* rather
 // than presumed from a single healthy TCP connection: each link is a
 // `ResilientChannel` with per-link sequence numbers, CRC-checked frames, a
@@ -56,6 +60,9 @@ struct TcpClusterConfig {
   /// Records every delivered (link, seq) so tests can audit FIFO and
   /// exactly-once delivery.  Off by default (unbounded memory per frame).
   bool audit_deliveries = false;
+  /// Maximum deliveries drained from the mailbox into one Actor::on_batch
+  /// dispatch (1 = strict one-at-a-time dispatch).
+  std::size_t max_batch = 64;
 };
 
 /// Aggregate counters across every link of the cluster.
@@ -162,14 +169,19 @@ class TcpCluster {
   };
 
   struct RecvLink;
+  struct Conn;
   struct Node;
   class NodeContext;
 
   void node_main(Node& node);
   void node_pump(Node& node, NodeContext& ctx);
-  void accept_main(Node& node);
-  void reader_main(Node& node, int fd);
+  /// The per-node receive event loop: one epoll instance drives the
+  /// listen socket plus every inbound connection (nonblocking), replacing
+  /// the former accept thread + thread-per-connection readers.
+  void io_main(Node& node);
   bool send_frame(Node& node, ProcessId to, const Bytes& payload);
+  /// Broadcast with one shared wire payload across all n−1 channels.
+  void broadcast_frame(Node& node, const Bytes& payload);
   void record_error(Node& node, std::string message);
   void teardown();
   SimTime since_epoch() const;

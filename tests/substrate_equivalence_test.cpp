@@ -232,6 +232,53 @@ TEST(SubstrateEquivalence, SmrByzantineBackendAcrossSubstrates) {
   }
 }
 
+// Staged-vs-sequential ingest: the equivalence claim of docs/INGEST.md.
+// The same pipelined Byzantine scenario runs with the staged two-phase
+// dispatch forced ON and forced OFF on both wall-clock substrates; every
+// run must commit the store the deterministic simulator's strictly
+// sequential run commits, bit for bit.  The ingest counters double-check
+// which path was actually in force.
+TEST(SubstrateEquivalence, SmrStagedIngestMatchesSequentialStores) {
+  SmrScenarioConfig base;
+  base.n = 4;
+  base.f = 1;
+  base.slots = 5;
+  base.seed = 17;
+  base.backend = smr::Backend::kByzantine;
+  base.window = 3;
+  base.batch = 2;
+
+  // Simulator reference: one message per event, so staging never engages.
+  const SmrScenarioResult ref = run_smr_scenario(base);
+  ASSERT_TRUE(ref.clean) << runtime::run_outcome_name(ref.outcome);
+  ASSERT_TRUE(ref.all_committed);
+  ASSERT_TRUE(ref.stores_agree);
+  ASSERT_FALSE(ref.store.empty());
+  EXPECT_EQ(ref.run_stats.ingest.staged, 0u);
+
+  for (Backend backend : {Backend::kThreads, Backend::kTcp}) {
+    for (bool staged : {false, true}) {
+      SCOPED_TRACE(std::string(runtime::backend_name(backend)) +
+                   (staged ? " staged" : " sequential"));
+      SmrScenarioConfig cfg = base;
+      cfg.substrate = backend;
+      cfg.staged_ingest = staged;
+
+      const SmrScenarioResult r = run_smr_scenario(cfg);
+      EXPECT_TRUE(r.clean) << runtime::run_outcome_name(r.outcome);
+      EXPECT_TRUE(r.all_committed);
+      EXPECT_TRUE(r.stores_agree);
+      EXPECT_EQ(r.store, ref.store);
+      EXPECT_EQ(r.run_stats.ingest.staged, staged ? 1u : 0u);
+      if (!staged) {
+        // The sequential path must never report staged activity.
+        EXPECT_EQ(r.run_stats.ingest.batches, 0u);
+        EXPECT_EQ(r.run_stats.ingest.staged_sends, 0u);
+      }
+    }
+  }
+}
+
 // -------------------------------------------------- TCP link-fault overlap
 
 // The scenario runner's TCP path composes with link faults: random frame

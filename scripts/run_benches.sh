@@ -6,8 +6,10 @@
 # (e15: cache speedup ≥ 3× at n=7 rounds=10; e17: threads W4B4 ≥ 2× the
 # W1B1 commits/sec; e18: checkpointing retains ≥ 60% throughput and every
 # kill/restart rejoins; e19: staged ingest ≥ 1.5× the E17-configuration
-# baseline at n=7/n=10 on both wall-clock substrates), so this script
-# fails loudly on a regression.
+# baseline at n=7/n=10 on both wall-clock substrates; e20: every client
+# cell settles its whole script exactly once and the overload cells shed
+# with BUSY while queue_peak stays within n × max_pending), so this
+# script fails loudly on a regression.
 #
 # Usage: scripts/run_benches.sh [--only eNN] [build-dir]
 #   scripts/run_benches.sh               # every manifest row
@@ -40,6 +42,7 @@ MANIFEST=(
   "e17 bench_e17_pipeline"
   "e18 bench_e18_recovery"
   "e19 bench_e19_ingest"
+  "e20 bench_e20_client"
 )
 
 TARGETS=()

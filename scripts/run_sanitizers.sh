@@ -39,6 +39,12 @@
 # run prologue workers against the shared verify cache under TSan — the
 # decode-on-worker handoff and the pooled encode buffers are exactly
 # where a lifetime or ordering bug would corrupt frames silently.
+# The client/service layer (docs/CLIENT.md) rides both passes:
+# client_test and the client chaos campaign (client_chaos_test, labels
+# `threads`/`tcp`) run reply-dropping/-delaying/-forging attackers against
+# real client threads racing replica threads — retry timers, the reply
+# certifier, the client table and BUSY shedding are all cross-thread
+# state, so the TSan subset picks the campaign up automatically.
 # TSan and ASan cannot share a build, so it uses its own build directory
 # (build-tsan, -DMODUBFT_TSAN=ON).
 #

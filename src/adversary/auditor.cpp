@@ -56,6 +56,8 @@ const char* violation_name(ViolationKind kind) {
       return "undetected-harmful-equivocation";
     case ViolationKind::kRecoveredStoreMismatch:
       return "recovered-store-mismatch";
+    case ViolationKind::kClientReplyMismatch:
+      return "client-reply-mismatch";
   }
   return "?";
 }

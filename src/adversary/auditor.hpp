@@ -66,6 +66,10 @@ enum class ViolationKind : std::uint8_t {
   /// A restarted replica rejoined with a store that does not match the
   /// store a correct quorum agrees on (recovery safety, ISSUE 6).
   kRecoveredStoreMismatch,
+  /// A client accepted a reply that does not match the committed log —
+  /// wrong content, wrong slot, or a command the service never committed
+  /// at all (client/service safety, ISSUE 9).
+  kClientReplyMismatch,
 };
 
 const char* violation_name(ViolationKind kind);

@@ -1,0 +1,351 @@
+#include "adversary/client_campaign.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+#include "smr/checkpoint.hpp"
+#include "smr/command.hpp"
+
+namespace modubft::adversary {
+
+namespace {
+
+/// True iff the frame rides the reserved control slot.
+bool is_control_frame(const Bytes& payload) {
+  if (payload.size() < 9) return false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (payload[i] != 0xFF) return false;
+  }
+  return true;
+}
+
+std::string render_who(std::uint32_t id) { return "p" + std::to_string(id + 1); }
+
+std::string render_cmd(std::uint64_t id) {
+  return "c" + std::to_string(smr::client_of_cmd(id)) + "#" +
+         std::to_string(smr::seq_of_cmd(id));
+}
+
+}  // namespace
+
+const char* client_attack_name(ClientAttackKind kind) {
+  switch (kind) {
+    case ClientAttackKind::kNone: return "none";
+    case ClientAttackKind::kDropReplies: return "drop-replies";
+    case ClientAttackKind::kDelayReplies: return "delay-replies";
+    case ClientAttackKind::kForgeReplies: return "forge-replies";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------- ClientAttacker
+
+/// Intercepts sends; everything except client-bound REPLY frames passes
+/// through byte-identical.  broadcast never carries replies (they are
+/// unicast to the owning client), so it forwards untouched.
+class ClientAttacker::AttackContext final : public sim::ForwardingContext {
+ public:
+  AttackContext(sim::Context& base, ClientAttacker& owner)
+      : ForwardingContext(base), owner_(owner) {}
+
+  void send(ProcessId to, Bytes payload) override {
+    if (owner_.intercept(base_, to, payload)) return;
+    base_.send(to, std::move(payload));
+  }
+
+ private:
+  ClientAttacker& owner_;
+};
+
+ClientAttacker::ClientAttacker(std::unique_ptr<sim::Actor> inner,
+                               ClientAttackerConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  MODUBFT_EXPECTS(inner_ != nullptr);
+  MODUBFT_EXPECTS(config_.n > 0);
+}
+
+bool ClientAttacker::intercept(sim::Context& ctx, ProcessId to,
+                               Bytes& payload) {
+  if (config_.kind == ClientAttackKind::kNone) return false;
+  if (to.value < config_.n) return false;  // replica-bound: never touched
+  if (!is_control_frame(payload)) return false;
+  if (static_cast<smr::ControlKind>(payload[8]) != smr::ControlKind::kReply) {
+    return false;  // BUSY frames pass — shedding is not the attack surface
+  }
+  switch (config_.kind) {
+    case ClientAttackKind::kDropReplies:
+      return true;
+    case ClientAttackKind::kDelayReplies:
+      held_.emplace_back(to, std::move(payload));
+      if (held_.size() > config_.hold_depth) release_one(ctx);
+      return true;
+    case ClientAttackKind::kForgeReplies:
+      try {
+        Reader r(payload);
+        r.u64();
+        r.u8();
+        smr::ClientReply reply = smr::decode_client_reply(r);
+        // Corrupt both the result and the claimed linearization point:
+        // either alone must already fail the client's content check.
+        reply.value += "!forged";
+        reply.slot += 1000;
+        payload = smr::encode_control_reply(reply);
+      } catch (const std::exception&) {
+        // A frame our own replica emitted failed to re-decode — pass it
+        // through; the attack only ever weakens into honesty.
+      }
+      return false;  // send the (possibly forged) frame
+    case ClientAttackKind::kNone:
+      break;
+  }
+  return false;
+}
+
+void ClientAttacker::release_one(sim::Context& ctx) {
+  if (held_.empty()) return;
+  auto [to, frame] = std::move(held_.front());
+  held_.pop_front();
+  ctx.send(to, std::move(frame));
+}
+
+void ClientAttacker::on_start(sim::Context& ctx) {
+  AttackContext atk(ctx, *this);
+  inner_->on_start(atk);
+}
+
+void ClientAttacker::on_message(sim::Context& ctx, ProcessId from,
+                                const Bytes& payload) {
+  // One held reply drains per event, so delayed replies are reordered
+  // across operations but never starved: client retries are events too.
+  release_one(ctx);
+  AttackContext atk(ctx, *this);
+  inner_->on_message(atk, from, payload);
+}
+
+void ClientAttacker::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  release_one(ctx);
+  AttackContext atk(ctx, *this);
+  inner_->on_timer(atk, timer_id);
+}
+
+// ----------------------------------------------------------------- audit
+
+std::vector<Violation> audit_client_replies(
+    const faults::SmrScenarioResult& result) {
+  std::vector<Violation> out;
+  if (result.commit_log_duplicates > 0) {
+    out.push_back({ViolationKind::kClientReplyMismatch,
+                   "witness replica applied " +
+                       std::to_string(result.commit_log_duplicates) +
+                       " command(s) more than once"});
+  }
+  for (const auto& [pid, replies] : result.client_accepted) {
+    for (const client::AcceptedReply& ar : replies) {
+      if (smr::client_of_cmd(ar.cmd_id) != pid) {
+        out.push_back({ViolationKind::kClientReplyMismatch,
+                       render_who(pid) + " accepted " + render_cmd(ar.cmd_id) +
+                           " which belongs to another client"});
+        continue;
+      }
+      const auto it = result.commit_log.find(ar.cmd_id);
+      if (it == result.commit_log.end()) {
+        out.push_back({ViolationKind::kClientReplyMismatch,
+                       render_who(pid) + " accepted " + render_cmd(ar.cmd_id) +
+                           " which the witness never committed"});
+        continue;
+      }
+      const auto& [slot, cmd] = it->second;
+      if (ar.slot != slot) {
+        out.push_back({ViolationKind::kClientReplyMismatch,
+                       render_who(pid) + " accepted " + render_cmd(ar.cmd_id) +
+                           " at slot " + std::to_string(ar.slot) +
+                           " but it committed at slot " +
+                           std::to_string(slot)});
+      }
+      if (ar.op != cmd.op || ar.key != cmd.key || ar.value != cmd.value) {
+        out.push_back({ViolationKind::kClientReplyMismatch,
+                       render_who(pid) + " accepted " + render_cmd(ar.cmd_id) +
+                           " with content differing from the committed " +
+                           "command (key '" + ar.key + "' vs '" + cmd.key +
+                           "', value '" + ar.value + "' vs '" + cmd.value +
+                           "')"});
+      }
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- cells
+
+namespace {
+
+/// Builds the scenario shared by the cell and the negative control.
+faults::SmrScenarioConfig make_scenario(const ClientCellConfig& config) {
+  faults::SmrScenarioConfig sc;
+  sc.n = config.n;
+  sc.f = config.f;
+  sc.seed = config.seed;
+  sc.substrate = config.substrate;
+  sc.backend = config.backend;
+  sc.window = config.window;
+  sc.batch = config.batch;
+  sc.budget = config.budget;
+  sc.checkpoint_interval = config.checkpoint_interval;
+
+  faults::ClientLoadConfig load;
+  load.count = config.clients;
+  load.ops_per_client = config.ops_per_client;
+  sc.clients = load;
+
+  // Closed-loop arrival commits thin batches, and pipelined peers racing
+  // for the same ids commit a no-op slot per concurrent op in the worst
+  // case — so budget two slots per op plus drain margin for the window.
+  // Undersizing is a liveness failure by construction: an op submitted
+  // after the fixed log filled can never commit.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(config.clients) * config.ops_per_client;
+  sc.slots = 2 * total + 2 * config.window;
+
+  // Substrate-appropriate kill/restart instants: the simulator drains the
+  // whole run in a few virtual ms; the wall-clock substrates need room
+  // for OS scheduling before the restart fires.
+  SimTime kill = config.kill_at;
+  SimTime back = config.restart_at;
+  if (kill == 0) {
+    kill = config.substrate == runtime::Backend::kSim ? 1'500
+           : config.substrate == runtime::Backend::kThreads ? 3'000
+                                                            : 5'000;
+  }
+  if (back == 0) {
+    back = config.substrate == runtime::Backend::kSim ? 3'000
+           : config.substrate == runtime::Backend::kThreads ? 60'000
+                                                            : 80'000;
+  }
+  sc.crashes.push_back({ProcessId{config.victim}, kill, back});
+
+  if (config.link_chaos && config.substrate == runtime::Backend::kTcp) {
+    // Every link dies at least once early on; random kills stay rare so
+    // the run finishes inside the budget.
+    faults::LinkFaultSpec spec;
+    spec.kill_prob = 0.002;
+    spec.kill_at_attempts = {3};
+    spec.max_random_faults = 4;
+    sc.link_faults.push_back(spec);
+  }
+  sc.assume_faulty = config.attackers;
+  return sc;
+}
+
+/// Splices ClientAttacker under every attacker replica (restarted lives
+/// included — wrap_actor re-applies on restart).
+void arm_attackers(faults::SmrScenarioConfig& sc,
+                   const ClientCellConfig& config) {
+  if (config.attack == ClientAttackKind::kNone || config.attackers.empty()) {
+    return;
+  }
+  sc.wrap_actor = [config](ProcessId id, std::unique_ptr<sim::Actor> inner)
+      -> std::unique_ptr<sim::Actor> {
+    if (id.value >= config.n || config.attackers.count(id.value) == 0) {
+      return inner;
+    }
+    ClientAttackerConfig acfg;
+    acfg.kind = config.attack;
+    acfg.n = config.n;
+    return std::make_unique<ClientAttacker>(std::move(inner), acfg);
+  };
+}
+
+}  // namespace
+
+ClientCellOutcome run_client_cell(const ClientCellConfig& config) {
+  MODUBFT_EXPECTS(config.n > 0 && config.victim < config.n);
+  MODUBFT_EXPECTS(config.attackers.count(config.victim) == 0);
+  MODUBFT_EXPECTS(config.clients > 0 && config.ops_per_client > 0);
+  MODUBFT_EXPECTS(config.checkpoint_interval > 0);
+  for (std::uint32_t a : config.attackers) MODUBFT_EXPECTS(a < config.n);
+
+  faults::SmrScenarioConfig sc = make_scenario(config);
+  arm_attackers(sc, config);
+
+  ClientCellOutcome out;
+  out.result = faults::run_smr_scenario(sc);
+  out.recovered = out.result.recovered.count(config.victim) > 0;
+  out.all_clients_done = out.result.clients_done.size() == config.clients;
+  out.violations = audit_client_replies(out.result);
+  out.pass = out.result.clean && out.result.all_committed &&
+             out.result.stores_agree && out.all_clients_done &&
+             out.recovered && out.violations.empty();
+
+  const runtime::ClientSummary& cs = out.result.run_stats.client;
+  std::ostringstream os;
+  os << client_attack_name(config.attack) << "/"
+     << runtime::backend_name(config.substrate) << " seed=" << config.seed
+     << ": " << (out.pass ? "pass" : "FAIL") << " (done="
+     << out.result.clients_done.size() << "/" << config.clients
+     << " recovered=" << (out.recovered ? "yes" : "no")
+     << " accepted=" << cs.accepted << " retries=" << cs.retries
+     << " failovers=" << cs.failovers
+     << " violations=" << out.violations.size() << ")";
+  out.detail = os.str();
+  return out;
+}
+
+ClientControlOutcome run_client_negative_control(std::uint64_t seed,
+                                                 runtime::Backend substrate) {
+  // Broken configuration: EVERY replica forges its replies and the clients
+  // install the first reply without certification (trust_first_reply, a
+  // switch no correct build sets).  No crash — the planted violation must
+  // be attributable to the forgery alone.
+  ClientCellConfig forged;
+  forged.attack = ClientAttackKind::kForgeReplies;
+  forged.substrate = substrate;
+  forged.seed = seed;
+  forged.attackers.clear();
+  for (std::uint32_t i = 0; i < forged.n; ++i) forged.attackers.insert(i);
+
+  faults::SmrScenarioConfig sc = make_scenario(forged);
+  sc.crashes.clear();
+  sc.clients->trust_first_reply = true;
+  arm_attackers(sc, forged);
+
+  const faults::SmrScenarioResult result = faults::run_smr_scenario(sc);
+
+  ClientControlOutcome out;
+  for (const auto& [pid, replies] : result.client_accepted) {
+    out.accepted += replies.size();
+  }
+  out.violations = audit_client_replies(result);
+  out.flagged = std::any_of(out.violations.begin(), out.violations.end(),
+                            [](const Violation& v) {
+                              return v.kind ==
+                                     ViolationKind::kClientReplyMismatch;
+                            });
+  return out;
+}
+
+std::string to_json(const ClientCellOutcome& outcome) {
+  std::ostringstream os;
+  os << "{\"pass\":" << (outcome.pass ? "true" : "false")
+     << ",\"clean\":" << (outcome.result.clean ? "true" : "false")
+     << ",\"all_committed\":"
+     << (outcome.result.all_committed ? "true" : "false")
+     << ",\"clients_done\":" << outcome.result.clients_done.size()
+     << ",\"recovered\":" << (outcome.recovered ? "true" : "false")
+     << ",\"accepted\":" << outcome.result.run_stats.client.accepted
+     << ",\"retries\":" << outcome.result.run_stats.client.retries
+     << ",\"failovers\":" << outcome.result.run_stats.client.failovers
+     << ",\"sheds\":" << outcome.result.run_stats.client.sheds
+     << ",\"violations\":[";
+  for (std::size_t i = 0; i < outcome.violations.size(); ++i) {
+    if (i) os << ",";
+    os << '"' << violation_name(outcome.violations[i].kind) << '"';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace modubft::adversary

@@ -1,0 +1,178 @@
+// Client-liveness chaos cells: the request/reply path vs live adversaries.
+//
+// ISSUE 9's client layer has one safety anchor — reply certification
+// (f + 1 byte-identical replies from distinct replicas for the Byzantine
+// backend, a majority for crash) — and one liveness anchor — capped
+// retries with contact failover.  The cells aim attacks at exactly those:
+//
+//   kDropReplies    The attacker replica swallows every REPLY it owes a
+//                   client.  With ≤ f attackers the honest replicas alone
+//                   form a certificate, so every operation still settles;
+//                   a client whose *contact* is the attacker must fail
+//                   over to make progress.
+//   kDelayReplies   The attacker holds its REPLYs in a FIFO and releases
+//                   one per subsequent event, reordering replies across
+//                   operations and crossing them with client retries —
+//                   the duplicate-suppression/replay path under load.
+//   kForgeReplies   The attacker decodes each outgoing REPLY, corrupts
+//                   the value and the claimed slot, re-encodes and sends.
+//                   The forgery is content-checked and tallied by the
+//                   client; it must never reach a certificate (the honest
+//                   replies disagree with it byte-for-byte).
+//
+// Every cell also kills and restarts a victim replica mid-run (the
+// attacker is never the victim), so the client layer is exercised across
+// a recovery: replayed replies must come from the restored client table.
+//
+// A cell passes iff the run terminates cleanly, every client finishes its
+// script, the victim rejoins via verified state transfer, and the audit
+// finds no kClientReplyMismatch: each client-accepted reply names a
+// command the commit-log reference replica actually committed, at the
+// committed slot, with the committed op/key/value — and no command was
+// applied twice (exactly-once).
+//
+// The negative control runs the harness against a deliberately broken
+// configuration — every replica forges and the clients trust the first
+// reply without certification (trust_first_reply, a switch no correct
+// build sets) — and must flag kClientReplyMismatch.  A harness that
+// cannot catch the planted forgery proves nothing when it reports zero
+// violations elsewhere.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/auditor.hpp"
+#include "common/bytes.hpp"
+#include "faults/scenario.hpp"
+#include "runtime/substrate.hpp"
+#include "sim/actor.hpp"
+
+namespace modubft::adversary {
+
+enum class ClientAttackKind : std::uint8_t {
+  kNone = 0,
+  kDropReplies,
+  kDelayReplies,
+  kForgeReplies,
+};
+
+const char* client_attack_name(ClientAttackKind kind);
+
+/// Per-attacker knobs for ClientAttacker.
+struct ClientAttackerConfig {
+  ClientAttackKind kind = ClientAttackKind::kNone;
+  /// Replica count: process ids >= n are clients, the attack surface.
+  std::uint32_t n = 4;
+  /// kDelayReplies: replies held in flight before the oldest is released.
+  std::size_t hold_depth = 3;
+};
+
+/// Actor decorator that attacks ONLY replies leaving for clients: control
+/// frames of kind kReply addressed to a process id >= n.  All consensus
+/// and replica-to-replica traffic — including relays, fetches and the
+/// recovery channel — passes through untouched, so the wrapped replica
+/// keeps committing correctly and the attack is invisible to everything
+/// but the reply certification it is trying to defeat.
+class ClientAttacker final : public sim::Actor {
+ public:
+  ClientAttacker(std::unique_ptr<sim::Actor> inner,
+                 ClientAttackerConfig config);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const Bytes& payload) override;
+  void on_timer(sim::Context& ctx, std::uint64_t timer_id) override;
+
+ private:
+  class AttackContext;
+
+  /// Attack hook for one outgoing frame.  Returns true if the frame was
+  /// consumed (dropped or queued); false = send it unchanged.  `payload`
+  /// may be mutated in place (forgery).
+  bool intercept(sim::Context& ctx, ProcessId to, Bytes& payload);
+
+  /// kDelayReplies: release the oldest held reply, if any.
+  void release_one(sim::Context& ctx);
+
+  std::unique_ptr<sim::Actor> inner_;
+  ClientAttackerConfig config_;
+  std::deque<std::pair<ProcessId, Bytes>> held_;
+};
+
+// ---------------------------------------------------------------- cells
+
+struct ClientCellConfig {
+  ClientAttackKind attack = ClientAttackKind::kNone;
+  runtime::Backend substrate = runtime::Backend::kSim;
+  smr::Backend backend = smr::Backend::kByzantine;
+  std::uint64_t seed = 1;
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  std::uint32_t clients = 2;
+  std::uint32_t ops_per_client = 8;
+  std::uint32_t window = 4;
+  std::uint32_t batch = 2;
+  std::uint64_t checkpoint_interval = 4;
+  /// The replica killed and restarted mid-run.
+  std::uint32_t victim = 2;
+  /// Replicas running the attack (must exclude the victim; ≤ f for a
+  /// sound cell).
+  std::set<std::uint32_t> attackers{1};
+  /// Kill/restart instants (µs); 0 = substrate-appropriate default.
+  SimTime kill_at = 0;
+  SimTime restart_at = 0;
+  /// kTcp only: also inject link kills under the framing layer.
+  bool link_chaos = false;
+  std::chrono::milliseconds budget{20'000};
+};
+
+struct ClientCellOutcome {
+  faults::SmrScenarioResult result;
+  std::vector<Violation> violations;
+  /// Every client certified its whole script (CLIENT_DONE observed).
+  bool all_clients_done = false;
+  /// The victim rejoined via verified state transfer.
+  bool recovered = false;
+  /// clean ∧ all slots committed ∧ stores agree ∧ clients done ∧
+  /// recovered ∧ zero violations.
+  bool pass = false;
+  std::string detail;
+};
+
+ClientCellOutcome run_client_cell(const ClientCellConfig& config);
+
+/// Reply audit behind every cell: each accepted reply must name a command
+/// the commit-log witness committed, at that slot, with that op/key/value,
+/// and the witness must never have applied a command twice.  Returns
+/// kClientReplyMismatch violations; empty = exactly-once linearization of
+/// everything the clients believe happened.
+std::vector<Violation> audit_client_replies(
+    const faults::SmrScenarioResult& result);
+
+// ----------------------------------------------------------- control
+
+struct ClientControlOutcome {
+  /// The planted forgery was flagged (the harness works).
+  bool flagged = false;
+  std::vector<Violation> violations;
+  /// Replies the clients accepted in the broken configuration.
+  std::uint64_t accepted = 0;
+};
+
+/// Negative control for the client audit: every replica forges its
+/// replies and the clients trust the first reply without certification.
+/// audit_client_replies must flag the accepted forgeries.
+ClientControlOutcome run_client_negative_control(std::uint64_t seed,
+                                                 runtime::Backend substrate);
+
+/// One-line JSON rendering for logs and campaign reports.
+std::string to_json(const ClientCellOutcome& outcome);
+
+}  // namespace modubft::adversary

@@ -1,0 +1,215 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/serial.hpp"
+
+namespace modubft::client {
+
+using smr::ControlKind;
+using smr::kControlSlot;
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {
+  MODUBFT_EXPECTS(config_.n >= 2);
+  MODUBFT_EXPECTS(!config_.ops.empty());
+  MODUBFT_EXPECTS(config_.ops.size() < 0xffffffffULL);
+  MODUBFT_EXPECTS(config_.contact < config_.n);
+  MODUBFT_EXPECTS(config_.retry_base > 0);
+  MODUBFT_EXPECTS(config_.max_outstanding >= 1);
+  MODUBFT_EXPECTS(config_.failover_after >= 1);
+  retry_cap_ = config_.retry_cap > 0 ? config_.retry_cap
+                                     : config_.retry_base * 16;
+  contact_ = config_.contact;
+}
+
+std::uint32_t Client::quorum() const {
+  if (config_.backend == smr::Backend::kByzantine) return config_.f + 1;
+  return config_.n / 2 + 1;
+}
+
+void Client::on_start(sim::Context& ctx) {
+  submit_next(ctx);
+  if (config_.open_loop) {
+    interval_timer_ = ctx.set_timer(config_.interval);
+  }
+}
+
+void Client::submit_next(sim::Context& ctx) {
+  // Closed loop keeps one operation in flight; open loop fills up to the
+  // outstanding cap (also the reply-cache safety bound — see
+  // docs/CLIENT.md on duplicate replay completeness).
+  const std::size_t cap = config_.open_loop ? config_.max_outstanding : 1;
+  while (next_op_ < config_.ops.size() && pending_.size() < cap) {
+    const std::uint64_t seq = next_op_ + 1;
+    Pending p;
+    p.op_index = next_op_++;
+    p.sent_at = ctx.now();
+    p.delay = config_.retry_base;
+    ++stats_.submitted;
+    auto it = pending_.emplace(seq, std::move(p)).first;
+    send_request(ctx, seq, it->second);
+    arm_retry(ctx, seq, it->second);
+    if (!config_.open_loop) break;
+  }
+}
+
+void Client::send_request(sim::Context& ctx, std::uint64_t seq, Pending& p) {
+  const ClientOp& op = config_.ops[p.op_index];
+  smr::ClientRequest req;
+  req.seq = seq;
+  req.op = op.op;
+  req.key = op.key;
+  req.value = op.value;
+  ctx.send(ProcessId{contact_}, smr::encode_control_request(req));
+}
+
+void Client::arm_retry(sim::Context& ctx, std::uint64_t seq, Pending& p) {
+  const SimTime jitter = ctx.rng().next_below(p.delay / 4 + 1);
+  p.timer = ctx.set_timer(p.delay + jitter);
+  timers_[p.timer] = seq;
+}
+
+void Client::on_message(sim::Context& ctx, ProcessId from,
+                        const Bytes& payload) {
+  if (finished_) return;
+  if (from.value >= config_.n) return;  // only replicas speak to clients
+  try {
+    Reader r(payload);
+    if (r.u64() != kControlSlot) return;  // consensus traffic: not for us
+    const auto kind = static_cast<ControlKind>(r.u8());
+    switch (kind) {
+      case ControlKind::kReply:
+        handle_reply(ctx, from, r, payload);
+        return;
+      case ControlKind::kBusy:
+        handle_busy(ctx, from, r);
+        return;
+      default:
+        return;  // relays, fetches, votes: replica-to-replica traffic
+    }
+  } catch (const SerialError&) {
+    // Malformed frame from a faulty replica: drop.
+  }
+}
+
+void Client::handle_reply(sim::Context& ctx, ProcessId from, Reader& r,
+                          const Bytes& payload) {
+  const smr::ClientReply reply = smr::decode_client_reply(r);
+  ++stats_.replies;
+  auto it = pending_.find(reply.seq);
+  if (it == pending_.end()) {
+    ++stats_.duplicate_replies;  // already certified (or never submitted)
+    return;
+  }
+  consecutive_timeouts_ = 0;  // the service is alive
+
+  if (config_.trust_first_reply) {
+    // Negative control: no certification, no content checks.  The chaos
+    // campaign proves the forged-reply attack lands through this path.
+    accept(ctx, reply.seq, reply);
+    return;
+  }
+
+  // Content validation: a reply that contradicts what we submitted can
+  // never certify, no matter how many replicas echo it — a forged frame
+  // costs the attacker a counter, not our correctness.
+  const ClientOp& op = config_.ops[it->second.op_index];
+  const std::uint64_t want_id =
+      smr::make_client_cmd_id(ctx.id().value, reply.seq);
+  if (reply.cmd_id != want_id || reply.op != op.op || reply.key != op.key ||
+      reply.value != op.value) {
+    ++stats_.mismatched_replies;
+    return;
+  }
+
+  auto& senders = it->second.tally[payload];
+  senders.insert(from.value);
+  if (senders.size() >= quorum()) accept(ctx, reply.seq, reply);
+}
+
+void Client::handle_busy(sim::Context& ctx, ProcessId from, Reader& r) {
+  (void)from;
+  const smr::BusyFrame busy = smr::decode_busy(r);
+  auto it = pending_.find(busy.seq);
+  if (it == pending_.end()) return;
+  consecutive_timeouts_ = 0;  // loaded, not dead
+  ++stats_.busy;
+  // The replica shed us: back off twice as hard instead of re-sending on
+  // the old schedule (which is what overloaded it).
+  Pending& p = it->second;
+  p.delay = std::min<SimTime>(retry_cap_, p.delay * 2);
+  ctx.cancel_timer(p.timer);
+  timers_.erase(p.timer);
+  arm_retry(ctx, busy.seq, p);
+}
+
+void Client::accept(sim::Context& ctx, std::uint64_t seq,
+                    const smr::ClientReply& reply) {
+  auto it = pending_.find(seq);
+  AcceptedReply acc;
+  acc.seq = seq;
+  acc.cmd_id = reply.cmd_id;
+  acc.slot = reply.slot;
+  acc.op = reply.op;
+  acc.key = reply.key;
+  acc.value = reply.value;
+  acc.latency_us = ctx.now() - it->second.sent_at;
+  stats_.latencies_us.push_back(acc.latency_us);
+  accepted_.push_back(std::move(acc));
+  ++stats_.accepted;
+  ctx.cancel_timer(it->second.timer);
+  timers_.erase(it->second.timer);
+  pending_.erase(it);
+  log_debug("client ", ctx.id(), " certified seq ", seq);
+  submit_next(ctx);
+  maybe_finish(ctx);
+}
+
+void Client::maybe_finish(sim::Context& ctx) {
+  if (finished_ || next_op_ < config_.ops.size() || !pending_.empty()) {
+    return;
+  }
+  finished_ = true;
+  if (interval_timer_ != 0) ctx.cancel_timer(interval_timer_);
+  // Tell Π the whole script certified; replicas drain the rest of the log.
+  ctx.broadcast(smr::encode_control_client_done(config_.ops.size()));
+  ctx.stop();
+}
+
+void Client::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
+  if (finished_) return;
+  if (timer_id == interval_timer_ && interval_timer_ != 0) {
+    submit_next(ctx);
+    if (next_op_ < config_.ops.size() || !pending_.empty()) {
+      interval_timer_ = ctx.set_timer(config_.interval);
+    } else {
+      interval_timer_ = 0;
+    }
+    return;
+  }
+  auto t = timers_.find(timer_id);
+  if (t == timers_.end()) return;
+  const std::uint64_t seq = t->second;
+  timers_.erase(t);
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+
+  // Timeout: the contact is dead, partitioned, or Byzantine-silent.
+  ++stats_.retries;
+  ++p.attempts;
+  ++consecutive_timeouts_;
+  if (consecutive_timeouts_ >= config_.failover_after) {
+    contact_ = (contact_ + 1) % config_.n;
+    consecutive_timeouts_ = 0;
+    ++stats_.failovers;
+    log_debug("client ", ctx.id(), " fails over to replica ", contact_);
+  }
+  p.delay = std::min<SimTime>(retry_cap_, p.delay * 2);
+  send_request(ctx, seq, p);
+  arm_retry(ctx, seq, p);
+}
+
+}  // namespace modubft::client

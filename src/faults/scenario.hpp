@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bft/bft_consensus.hpp"
+#include "client/client.hpp"
 #include "consensus/value.hpp"
 #include "crypto/verify_cache.hpp"
 #include "faults/fault_spec.hpp"
@@ -205,6 +206,33 @@ LockstepScenarioResult run_lockstep_scenario(
 
 // --------------------------------------------------------------------- SMR
 
+/// Live client load for an SMR scenario (ISSUE 9): `count` client actors
+/// on process ids [n, n + count), each driving a deterministic script of
+/// `ops_per_client` operations through the REQUEST/REPLY path instead of
+/// the preloaded workload.  Scripts are a pure function of (client index,
+/// op index), so every run of the same config submits the same commands.
+struct ClientLoadConfig {
+  std::uint32_t count = 2;
+  std::uint32_t ops_per_client = 8;
+  /// false: closed loop (one outstanding op per client).  true: open loop
+  /// at `interval` µs per submission, up to `max_outstanding` in flight.
+  bool open_loop = false;
+  SimTime interval = 1'000;
+  std::uint32_t max_outstanding = 16;
+  /// Replica-side admission bound (smr::ClientServiceConfig::max_pending).
+  std::uint32_t max_pending = 64;
+  /// Client retry-backoff base (µs); unset = substrate default
+  /// (sim 40 ms, threads 200 ms, tcp 400 ms).
+  std::optional<SimTime> retry_base;
+  /// Consecutive timeouts before a client rotates its contact replica.
+  std::uint32_t failover_after = 2;
+  /// Negative-control switch: clients accept the first reply without
+  /// certification (adversary harness only — forged replies must land).
+  bool trust_first_reply = false;
+  /// Distinct keys the scripts touch.
+  std::uint32_t keyspace = 8;
+};
+
 struct SmrScenarioConfig {
   std::uint32_t n = 4;
   std::uint32_t f = 1;  // Byzantine backend resilience
@@ -263,6 +291,15 @@ struct SmrScenarioConfig {
   /// Replicas the evaluation must count as faulty although they carry no
   /// CrashSpec (e.g. forged-checkpoint senders).
   std::set<std::uint32_t> assume_faulty;
+
+  // --- client/service layer (ISSUE 9) ---
+  /// Attach live clients; replicas switch into client mode (see
+  /// smr::ClientServiceConfig).  The preloaded workload defaults to empty
+  /// (clients ARE the workload), size the log so the submitted commands
+  /// fit: slots ≥ count × ops_per_client plus drain margin.
+  std::optional<ClientLoadConfig> clients;
+  /// kTcp: link faults injected below the framing layer.
+  std::vector<LinkFaultSpec> link_faults;
 };
 
 struct SmrScenarioResult {
@@ -284,6 +321,20 @@ struct SmrScenarioResult {
   /// Final store of every correct replica (recovery audits compare the
   /// recovered replica against the surviving quorum entry by entry).
   std::map<std::uint32_t, std::map<std::string, std::string>> stores;
+
+  // --- client/service layer (filled only when config.clients is set) ---
+  /// Committed commands as witnessed by the commit-log reference replica
+  /// (the lowest-id never-crashed one): command id → (slot, command).
+  /// The auditor checks every client-accepted reply against this map.
+  std::map<std::uint64_t, std::pair<std::uint64_t, smr::Command>> commit_log;
+  /// Commands the reference replica applied more than once (must be 0 —
+  /// the exactly-once audit).
+  std::uint64_t commit_log_duplicates = 0;
+  /// Per-client stats and accepted replies, keyed by client process id.
+  std::map<std::uint32_t, client::ClientStats> client_stats;
+  std::map<std::uint32_t, std::vector<client::AcceptedReply>> client_accepted;
+  /// Clients whose whole script certified (CLIENT_DONE broadcast).
+  std::set<std::uint32_t> clients_done;
 
   runtime::RunStats run_stats;
 };

@@ -431,8 +431,12 @@ LockstepScenarioResult run_lockstep_scenario(
 }
 
 SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
+  const bool client_mode = config.clients.has_value();
+  // With live clients the workload defaults to empty — the clients ARE
+  // the workload, submitting over the request path.
   const std::vector<smr::Command> workload =
-      config.workload.empty() ? sample_workload() : config.workload;
+      config.workload.empty() && !client_mode ? sample_workload()
+                                              : config.workload;
   const bool checkpointing = config.checkpoint_interval > 0;
 
   crypto::SignatureSystem keys =
@@ -448,13 +452,18 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     crash_specs[c.who.value] = c;
   }
 
+  const std::uint32_t num_clients =
+      client_mode ? config.clients->count : 0u;
+
   runtime::SubstrateConfig world_cfg;
   world_cfg.backend = config.substrate;
-  world_cfg.n = config.n;
+  // Clients are ordinary substrate processes on ids [n, n + count).
+  world_cfg.n = config.n + num_clients;
   world_cfg.seed = config.seed;
   world_cfg.latency = config.latency;
   world_cfg.max_time = config.max_time;
   world_cfg.budget = config.budget;
+  world_cfg.link_faults = config.link_faults;
   std::unique_ptr<runtime::Substrate> world =
       runtime::make_substrate(world_cfg);
 
@@ -548,8 +557,42 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
           recover && config.recovery_trust_unverified;
       rcfg.await_done = await_done;
     }
+    if (client_mode) {
+      rcfg.client.num_clients = num_clients;
+      rcfg.client.max_pending = config.clients->max_pending;
+      // Missing-body fetch retries pace like the recovery retries: both
+      // re-ask peers for state that is known to exist somewhere.
+      rcfg.client.fetch_retry_delay = retry_delay;
+    }
     return rcfg;
   };
+
+  // Commit log (client mode): every command the reference replica — the
+  // lowest-id never-crashed one — applies, with its slot.  The auditor
+  // checks client-accepted replies against this map, and a re-applied id
+  // (commit_log_duplicates) is an exactly-once violation.  The callback
+  // runs on the reference replica's node thread; the results are read
+  // after run() joins it, but the mutex also covers a restart factory
+  // racing a reader on another thread.
+  std::uint32_t commit_ref = 0;
+  while (commit_ref < config.n && crash_times[commit_ref].has_value()) {
+    ++commit_ref;
+  }
+  std::mutex commit_mu;
+  smr::CommitFn log_commit;
+  if (client_mode && commit_ref < config.n) {
+    log_commit = [&result, &commit_mu](InstanceId slot,
+                                       const smr::Command* cmd,
+                                       const smr::KvStore&) {
+      if (cmd == nullptr) return;
+      std::lock_guard<std::mutex> lock(commit_mu);
+      const bool fresh =
+          result.commit_log
+              .emplace(cmd->id, std::make_pair(slot.value, *cmd))
+              .second;
+      if (!fresh) ++result.commit_log_duplicates;
+    };
+  }
 
   auto install = [&](ProcessId id, std::unique_ptr<sim::Actor> actor) {
     if (config.wrap_actor) actor = config.wrap_actor(id, std::move(actor));
@@ -564,8 +607,9 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
           keys.verifier, bft::BftConfig{}.verify_cache_capacity);
     }
 
-    auto replica = std::make_unique<smr::Replica>(make_rcfg(i, false),
-                                                  workload, smr::CommitFn{});
+    auto replica = std::make_unique<smr::Replica>(
+        make_rcfg(i, false), workload,
+        i == commit_ref ? log_commit : smr::CommitFn{});
     views[i] = replica.get();
     install(id, std::move(replica));
     if (crash_times[i].has_value()) {
@@ -582,6 +626,46 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
           return actor;
         });
       }
+    }
+  }
+
+  // Client actors (never wrapped: wrap_actor targets replicas, and the
+  // adversary model here is a faulty SERVICE, not a faulty client).
+  std::vector<const client::Client*> client_views(num_clients, nullptr);
+  if (client_mode) {
+    const ClientLoadConfig& cl = *config.clients;
+    const SimTime retry_base = cl.retry_base.value_or(
+        config.substrate == runtime::Backend::kSim
+            ? 40'000
+            : (config.substrate == runtime::Backend::kThreads ? 200'000
+                                                              : 400'000));
+    for (std::uint32_t k = 0; k < num_clients; ++k) {
+      client::ClientConfig ccfg;
+      ccfg.n = config.n;
+      ccfg.f = config.f;
+      ccfg.backend = config.backend;
+      ccfg.open_loop = cl.open_loop;
+      ccfg.interval = cl.interval;
+      ccfg.max_outstanding = cl.max_outstanding;
+      ccfg.retry_base = retry_base;
+      ccfg.failover_after = cl.failover_after;
+      ccfg.contact = k % config.n;
+      ccfg.trust_first_reply = cl.trust_first_reply;
+      for (std::uint32_t o = 0; o < cl.ops_per_client; ++o) {
+        client::ClientOp op;
+        const std::uint32_t key = (k * 7 + o * 3) % cl.keyspace;
+        op.key = "k" + std::to_string(key);
+        if (o % 5 == 4) {
+          op.op = smr::Command::Op::kDel;
+        } else {
+          op.op = smr::Command::Op::kPut;
+          op.value = "v" + std::to_string(k) + "_" + std::to_string(o);
+        }
+        ccfg.ops.push_back(std::move(op));
+      }
+      auto actor = std::make_unique<client::Client>(std::move(ccfg));
+      client_views[k] = actor.get();
+      world->set_actor(ProcessId{config.n + k}, std::move(actor));
     }
   }
 
@@ -678,6 +762,58 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     result.run_stats.verify.pool_dispatched = ps.dispatched_jobs;
     result.run_stats.verify.pool_batches = ps.batches;
     result.run_stats.verify.pool_peak_queue = ps.peak_queue_depth;
+  }
+
+  if (client_mode) {
+    runtime::ClientSummary& cs = result.run_stats.client;
+    cs.clients = num_clients;
+    std::vector<SimTime> latencies;
+    for (std::uint32_t k = 0; k < num_clients; ++k) {
+      const std::uint32_t pid = config.n + k;
+      const client::ClientStats& st = client_views[k]->stats();
+      result.client_stats.emplace(pid, st);
+      result.client_accepted.emplace(pid, client_views[k]->accepted());
+      if (client_views[k]->finished()) result.clients_done.insert(pid);
+      cs.submitted += st.submitted;
+      cs.retries += st.retries;
+      cs.failovers += st.failovers;
+      cs.busy += st.busy;
+      cs.replies += st.replies;
+      cs.duplicate_replies += st.duplicate_replies;
+      cs.mismatched_replies += st.mismatched_replies;
+      cs.accepted += st.accepted;
+      latencies.insert(latencies.end(), st.latencies_us.begin(),
+                       st.latencies_us.end());
+    }
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      auto pct = [&](std::uint64_t permille) {
+        const std::size_t idx = std::min(
+            latencies.size() - 1,
+            static_cast<std::size_t>(permille * latencies.size() / 1000));
+        return latencies[idx];
+      };
+      cs.p50_us = pct(500);
+      cs.p99_us = pct(990);
+      cs.p999_us = pct(999);
+    }
+    for (std::uint32_t i : result.correct) {
+      const smr::ClientServiceStats& rs = views[i]->client_service_stats();
+      cs.requests += rs.requests;
+      cs.duplicates += rs.duplicates;
+      cs.replays += rs.replays;
+      cs.admitted += rs.admitted;
+      cs.sheds += rs.sheds;
+      cs.relays_sent += rs.relays_sent;
+      cs.relays_received += rs.relays_received;
+      cs.relays_dropped += rs.relays_dropped;
+      cs.fetches_sent += rs.fetches_sent;
+      cs.fetches_served += rs.fetches_served;
+      cs.replies_sent += rs.replies_sent;
+      cs.parked_commits += rs.parked_commits;
+      cs.rejects += rs.rejects;
+      cs.queue_peak = std::max(cs.queue_peak, rs.queue_peak);
+    }
   }
 
   return result;

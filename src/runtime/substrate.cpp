@@ -303,7 +303,33 @@ std::string to_json(Backend backend, const RunStats& stats) {
      << ",\"ingest_staged_sends\":" << stats.ingest.staged_sends
      << ",\"ingest_staged_bytes\":" << stats.ingest.staged_bytes
      << ",\"ingest_sign_flushes\":" << stats.ingest.sign_flushes
-     << ",\"ingest_encode_reuses\":" << stats.ingest.encode_reuses << '}';
+     << ",\"ingest_encode_reuses\":" << stats.ingest.encode_reuses
+     << ",\"client_clients\":" << stats.client.clients
+     << ",\"client_submitted\":" << stats.client.submitted
+     << ",\"client_retries\":" << stats.client.retries
+     << ",\"client_failovers\":" << stats.client.failovers
+     << ",\"client_busy\":" << stats.client.busy
+     << ",\"client_replies\":" << stats.client.replies
+     << ",\"client_duplicate_replies\":" << stats.client.duplicate_replies
+     << ",\"client_mismatched_replies\":" << stats.client.mismatched_replies
+     << ",\"client_accepted\":" << stats.client.accepted
+     << ",\"client_p50_us\":" << stats.client.p50_us
+     << ",\"client_p99_us\":" << stats.client.p99_us
+     << ",\"client_p999_us\":" << stats.client.p999_us
+     << ",\"client_requests\":" << stats.client.requests
+     << ",\"client_duplicates\":" << stats.client.duplicates
+     << ",\"client_replays\":" << stats.client.replays
+     << ",\"client_admitted\":" << stats.client.admitted
+     << ",\"client_sheds\":" << stats.client.sheds
+     << ",\"client_relays_sent\":" << stats.client.relays_sent
+     << ",\"client_relays_received\":" << stats.client.relays_received
+     << ",\"client_relays_dropped\":" << stats.client.relays_dropped
+     << ",\"client_fetches_sent\":" << stats.client.fetches_sent
+     << ",\"client_fetches_served\":" << stats.client.fetches_served
+     << ",\"client_replies_sent\":" << stats.client.replies_sent
+     << ",\"client_parked_commits\":" << stats.client.parked_commits
+     << ",\"client_rejects\":" << stats.client.rejects
+     << ",\"client_queue_peak\":" << stats.client.queue_peak << '}';
   return os.str();
 }
 

@@ -132,6 +132,43 @@ struct IngestSummary {
   }
 };
 
+/// Client/service-layer counters (run_smr_scenario with clients attached;
+/// all zero otherwise).  Client-side tallies are summed over all clients
+/// — with reply latencies merged into one distribution before the
+/// percentiles are cut — and replica-side tallies are summed over the
+/// correct replicas (queue_peak as the max: the shed bound is per
+/// replica, so the peak is the number the admission cap must dominate).
+struct ClientSummary {
+  std::uint64_t clients = 0;  // configured client count
+  // client side
+  std::uint64_t submitted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t duplicate_replies = 0;
+  std::uint64_t mismatched_replies = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t p50_us = 0;   // merged reply-latency percentiles
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  // replica side (smr::ClientServiceStats)
+  std::uint64_t requests = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t relays_sent = 0;
+  std::uint64_t relays_received = 0;
+  std::uint64_t relays_dropped = 0;
+  std::uint64_t fetches_sent = 0;
+  std::uint64_t fetches_served = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t parked_commits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t queue_peak = 0;  // max over correct replicas
+};
+
 /// Unified counters, comparable across backends.  The core message
 /// counters are protocol-level on every substrate (counted at the
 /// Context::send boundary and at actor dispatch), so a scenario's message
@@ -155,6 +192,8 @@ struct RunStats {
   PipelineSummary pipeline;
   /// Staged-ingest counters (run_smr_scenario only).
   IngestSummary ingest;
+  /// Client/service-layer counters (run_smr_scenario with clients only).
+  ClientSummary client;
 };
 
 /// One-line JSON object for benchmark emission (keys stable across

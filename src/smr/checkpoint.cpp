@@ -21,6 +21,12 @@ crypto::Digest read_digest(Reader& r) {
   return d;
 }
 
+Command::Op read_op(Reader& r) {
+  const std::uint8_t op = r.u8();
+  if (op < 1 || op > 2) throw SerialError("unknown command op");
+  return static_cast<Command::Op>(op);
+}
+
 }  // namespace
 
 Bytes encode_snapshot(const Snapshot& snap) {
@@ -34,6 +40,20 @@ Bytes encode_snapshot(const Snapshot& snap) {
   }
   w.u32(static_cast<std::uint32_t>(snap.committed_ids.size()));
   for (std::uint64_t id : snap.committed_ids) w.u64(id);
+  // Client-table section, appended only when non-empty: a pre-client
+  // snapshot (or a run without clients) encodes byte-identically to the
+  // PR 6 format, so old digests — and the wire-format pin tests — hold.
+  if (!snap.clients.empty()) {
+    w.u32(static_cast<std::uint32_t>(snap.clients.size()));
+    for (const auto& [client, replies] : snap.clients) {
+      w.u32(client);
+      w.u32(static_cast<std::uint32_t>(replies.size()));
+      for (const auto& [seq, frame] : replies) {
+        w.u64(seq);
+        w.bytes(frame);
+      }
+    }
+  }
   return std::move(w).take();
 }
 
@@ -64,6 +84,32 @@ Snapshot decode_snapshot(const Bytes& buf, const StateLimits& limits) {
     }
     snap.committed_ids.insert(snap.committed_ids.end(), id);
     prev = id;
+  }
+  // Optional trailing client-table section (absent in pre-client
+  // encodings; its presence is detected by remaining bytes, and the
+  // canonical form bans an empty section — encode never emits one).
+  if (!r.at_end()) {
+    const std::uint32_t clients = r.seq_len(limits.max_clients);
+    if (clients == 0) throw SerialError("empty snapshot client section");
+    std::uint64_t prev_client = 0;
+    for (std::uint32_t i = 0; i < clients; ++i) {
+      const std::uint32_t client = r.u32();
+      if (i > 0 && client <= prev_client) {
+        throw SerialError("snapshot clients not strictly ascending");
+      }
+      prev_client = client;
+      const std::uint32_t replies = r.seq_len(limits.max_cached_replies);
+      auto& table = snap.clients[client];
+      std::uint64_t prev_seq = 0;
+      for (std::uint32_t j = 0; j < replies; ++j) {
+        const std::uint64_t seq = r.u64();
+        if (seq == 0 || (j > 0 && seq <= prev_seq)) {
+          throw SerialError("snapshot reply seqs not strictly ascending");
+        }
+        prev_seq = seq;
+        table.emplace_hint(table.end(), seq, r.bytes());
+      }
+    }
   }
   r.expect_end();
   return snap;
@@ -103,6 +149,62 @@ Bytes encode_control_state_resp(const StateResp& resp) {
     w.u32(static_cast<std::uint32_t>(entry.ids.size()));
     for (std::uint64_t id : entry.ids) w.u64(id);
   }
+  return std::move(w).take();
+}
+
+Bytes encode_control_request(const ClientRequest& req) {
+  Writer w;
+  write_frame_header(w, ControlKind::kRequest);
+  w.u64(req.seq);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.str(req.key);
+  w.str(req.value);
+  return std::move(w).take();
+}
+
+Bytes encode_control_reply(const ClientReply& reply) {
+  Writer w;
+  write_frame_header(w, ControlKind::kReply);
+  w.u64(reply.seq);
+  w.u64(reply.cmd_id);
+  w.u64(reply.slot);
+  w.u8(static_cast<std::uint8_t>(reply.op));
+  w.str(reply.key);
+  w.str(reply.value);
+  return std::move(w).take();
+}
+
+Bytes encode_control_busy(const BusyFrame& busy) {
+  Writer w;
+  write_frame_header(w, ControlKind::kBusy);
+  w.u64(busy.seq);
+  w.u32(busy.queue_depth);
+  return std::move(w).take();
+}
+
+Bytes encode_control_relay(const CmdRelay& relay) {
+  Writer w;
+  write_frame_header(w, ControlKind::kCmdRelay);
+  w.u32(relay.client);
+  w.u64(relay.seq);
+  w.u8(static_cast<std::uint8_t>(relay.op));
+  w.str(relay.key);
+  w.str(relay.value);
+  return std::move(w).take();
+}
+
+Bytes encode_control_fetch(const std::vector<std::uint64_t>& ids) {
+  Writer w;
+  write_frame_header(w, ControlKind::kCmdFetch);
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (std::uint64_t id : ids) w.u64(id);
+  return std::move(w).take();
+}
+
+Bytes encode_control_client_done(std::uint64_t final_seq) {
+  Writer w;
+  write_frame_header(w, ControlKind::kClientDone);
+  w.u64(final_seq);
   return std::move(w).take();
 }
 
@@ -154,6 +256,71 @@ StateResp decode_state_resp(Reader& r, const StateLimits& limits) {
   }
   r.expect_end();
   return resp;
+}
+
+ClientRequest decode_client_request(Reader& r) {
+  ClientRequest req;
+  req.seq = r.u64();
+  req.op = read_op(r);
+  req.key = r.str();
+  req.value = r.str();
+  r.expect_end();
+  return req;
+}
+
+ClientReply decode_client_reply(Reader& r) {
+  ClientReply reply;
+  reply.seq = r.u64();
+  reply.cmd_id = r.u64();
+  reply.slot = r.u64();
+  reply.op = read_op(r);
+  reply.key = r.str();
+  reply.value = r.str();
+  r.expect_end();
+  return reply;
+}
+
+BusyFrame decode_busy(Reader& r) {
+  BusyFrame busy;
+  busy.seq = r.u64();
+  busy.queue_depth = r.u32();
+  r.expect_end();
+  return busy;
+}
+
+CmdRelay decode_cmd_relay(Reader& r) {
+  CmdRelay relay;
+  relay.client = r.u32();
+  relay.seq = r.u64();
+  relay.op = read_op(r);
+  relay.key = r.str();
+  relay.value = r.str();
+  r.expect_end();
+  return relay;
+}
+
+std::vector<std::uint64_t> decode_cmd_fetch(Reader& r,
+                                            const StateLimits& limits) {
+  const std::uint32_t count = r.seq_len(limits.max_batch);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t id = r.u64();
+    if (id == 0 || (i > 0 && id <= prev)) {
+      throw SerialError("fetch ids not strictly ascending");
+    }
+    ids.push_back(id);
+    prev = id;
+  }
+  r.expect_end();
+  return ids;
+}
+
+std::uint64_t decode_client_done(Reader& r) {
+  const std::uint64_t final_seq = r.u64();
+  r.expect_end();
+  return final_seq;
 }
 
 std::optional<StateResp> try_decode_state_resp(const Bytes& body,

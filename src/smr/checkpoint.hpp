@@ -13,6 +13,14 @@
 //     kind 2  STATE_REQ   — "send me your certified state from `slot`"
 //     kind 3  STATE_RESP  — certificate + snapshot bytes + slot suffix
 //
+// The client/service layer (docs/CLIENT.md) rides the same reserved tag:
+//     kind 4  REQUEST     — client → replica: seq ‖ op ‖ key ‖ value
+//     kind 5  REPLY       — replica → client: committed command echo
+//     kind 6  BUSY        — replica → client: admission queue full, back off
+//     kind 7  CMD_RELAY   — replica ↔ replica: admitted command body
+//     kind 8  CMD_FETCH   — replica ↔ replica: "send me these bodies"
+//     kind 9  CLIENT_DONE — client → Π: whole script certified, drain
+//
 // Snapshots use the canonical Writer encoding (fixed-width, sorted map
 // order), so every correct replica at the same commit frontier produces
 // byte-identical snapshots and therefore identical SHA-256 digests — the
@@ -34,6 +42,7 @@
 #include "common/bytes.hpp"
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
+#include "smr/command.hpp"
 
 namespace modubft::smr {
 
@@ -44,16 +53,44 @@ enum class ControlKind : std::uint8_t {
   kCheckpointVote = 1,
   kStateReq = 2,
   kStateResp = 3,
+  kRequest = 4,
+  kReply = 5,
+  kBusy = 6,
+  kCmdRelay = 7,
+  kCmdFetch = 8,
+  kClientDone = 9,
 };
+
+/// Command identity for the client/service layer: the client's process id
+/// in the high 32 bits, its per-client monotone sequence number (≥ 1) in
+/// the low 32.  Client ids are ≥ n ≥ 2, so client command ids never
+/// collide with harness workload ids (small integers) and are never 0.
+constexpr std::uint64_t make_client_cmd_id(std::uint32_t client,
+                                           std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(client) << 32) | seq;
+}
+constexpr std::uint32_t client_of_cmd(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr std::uint64_t seq_of_cmd(std::uint64_t id) {
+  return id & 0xffffffffULL;
+}
 
 /// A replica's full service state at a slot boundary: everything needed to
 /// resume committing from `slot` (the KV map, the applied-command counter,
 /// and the set of already-committed command ids that defines "pending").
+/// When the client/service layer is active the snapshot also carries the
+/// per-client reply cache (client id → seq → encoded REPLY control frame),
+/// so a restarted replica can keep suppressing duplicates and replaying
+/// cached replies for requests it committed before the crash.  The section
+/// is appended only when non-empty, which keeps pre-client snapshot
+/// encodings byte-identical.
 struct Snapshot {
   std::uint64_t slot = 0;
   std::uint64_t applied = 0;
   std::map<std::string, std::string> data;
   std::set<std::uint64_t> committed_ids;
+  std::map<std::uint32_t, std::map<std::uint64_t, Bytes>> clients;
 };
 
 /// Decode caps for hostile input.  Defaults are far above anything the
@@ -66,6 +103,8 @@ struct StateLimits {
   std::uint32_t max_suffix_slots = 1u << 16;
   std::uint32_t max_batch = 1u << 12;
   std::uint32_t max_snapshot_bytes = 64u << 20;
+  std::uint32_t max_clients = 1u << 12;
+  std::uint32_t max_cached_replies = 1u << 10;  // per client
 };
 
 Bytes encode_snapshot(const Snapshot& snap);
@@ -105,16 +144,72 @@ struct StateResp {
   std::vector<SuffixEntry> suffix;
 };
 
+// ----------------------------------------------------------------- client
+// Request/reply frames for the client/service layer (docs/CLIENT.md).
+// The client's identity is its authenticated channel (the envelope
+// sender), never a frame field, so a client cannot impersonate another.
+
+/// Client → contact replica.  The command id is derived, never carried:
+/// make_client_cmd_id(sender, seq).
+struct ClientRequest {
+  std::uint64_t seq = 0;  // per-client monotone, starts at 1
+  Command::Op op = Command::Op::kPut;
+  std::string key;
+  std::string value;
+};
+
+/// Replica → client, sent by EVERY replica that commits the command.
+/// Each field is a deterministic function of the committed log, so the
+/// replies of correct replicas are byte-identical — the property that
+/// makes f+1 matching replies a proof of commitment.
+struct ClientReply {
+  std::uint64_t seq = 0;
+  std::uint64_t cmd_id = 0;
+  std::uint64_t slot = 0;  // slot that committed the command
+  Command::Op op = Command::Op::kPut;
+  std::string key;
+  std::string value;
+};
+
+/// Replica → client: the admission queue is full; retry after backoff.
+struct BusyFrame {
+  std::uint64_t seq = 0;
+  std::uint32_t queue_depth = 0;
+};
+
+/// Replica ↔ replica: the body of an admitted client command, broadcast
+/// on admission so every replica can propose/commit it.
+struct CmdRelay {
+  std::uint32_t client = 0;
+  std::uint64_t seq = 0;
+  Command::Op op = Command::Op::kPut;
+  std::string key;
+  std::string value;
+};
+
 /// Complete control frames, ready for Context::send / broadcast.
 Bytes encode_control_vote(const CheckpointVote& vote);
 Bytes encode_control_state_req(std::uint64_t from_slot);
 Bytes encode_control_state_resp(const StateResp& resp);
+Bytes encode_control_request(const ClientRequest& req);
+Bytes encode_control_reply(const ClientReply& reply);
+Bytes encode_control_busy(const BusyFrame& busy);
+Bytes encode_control_relay(const CmdRelay& relay);
+Bytes encode_control_fetch(const std::vector<std::uint64_t>& ids);
+Bytes encode_control_client_done(std::uint64_t final_seq);
 
 /// Body decoders (input = the bytes after the kind octet).  All throw
 /// SerialError on malformed input.
 CheckpointVote decode_checkpoint_vote(Reader& r);
 std::uint64_t decode_state_req(Reader& r);
 StateResp decode_state_resp(Reader& r, const StateLimits& limits);
+ClientRequest decode_client_request(Reader& r);
+ClientReply decode_client_reply(Reader& r);
+BusyFrame decode_busy(Reader& r);
+CmdRelay decode_cmd_relay(Reader& r);
+std::vector<std::uint64_t> decode_cmd_fetch(Reader& r,
+                                            const StateLimits& limits);
+std::uint64_t decode_client_done(Reader& r);
 
 /// Non-throwing STATE_RESP decode for the fuzz harness and the recovery
 /// path: malformed input yields nullopt, never UB and never an exception

@@ -1,0 +1,72 @@
+// Replica-side client service: admission, duplicate suppression, replies.
+//
+// The client/service layer (docs/CLIENT.md) turns the SMR harness's
+// preloaded workload into a live request path.  Clients are ordinary
+// substrate processes with ids in [n, n + num_clients); a replica in
+// client mode accepts REQUEST control frames from them, admits commands
+// into its pending set under a hard bound (shedding with BUSY beyond it),
+// relays admitted bodies to its peers (CMD_RELAY) so every replica can
+// propose and commit them, and answers every commit with a REPLY to the
+// owning client.  Exactly-once is enforced by the committed-id set — a
+// retried request whose command already committed is answered from the
+// per-client reply cache instead of being re-admitted — and the cache
+// itself is part of the certified snapshot, so the contract survives a
+// crash/restart (PR 6 recovery).
+//
+// Every structure here is a deterministic function of (committed log,
+// bounded cache policy), which is what lets the reply cache live inside
+// the checkpoint digest: correct replicas at the same frontier carry
+// byte-identical client tables.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/actor.hpp"
+
+namespace modubft::smr {
+
+/// Knobs for the replica-side client service.  num_clients == 0 disables
+/// the whole layer: no client control frames are sent or accepted, and
+/// the wire traffic is byte-identical to a pre-client build.
+struct ClientServiceConfig {
+  /// Clients occupy process ids [n, n + num_clients).  0 = off.
+  std::uint32_t num_clients = 0;
+
+  /// Direct-admission bound: REQUESTs beyond this many pending (admitted,
+  /// not yet committed) client commands are shed with a BUSY frame.  The
+  /// deterministic load-shedding that keeps a flooded replica's memory
+  /// bounded instead of OOMing.
+  std::uint32_t max_pending = 64;
+
+  /// Cached replies retained per client (oldest seq evicted first).  A
+  /// client's outstanding window must stay at or below this bound for
+  /// duplicate replay to be complete.
+  std::uint32_t reply_cache = 64;
+
+  /// Base delay of the missing-body fetch retry timer: a frontier slot
+  /// whose decided command bodies have not arrived yet re-broadcasts
+  /// CMD_FETCH at this cadence until the bodies land.
+  SimTime fetch_retry_delay = 20'000;
+};
+
+/// Client-service observability, surfaced through
+/// runtime::RunStats::to_json as the client_* keys.
+struct ClientServiceStats {
+  std::uint64_t requests = 0;    ///< REQUEST frames accepted for handling
+  std::uint64_t duplicates = 0;  ///< suppressed (committed or in flight)
+  std::uint64_t replays = 0;     ///< cached replies re-sent to retriers
+  std::uint64_t admitted = 0;    ///< commands admitted into pending
+  std::uint64_t sheds = 0;       ///< REQUESTs rejected with BUSY
+  std::uint64_t busy_sent = 0;   ///< BUSY frames sent
+  std::uint64_t relays_sent = 0;       ///< CMD_RELAY broadcasts (admitter)
+  std::uint64_t relays_received = 0;   ///< CMD_RELAY bodies ingested
+  std::uint64_t relays_dropped = 0;    ///< relayed bodies over capacity
+  std::uint64_t fetches_sent = 0;      ///< CMD_FETCH broadcasts
+  std::uint64_t fetches_served = 0;    ///< bodies answered to fetchers
+  std::uint64_t replies_sent = 0;      ///< REPLY frames sent on commit
+  std::uint64_t parked_commits = 0;    ///< frontier stalls awaiting bodies
+  std::uint64_t rejects = 0;           ///< malformed/out-of-range frames
+  std::uint64_t queue_peak = 0;        ///< max pending observed
+};
+
+}  // namespace modubft::smr

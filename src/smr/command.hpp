@@ -16,6 +16,14 @@ struct Command {
   Op op = Op::kPut;
   std::string key;
   std::string value;  // empty for kDel
+
+  friend bool operator==(const Command& a, const Command& b) {
+    return a.id == b.id && a.op == b.op && a.key == b.key &&
+           a.value == b.value;
+  }
+  friend bool operator!=(const Command& a, const Command& b) {
+    return !(a == b);
+  }
 };
 
 Bytes encode_command(const Command& cmd);

@@ -136,6 +136,11 @@ Replica::Replica(ReplicaConfig config, std::vector<Command> workload,
     commands_.emplace(cmd.id, std::move(cmd));
   }
 
+  if (client_mode()) {
+    MODUBFT_EXPECTS(config_.client.reply_cache >= 1);
+    MODUBFT_EXPECTS(config_.client.fetch_retry_delay > 0);
+  }
+
   if (checkpointing()) {
     // Checkpoint votes are signed under BOTH backends: the certificate
     // must convince a recovering replica that trusts nobody, even when
@@ -180,10 +185,14 @@ std::uint64_t Replica::pick_proposal(std::uint64_t slot) {
   // Anchor the `batch` smallest unclaimed pending ids to this slot and
   // propose the first of them, so concurrent slots carry disjoint
   // proposals.  Purely a local heuristic: the commit rule re-derives the
-  // batch from the committed set, never from these claims.
+  // batch from the committed set, never from these claims.  In client
+  // mode the claim narrows to one id — the decided-vector commit rule
+  // releases every decided entry, so wide claims would only idle ids
+  // behind a single slot.
+  const std::uint32_t width = client_mode() ? 1u : config_.batch;
   std::vector<std::uint64_t> claim;
   for (const auto& [id, cmd] : commands_) {
-    if (claim.size() >= config_.batch) break;
+    if (claim.size() >= width) break;
     if (committed_ids_.count(id) > 0 || claimed_ids_.count(id) > 0) continue;
     claim.push_back(id);
   }
@@ -256,6 +265,14 @@ bool Replica::fill_window(sim::Context& ctx) {
   bool started = false;
   while (next_start_ < config_.slots &&
          next_start_ < next_commit_ + config_.window) {
+    // Client mode idles instead of burning the log on no-op slots: a slot
+    // starts only with something to propose, or when a peer already
+    // started it (its envelopes buffered in future_), or in the drain
+    // phase after every client announced DONE.
+    if (client_mode() && !drain_ && !has_proposable() &&
+        future_.count(next_start_) == 0) {
+      break;
+    }
     const std::uint64_t slot = next_start_++;
     started = true;
     Slot& st = slots_[slot];
@@ -282,38 +299,76 @@ bool Replica::fill_window(sim::Context& ctx) {
   return started;
 }
 
-void Replica::commit_slot(sim::Context& ctx, Slot& st) {
-  // Deterministic anchor extraction from the raw decision.  A real anchor
-  // (a non-zero id present in the command table) releases a batch; an
-  // all-null / unknown decision is a no-op slot.  Note the rule reads
-  // only (decision, commands_) — both identical across correct replicas.
-  std::uint64_t anchor = 0;
-  if (config_.backend == Backend::kCrashHurfinRaynal) {
-    if (st.crash_value != 0 && commands_.count(st.crash_value) > 0) {
-      anchor = st.crash_value;
-    }
-  } else {
-    for (const auto& entry : st.vector.entries) {
-      if (!entry.has_value() || *entry == 0) continue;
-      if (commands_.count(*entry) == 0) continue;
-      if (anchor == 0 || *entry < anchor) anchor = *entry;
-    }
-  }
-
-  // Canonical batch: the `batch` smallest still-pending ids, applied in
-  // increasing id order.  Identical across correct replicas because the
-  // committed set is (inductively) identical at the frontier; and since
-  // every batch drains the smallest pending ids, the overall application
-  // order is increasing id order regardless of (window, batch).
+bool Replica::commit_slot(sim::Context& ctx, Slot& st) {
   std::vector<std::uint64_t> batch;
-  if (anchor != 0) {
-    for (const auto& [id, cmd] : commands_) {
-      if (batch.size() >= config_.batch) break;
-      if (committed_ids_.count(id) > 0) continue;
-      batch.push_back(id);
+  if (client_mode()) {
+    // Client-mode commit rule: the batch is every decided entry that is
+    // not yet committed and names either a known command or a plausible
+    // client id, in increasing id order.  A pure function of (decision,
+    // committed set) — sound under dynamic arrival, where the static
+    // smallest-pending rule below would diverge across replicas that
+    // admitted different requests.
+    std::set<std::uint64_t> ids;
+    auto consider = [&](std::uint64_t id) {
+      if (id == 0 || committed_ids_.count(id) > 0) return;
+      if (commands_.count(id) == 0 && !plausible_client_id(id)) return;
+      ids.insert(id);
+    };
+    if (config_.backend == Backend::kCrashHurfinRaynal) {
+      consider(st.crash_value);
+    } else {
+      for (const auto& entry : st.vector.entries) {
+        if (entry.has_value()) consider(*entry);
+      }
+    }
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t id : ids) {
+      if (commands_.count(id) == 0) missing.push_back(id);
+    }
+    if (!missing.empty()) {
+      // Decided here but the bodies were relayed while we weren't
+      // listening: park the frontier and fetch.  Any peer that committed
+      // this slot holds the bodies (it could not have committed without
+      // them) and answers with CMD_RELAY.
+      ++cstats_.parked_commits;
+      request_bodies(ctx, missing);
+      return false;
+    }
+    batch.assign(ids.begin(), ids.end());
+  } else {
+    // Deterministic anchor extraction from the raw decision.  A real
+    // anchor (a non-zero id present in the command table) releases a
+    // batch; an all-null / unknown decision is a no-op slot.  Note the
+    // rule reads only (decision, commands_) — both identical across
+    // correct replicas.
+    std::uint64_t anchor = 0;
+    if (config_.backend == Backend::kCrashHurfinRaynal) {
+      if (st.crash_value != 0 && commands_.count(st.crash_value) > 0) {
+        anchor = st.crash_value;
+      }
+    } else {
+      for (const auto& entry : st.vector.entries) {
+        if (!entry.has_value() || *entry == 0) continue;
+        if (commands_.count(*entry) == 0) continue;
+        if (anchor == 0 || *entry < anchor) anchor = *entry;
+      }
+    }
+
+    // Canonical batch: the `batch` smallest still-pending ids, applied in
+    // increasing id order.  Identical across correct replicas because the
+    // committed set is (inductively) identical at the frontier; and since
+    // every batch drains the smallest pending ids, the overall application
+    // order is increasing id order regardless of (window, batch).
+    if (anchor != 0) {
+      for (const auto& [id, cmd] : commands_) {
+        if (batch.size() >= config_.batch) break;
+        if (committed_ids_.count(id) > 0) continue;
+        batch.push_back(id);
+      }
     }
   }
   apply_committed_batch(ctx, batch);
+  return true;
 }
 
 void Replica::apply_committed_batch(sim::Context& ctx,
@@ -331,6 +386,30 @@ void Replica::apply_committed_batch(sim::Context& ctx,
     ++pstats_.commands_committed;
     log_debug("SMR ", ctx.id(), " commits slot ", slot.value, " cmd ", id);
     if (on_commit_) on_commit_(slot, &c->second, store_);
+
+    if (client_mode() && is_client(client_of_cmd(id))) {
+      // Every committing replica answers the owning client; the client
+      // certifies at f+1 (Byzantine) / majority (crash) matching replies.
+      // The cached frame also serves duplicate replay, so it must exist
+      // before the send (the bytes are identical either way).
+      pending_client_.erase(id);
+      const std::uint32_t client = client_of_cmd(id);
+      const std::uint64_t seq = seq_of_cmd(id);
+      ClientReply reply;
+      reply.seq = seq;
+      reply.cmd_id = id;
+      reply.slot = slot.value;
+      reply.op = c->second.op;
+      reply.key = c->second.key;
+      reply.value = c->second.value;
+      auto& cache = client_table_[client];
+      auto ins = cache.emplace(seq, encode_control_reply(reply)).first;
+      ctx.send(ProcessId{client}, ins->second);
+      ++cstats_.replies_sent;
+      while (cache.size() > config_.client.reply_cache) {
+        cache.erase(cache.begin());  // oldest seq first
+      }
+    }
   }
   if (applied.empty()) {
     ++pstats_.noop_slots;
@@ -359,6 +438,9 @@ void Replica::apply_committed_batch(sim::Context& ctx,
   for (auto t = timer_slot_.begin(); t != timer_slot_.end();) {
     t = t->second < next_commit_ ? timer_slot_.erase(t) : std::next(t);
   }
+  // Frontier progress retires any in-flight fetch; the armed retry timer
+  // finds last_fetch_ empty and disarms itself.
+  if (client_mode()) last_fetch_.clear();
 
   maybe_checkpoint(ctx);
 }
@@ -371,7 +453,7 @@ void Replica::pump(sim::Context& ctx) {
     while (next_commit_ < config_.slots) {
       auto it = slots_.find(next_commit_);
       if (it == slots_.end() || !it->second.decided) break;
-      commit_slot(ctx, it->second);
+      if (!commit_slot(ctx, it->second)) break;  // parked awaiting bodies
       slots_.erase(it);
       progress = true;
     }
@@ -414,6 +496,7 @@ void Replica::maybe_checkpoint(sim::Context& ctx) {
   snap.applied = store_.applied_count();
   snap.data = store_.contents();
   snap.committed_ids = committed_ids_;
+  if (client_mode()) snap.clients = client_table_;
   Bytes encoded = encode_snapshot(snap);
   const crypto::Digest digest = snapshot_digest(encoded);
   pending_ckpts_[next_commit_] = {std::move(encoded), digest};
@@ -550,6 +633,18 @@ void Replica::advance_recovery(sim::Context& ctx) {
     }
     store_.install(inst->snapshot.data, inst->snapshot.applied);
     committed_ids_ = inst->snapshot.committed_ids;
+    if (client_mode()) {
+      // Resume the duplicate-suppression contract where the snapshot left
+      // it, and re-derive the admission queue: every known client command
+      // the snapshot does not record as committed is pending again.
+      client_table_ = inst->snapshot.clients;
+      pending_client_.clear();
+      for (const auto& [id, cmd] : commands_) {
+        if (is_client(client_of_cmd(id)) && committed_ids_.count(id) == 0) {
+          pending_client_.insert(id);
+        }
+      }
+    }
     next_commit_ = inst->snapshot.slot;
     next_start_ = std::max(next_start_, next_commit_);
     latest_cert_ = inst->cert;
@@ -572,6 +667,22 @@ void Replica::advance_recovery(sim::Context& ctx) {
   while (next_commit_ < config_.slots) {
     auto ids = recovery_->batch_for(next_commit_);
     if (!ids.has_value()) break;
+    if (client_mode()) {
+      std::vector<std::uint64_t> missing;
+      for (std::uint64_t id : *ids) {
+        if (commands_.count(id) == 0 && plausible_client_id(id)) {
+          missing.push_back(id);
+        }
+      }
+      if (!missing.empty()) {
+        // The quorum says these committed here, but the bodies were
+        // relayed while we were down: fetch them and resume the replay
+        // when they land (ingest_relay re-enters advance_recovery).
+        ++cstats_.parked_commits;
+        request_bodies(ctx, missing);
+        break;
+      }
+    }
     auto it = slots_.find(next_commit_);
     if (it != slots_.end()) {
       auto c = claims_.find(next_commit_);
@@ -610,17 +721,24 @@ void Replica::handle_control(sim::Context& ctx, ProcessId from,
   const Bytes body(inner.begin() + 1, inner.end());
   try {
     switch (kind) {
+      // Checkpoint/recovery kinds stay gated on checkpointing(): in a
+      // client-mode run without checkpoints they are rejected exactly as a
+      // pre-recovery replica would drop them (handle_vote divides by the
+      // checkpoint interval, so the gate is load-bearing, not cosmetic).
       case ControlKind::kCheckpointVote: {
+        if (!checkpointing()) break;
         Reader r(body);
         handle_vote(ctx, from, r);
         return;
       }
       case ControlKind::kStateReq: {
+        if (!checkpointing()) break;
         Reader r(body);
         handle_state_req(ctx, from, r);
         return;
       }
       case ControlKind::kStateResp: {
+        if (!checkpointing()) break;
         if (!recovery_) return;  // we never asked
         if (!recovery_->ingest(from, body)) {
           ++pstats_.recovery_rejects;
@@ -629,10 +747,211 @@ void Replica::handle_control(sim::Context& ctx, ProcessId from,
         advance_recovery(ctx);
         return;
       }
+      case ControlKind::kRequest: {
+        if (!client_mode()) break;
+        Reader r(body);
+        handle_request(ctx, from, r);
+        return;
+      }
+      case ControlKind::kCmdRelay: {
+        if (!client_mode()) break;
+        Reader r(body);
+        handle_relay(ctx, from, r);
+        return;
+      }
+      case ControlKind::kCmdFetch: {
+        if (!client_mode()) break;
+        Reader r(body);
+        handle_fetch(ctx, from, r);
+        return;
+      }
+      case ControlKind::kClientDone: {
+        if (!client_mode()) break;
+        Reader r(body);
+        handle_client_done(ctx, from, r);
+        return;
+      }
+      case ControlKind::kReply:
+      case ControlKind::kBusy:
+        return;  // client-bound kinds; a replica receiving one ignores it
     }
   } catch (const SerialError&) {
   }
   ++pstats_.recovery_rejects;
+}
+
+void Replica::handle_request(sim::Context& ctx, ProcessId from, Reader& r) {
+  if (!is_client(from.value)) {
+    ++cstats_.rejects;
+    return;
+  }
+  const ClientRequest req = decode_client_request(r);
+  if (req.seq == 0 || req.seq > 0xffffffffULL) {
+    ++cstats_.rejects;
+    return;
+  }
+  ++cstats_.requests;
+  const std::uint64_t id = make_client_cmd_id(from.value, req.seq);
+  if (committed_ids_.count(id) > 0) {
+    // Exactly-once: already applied.  Replay the cached reply — the retry
+    // means the client has not certified yet.  A reply evicted from the
+    // bounded cache is simply not replayed; the client's outstanding
+    // window is required to stay within the cache bound (docs/CLIENT.md).
+    ++cstats_.duplicates;
+    auto t = client_table_.find(from.value);
+    if (t != client_table_.end()) {
+      auto rep = t->second.find(req.seq);
+      if (rep != t->second.end()) {
+        ctx.send(from, rep->second);
+        ++cstats_.replays;
+      }
+    }
+    return;
+  }
+  if (commands_.count(id) > 0) {
+    // In flight: the commit-time reply will answer this retry too.
+    ++cstats_.duplicates;
+    return;
+  }
+  if (pending_client_.size() >= config_.client.max_pending) {
+    // Deterministic load-shedding: the admission queue is full, tell the
+    // client to back off instead of queueing unboundedly.
+    ++cstats_.sheds;
+    ctx.send(from, encode_control_busy(BusyFrame{
+                       req.seq,
+                       static_cast<std::uint32_t>(pending_client_.size())}));
+    ++cstats_.busy_sent;
+    return;
+  }
+  Command cmd;
+  cmd.id = id;
+  cmd.op = req.op;
+  cmd.key = req.key;
+  cmd.value = req.value;
+  commands_.emplace(id, std::move(cmd));
+  pending_client_.insert(id);
+  cstats_.queue_peak = std::max<std::uint64_t>(cstats_.queue_peak,
+                                               pending_client_.size());
+  ++cstats_.admitted;
+  CmdRelay relay;
+  relay.client = from.value;
+  relay.seq = req.seq;
+  relay.op = req.op;
+  relay.key = req.key;
+  relay.value = req.value;
+  ctx.broadcast(encode_control_relay(relay));
+  ++cstats_.relays_sent;
+  if (!recovering_) pump(ctx);
+}
+
+void Replica::handle_relay(sim::Context& ctx, ProcessId from, Reader& r) {
+  if (from.value >= config_.n) {
+    ++cstats_.rejects;  // only replicas relay bodies
+    return;
+  }
+  const CmdRelay relay = decode_cmd_relay(r);
+  if (!is_client(relay.client) || relay.seq == 0 ||
+      relay.seq > 0xffffffffULL) {
+    ++cstats_.rejects;
+    return;
+  }
+  ingest_relay(ctx, relay);
+}
+
+void Replica::ingest_relay(sim::Context& ctx, const CmdRelay& relay) {
+  const std::uint64_t id = make_client_cmd_id(relay.client, relay.seq);
+  ++cstats_.relays_received;
+  if (commands_.count(id) == 0) {
+    const bool committed = committed_ids_.count(id) > 0;
+    if (!committed &&
+        pending_client_.size() >=
+            static_cast<std::size_t>(config_.client.max_pending) * config_.n) {
+      // Peers collectively admit at most n × max_pending; beyond that the
+      // relay is a flood and is dropped.  Safe — if the command commits,
+      // the frontier parks and CMD_FETCH re-acquires the body.
+      ++cstats_.relays_dropped;
+      return;
+    }
+    Command cmd;
+    cmd.id = id;
+    cmd.op = relay.op;
+    cmd.key = relay.key;
+    cmd.value = relay.value;
+    commands_.emplace(id, std::move(cmd));
+    if (!committed) {
+      pending_client_.insert(id);
+      cstats_.queue_peak = std::max<std::uint64_t>(cstats_.queue_peak,
+                                                   pending_client_.size());
+    }
+  }
+  // A parked frontier or a stalled suffix replay may now advance.  Never
+  // touch advance_recovery while still recovering_ — it would mark the
+  // replica rejoined without any installed state.
+  if (recovery_ != nullptr && !recovering_) {
+    advance_recovery(ctx);
+  } else if (!recovering_) {
+    pump(ctx);
+  }
+}
+
+void Replica::handle_fetch(sim::Context& ctx, ProcessId from, Reader& r) {
+  if (from.value == ctx.id().value) return;  // own broadcast echo
+  if (from.value >= config_.n) {
+    ++cstats_.rejects;  // only replicas fetch bodies
+    return;
+  }
+  const std::vector<std::uint64_t> ids =
+      decode_cmd_fetch(r, config_.checkpoint.limits);
+  for (std::uint64_t id : ids) {
+    auto it = commands_.find(id);
+    if (it == commands_.end() || !is_client(client_of_cmd(id))) continue;
+    CmdRelay relay;
+    relay.client = client_of_cmd(id);
+    relay.seq = seq_of_cmd(id);
+    relay.op = it->second.op;
+    relay.key = it->second.key;
+    relay.value = it->second.value;
+    ctx.send(from, encode_control_relay(relay));
+    ++cstats_.fetches_served;
+  }
+}
+
+void Replica::handle_client_done(sim::Context& ctx, ProcessId from,
+                                 Reader& r) {
+  if (!is_client(from.value)) {
+    ++cstats_.rejects;
+    return;
+  }
+  (void)decode_client_done(r);  // validated; the sender identity is enough
+  clients_done_.insert(from.value);
+  if (!drain_ && clients_done_.size() >= config_.client.num_clients) {
+    // Every client certified its whole script: run the rest of the log as
+    // no-op slots so the PR 6 end-of-log machinery (final checkpoint,
+    // await_done) applies unchanged.
+    drain_ = true;
+    if (!recovering_) pump(ctx);
+  }
+}
+
+void Replica::request_bodies(sim::Context& ctx,
+                             const std::vector<std::uint64_t>& missing) {
+  if (missing != last_fetch_) {
+    last_fetch_ = missing;
+    ctx.broadcast(encode_control_fetch(missing));
+    ++cstats_.fetches_sent;
+  }
+  if (fetch_timer_ == 0) {
+    fetch_timer_ = ctx.set_timer(config_.client.fetch_retry_delay);
+  }
+}
+
+bool Replica::has_proposable() const {
+  for (const auto& [id, cmd] : commands_) {
+    if (committed_ids_.count(id) == 0 && claimed_ids_.count(id) == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Replica::on_message(sim::Context& ctx, ProcessId from,
@@ -647,10 +966,11 @@ void Replica::on_message(sim::Context& ctx, ProcessId from,
     return;  // not an SMR frame
   }
   if (slot == kControlSlot) {
-    // Reserved tag: recovery control traffic.  With checkpointing off the
-    // frame is dropped exactly like any other out-of-range slot — the
-    // silent drop a pre-recovery replica already performs.
-    if (checkpointing()) handle_control(ctx, from, inner);
+    // Reserved tag: recovery and client/service control traffic.  With
+    // both subsystems off the frame is dropped exactly like any other
+    // out-of-range slot — the silent drop a pre-recovery replica already
+    // performs.
+    if (checkpointing() || client_mode()) handle_control(ctx, from, inner);
     return;
   }
   if (slot >= config_.slots) return;  // no such instance
@@ -697,6 +1017,10 @@ void Replica::on_message(sim::Context& ctx, ProcessId from,
   }
   f->second.emplace_back(from, std::move(inner));
   ++pstats_.future_buffered;
+  // Client mode gates slot starts on peer activity (future_): a peer
+  // starting next_start_ before we have anything to propose is only
+  // visible here, so the buffered envelope must open the window.
+  if (client_mode()) pump(ctx);
 }
 
 bool Replica::staging_ready() const {
@@ -817,6 +1141,16 @@ void Replica::flush_staged(sim::Context& ctx) {
 
 void Replica::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
   if (done()) return;
+  if (client_mode() && fetch_timer_ != 0 && timer_id == fetch_timer_) {
+    fetch_timer_ = 0;
+    if (!last_fetch_.empty()) {
+      // Frontier (or suffix replay) still parked: re-ask everyone.
+      ctx.broadcast(encode_control_fetch(last_fetch_));
+      ++cstats_.fetches_sent;
+      fetch_timer_ = ctx.set_timer(config_.client.fetch_retry_delay);
+    }
+    return;
+  }
   if (recovery_ != nullptr && timer_id == recovery_timer_) {
     // Catch-up tick: a stalled frontier means peers are ahead (or our
     // first request was lost) — re-ask with exponential backoff; progress

@@ -52,6 +52,7 @@
 #include "fd/failure_detector.hpp"
 #include "sim/actor.hpp"
 #include "smr/checkpoint.hpp"
+#include "smr/client_table.hpp"
 #include "smr/kv_store.hpp"
 #include "smr/recovery.hpp"
 
@@ -151,6 +152,19 @@ struct ReplicaConfig {
   /// stop as soon as the log commits (the pre-recovery behaviour).  Only
   /// honoured when checkpointing is on.
   std::set<std::uint32_t> await_done;
+
+  /// Client/service layer (docs/CLIENT.md).  num_clients > 0 switches the
+  /// replica into client mode: REQUEST/REPLY/BUSY/CMD_RELAY/CMD_FETCH/
+  /// CLIENT_DONE control frames are spoken, the commit rule becomes the
+  /// decided-vector rule (every non-committed decided entry, smallest id
+  /// first — a pure function of the decision and the committed set, sound
+  /// under dynamic command arrival, where the static "B smallest pending"
+  /// rule is not), proposal claims narrow to one id per slot so window-W
+  /// slots carry disjoint proposals, and slots only start when there is
+  /// something to propose (or a peer already started them, or every
+  /// client announced DONE — the drain phase that no-ops the rest of the
+  /// log so the PR 6 end-of-log machinery applies unchanged).
+  ClientServiceConfig client;
 };
 
 /// Pipeline observability, surfaced through runtime::RunStats::to_json.
@@ -256,6 +270,12 @@ class Replica final : public sim::Actor {
     return latest_cert_;
   }
 
+  /// True iff the client/service layer is active (see ClientServiceConfig).
+  bool client_mode() const { return config_.client.num_clients > 0; }
+
+  /// Client-service counters (all zero outside client mode).
+  const ClientServiceStats& client_service_stats() const { return cstats_; }
+
  private:
   class SlotContext;
 
@@ -273,7 +293,9 @@ class Replica final : public sim::Actor {
   /// Called after every dispatch into an instance.
   void pump(sim::Context& ctx);
   bool fill_window(sim::Context& ctx);
-  void commit_slot(sim::Context& ctx, Slot& st);
+  /// Returns false when the frontier slot is parked awaiting command
+  /// bodies (client mode only); pump stops and CMD_FETCH drives retry.
+  bool commit_slot(sim::Context& ctx, Slot& st);
   std::uint64_t pick_proposal(std::uint64_t slot);
   std::unique_ptr<sim::Actor> make_instance_actor(std::uint64_t slot);
   std::uint64_t buffer_horizon() const {
@@ -313,6 +335,32 @@ class Replica final : public sim::Actor {
   /// Stops the replica when done AND every awaited peer announced done
   /// (their end-of-log checkpoint vote doubles as the announcement).
   void maybe_stop(sim::Context& ctx);
+
+  // --- client service (all no-ops when client.num_clients == 0) ---
+  bool is_client(std::uint32_t pid) const {
+    return pid >= config_.n && pid < config_.n + config_.client.num_clients;
+  }
+  /// Deterministic id-space filter for decided entries: a plausible
+  /// client command id names a configured client and a non-zero 32-bit
+  /// seq.  Entries outside both this space and the preloaded command
+  /// table are skipped identically by every correct replica (a forged id
+  /// cannot stall the frontier).
+  bool plausible_client_id(std::uint64_t id) const {
+    const std::uint64_t seq = seq_of_cmd(id);
+    return is_client(client_of_cmd(id)) && seq >= 1;
+  }
+  bool has_proposable() const;
+  void handle_request(sim::Context& ctx, ProcessId from, Reader& r);
+  void handle_relay(sim::Context& ctx, ProcessId from, Reader& r);
+  void handle_fetch(sim::Context& ctx, ProcessId from, Reader& r);
+  void handle_client_done(sim::Context& ctx, ProcessId from, Reader& r);
+  /// Ingests one relayed command body (CMD_RELAY broadcast or a CMD_FETCH
+  /// answer — same frame) and resumes any parked commit or suffix replay.
+  void ingest_relay(sim::Context& ctx, const CmdRelay& relay);
+  /// Broadcasts CMD_FETCH for missing frontier bodies (deduplicated
+  /// against the in-flight fetch) and arms the retry timer.
+  void request_bodies(sim::Context& ctx,
+                      const std::vector<std::uint64_t>& missing);
 
   ReplicaConfig config_;
   std::map<std::uint64_t, Command> commands_;  // id → command
@@ -380,6 +428,22 @@ class Replica final : public sim::Actor {
   std::uint64_t recovery_timer_ = 0;
   SimTime retry_delay_ = 0;
   std::uint64_t last_seen_frontier_ = 0;
+
+  // --- client service state (inert when client.num_clients == 0) ---
+  /// Per-client reply cache: client id → seq → encoded REPLY frame.
+  /// Deterministic (a function of the committed log and the cache bound),
+  /// so it lives inside the certified snapshot.
+  std::map<std::uint32_t, std::map<std::uint64_t, Bytes>> client_table_;
+  /// Admitted client commands not yet committed (the admission queue the
+  /// shed bound applies to).
+  std::set<std::uint64_t> pending_client_;
+  /// Clients that broadcast CLIENT_DONE; all of them ⇒ drain mode.
+  std::set<std::uint32_t> clients_done_;
+  bool drain_ = false;
+  /// Missing-body fetch in flight (frontier or suffix replay stall).
+  std::vector<std::uint64_t> last_fetch_;
+  std::uint64_t fetch_timer_ = 0;
+  ClientServiceStats cstats_;
 };
 
 }  // namespace modubft::smr

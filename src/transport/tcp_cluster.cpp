@@ -533,7 +533,13 @@ void TcpCluster::io_main(Node& node) {
   auto handle_accept = [&] {
     for (;;) {
       int fd = ::accept(node.listen_fd, nullptr, nullptr);
-      if (fd < 0) return;  // EAGAIN, or listen socket shut down
+      if (fd < 0) {
+        // A signal landing mid-sweep must not abandon the rest of the
+        // backlog until the next epoll tick; only a genuinely drained
+        // queue (or a shut-down listen socket) ends the sweep.
+        if (errno == EINTR) continue;
+        return;  // EAGAIN/EWOULDBLOCK, or listen socket shut down
+      }
       if (shutting_down_.load()) {
         ::close(fd);
         return;
@@ -579,7 +585,11 @@ void TcpCluster::io_main(Node& node) {
       const int fd = events[i].data.fd;
       if (fd == node.wake_fd) {
         std::uint64_t drained = 0;
-        (void)::read(node.wake_fd, &drained, sizeof drained);
+        // Retry on EINTR: an unconsumed eventfd counter would re-fire the
+        // wakeup on every subsequent epoll_wait.
+        while (::read(node.wake_fd, &drained, sizeof drained) < 0 &&
+               errno == EINTR) {
+        }
         continue;  // the while condition re-checks shutting_down_
       }
       if (fd == node.listen_fd) {

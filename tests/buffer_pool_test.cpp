@@ -1,0 +1,114 @@
+// Error-path coverage for the encode-path buffer arena
+// (common/buffer_pool.hpp).  The happy path — acquire, encode, release,
+// reuse — is exercised all over the staged-ingest tests; what was missing
+// is the contract under failure:
+//
+//   * an exception thrown between acquire() and release() (an encode
+//     epilogue that throws) must leak nothing into the pool and must not
+//     wedge later acquires;
+//   * an exhausted free list must fall back to fresh allocation, never
+//     block or fail;
+//   * the retention caps (max_pooled, max_buffer_bytes) must drop — not
+//     retain — buffers that would unbind the pool's memory.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/buffer_pool.hpp"
+#include "common/serial.hpp"
+
+namespace modubft {
+namespace {
+
+TEST(BufferPool, ExhaustedFreeListFallsBackToFreshAllocation) {
+  BufferPool pool;
+  // Nothing was ever released: every acquire must be satisfied fresh.
+  for (int i = 0; i < 8; ++i) {
+    Bytes buf = pool.acquire();
+    EXPECT_TRUE(buf.empty());
+  }
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 8u);
+  EXPECT_EQ(stats.reuses, 0u);
+  EXPECT_EQ(stats.releases, 0u);
+  EXPECT_DOUBLE_EQ(stats.reuse_rate(), 0.0);
+}
+
+TEST(BufferPool, ReuseKeepsCapacityAndEncodesIdentically) {
+  BufferPool pool;
+  Bytes first = pool.acquire();
+  Writer seed(std::move(first));
+  seed.u64(0x1122334455667788ull);
+  seed.str("warm the capacity");
+  Bytes frame = std::move(seed).take();
+  const Bytes reference = frame;
+  const std::size_t warmed = frame.capacity();
+  pool.release(std::move(frame));
+  ASSERT_EQ(pool.pooled(), 1u);
+
+  // The reused buffer arrives empty but warm, and a Writer over it
+  // produces byte-identical output to a cold Writer.
+  Bytes again = pool.acquire();
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), warmed);
+  Writer w(std::move(again));
+  w.u64(0x1122334455667788ull);
+  w.str("warm the capacity");
+  EXPECT_EQ(std::move(w).take(), reference);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+TEST(BufferPool, EncodeEpilogueThrowLeaksNothingAndPoolKeepsWorking) {
+  BufferPool pool;
+  // Warm one buffer into the free list.
+  pool.release(Bytes(64, 0xab));
+  ASSERT_EQ(pool.pooled(), 1u);
+
+  // An encode epilogue that throws after acquire(): the buffer dies with
+  // the exception (dropping without release is legal) and the free list
+  // simply stays drained — no double-release, no poisoned entry.
+  auto throwing_encode = [&pool] {
+    Bytes buf = pool.acquire();
+    buf.push_back(0x01);
+    throw std::runtime_error("epilogue failed");
+  };
+  EXPECT_THROW(throwing_encode(), std::runtime_error);
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  // The pool is fully functional afterwards: fresh allocation fallback,
+  // then a normal release/acquire cycle reuses again.
+  Bytes buf = pool.acquire();
+  EXPECT_TRUE(buf.empty());
+  buf.resize(16);
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+  pool.acquire();
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 3u);  // throwing + fallback + reuse
+  EXPECT_EQ(stats.reuses, 2u);    // pre-warmed + post-recovery
+  EXPECT_EQ(stats.releases, 2u);  // pre-warm + post-recovery
+}
+
+TEST(BufferPool, FullFreeListDropsInsteadOfGrowing) {
+  BufferPool pool(/*max_pooled=*/2);
+  pool.release(Bytes(8, 0x01));
+  pool.release(Bytes(8, 0x02));
+  pool.release(Bytes(8, 0x03));  // over the cap: dropped, not retained
+  EXPECT_EQ(pool.pooled(), 2u);
+  EXPECT_EQ(pool.stats().releases, 3u);  // the drop still counts
+}
+
+TEST(BufferPool, OversizedBufferIsNotRetained) {
+  BufferPool pool(/*max_pooled=*/4, /*max_buffer_bytes=*/128);
+  Bytes huge;
+  huge.reserve(4096);  // capacity, not size, is what pins memory
+  pool.release(std::move(huge));
+  EXPECT_EQ(pool.pooled(), 0u) << "oversized capacity must not be pinned";
+
+  pool.release(Bytes(64, 0xcd));  // under the cap: retained
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+}  // namespace
+}  // namespace modubft

@@ -1,0 +1,117 @@
+// Client chaos campaign (ISSUE 9): the request/reply path under live
+// adversaries, replica kill/restart, and (on TCP) link faults — see
+// adversary/client_campaign.hpp for the attack taxonomy.
+//
+// Every cell asserts full liveness (every client certifies its whole
+// script, the victim rejoins via verified state transfer) plus the
+// exactly-once audit (every accepted reply matches the committed log, no
+// command applied twice).  The negative control proves the audit works:
+// universal forgery + uncritical clients MUST be flagged.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "adversary/client_campaign.hpp"
+
+namespace modubft::adversary {
+namespace {
+
+ClientCellConfig cell(ClientAttackKind attack, runtime::Backend substrate,
+                      std::uint64_t seed) {
+  ClientCellConfig config;
+  config.attack = attack;
+  config.substrate = substrate;
+  config.seed = seed;
+  if (substrate != runtime::Backend::kSim) {
+    config.budget = std::chrono::milliseconds(60'000);
+  }
+  return config;
+}
+
+// ------------------------------------------------------------- simulator
+
+TEST(ClientChaos, SimNoAttackBaseline) {
+  const ClientCellOutcome out =
+      run_client_cell(cell(ClientAttackKind::kNone, runtime::Backend::kSim, 3));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(ClientChaos, SimDroppedRepliesForceRetryAndFailover) {
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kDropReplies, runtime::Backend::kSim, 5));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(ClientChaos, SimDelayedRepliesCrossRetriesWithoutDuplication) {
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kDelayReplies, runtime::Backend::kSim, 7));
+  EXPECT_TRUE(out.pass) << out.detail;
+  EXPECT_EQ(out.result.commit_log_duplicates, 0u);
+}
+
+TEST(ClientChaos, SimForgedRepliesNeverCertify) {
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kForgeReplies, runtime::Backend::kSim, 9));
+  EXPECT_TRUE(out.pass) << out.detail;
+  // The clients saw the forgeries and rejected them at the content check;
+  // none survived into an accepted reply (pass already implies the audit
+  // came back clean).
+  EXPECT_GT(out.result.run_stats.client.mismatched_replies, 0u);
+}
+
+TEST(ClientChaos, SimDeterministicRerun) {
+  const ClientCellConfig config =
+      cell(ClientAttackKind::kDropReplies, runtime::Backend::kSim, 11);
+  const ClientCellOutcome a = run_client_cell(config);
+  const ClientCellOutcome b = run_client_cell(config);
+  EXPECT_TRUE(a.pass) << a.detail;
+  EXPECT_EQ(a.result.stores, b.result.stores);
+  EXPECT_EQ(a.result.commit_log, b.result.commit_log);
+  EXPECT_EQ(a.result.run_stats.client.accepted,
+            b.result.run_stats.client.accepted);
+}
+
+// ------------------------------------------------------- negative control
+
+TEST(ClientChaos, NegativeControlFlagsAcceptedForgeries) {
+  const ClientControlOutcome out =
+      run_client_negative_control(3, runtime::Backend::kSim);
+  EXPECT_GT(out.accepted, 0u)
+      << "the broken clients accepted nothing — the control proves nothing";
+  EXPECT_TRUE(out.flagged)
+      << "universal forgery + trust-first-reply was not flagged; the "
+         "client audit cannot catch the violation it exists for";
+}
+
+// ------------------------------------------------- wall-clock substrates
+
+TEST(ClientChaos, ThreadsDroppedReplies) {
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kDropReplies, runtime::Backend::kThreads, 13));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(ClientChaos, ThreadsForgedReplies) {
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kForgeReplies, runtime::Backend::kThreads, 15));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(ClientChaos, TcpForgedRepliesUnderLinkChaos) {
+  ClientCellConfig config =
+      cell(ClientAttackKind::kForgeReplies, runtime::Backend::kTcp, 17);
+  config.link_chaos = true;
+  const ClientCellOutcome out = run_client_cell(config);
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(ClientChaos, CellReportRendersJson) {
+  const ClientCellOutcome out =
+      run_client_cell(cell(ClientAttackKind::kNone, runtime::Backend::kSim, 19));
+  const std::string json = to_json(out);
+  EXPECT_NE(json.find("\"pass\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"violations\":[]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace modubft::adversary

@@ -1,0 +1,292 @@
+// Fault-tolerant client/service layer (ISSUE 9), deterministic simulator:
+//
+//  * control-frame codec round trips for the REQUEST/REPLY/BUSY/RELAY/
+//    FETCH/CLIENT_DONE family and the client-command id packing;
+//  * snapshot client-table section: round trip, and byte-identity with
+//    the pre-client encoding when no client has ever been admitted;
+//  * end-to-end closed-loop runs on both backends with the exactly-once
+//    audit (every accepted reply matches the committed log);
+//  * duplicate suppression: aggressive client retries produce replica-side
+//    duplicate hits and reply replays, never a double execution;
+//  * overload protection: a tiny admission bound sheds with BUSY and the
+//    queue peak respects the bound, while every operation still settles;
+//  * failover: a client whose contact replica dies rotates to a live one;
+//  * inertness: a run without clients reports all-zero client counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adversary/client_campaign.hpp"
+#include "common/serial.hpp"
+#include "faults/scenario.hpp"
+#include "smr/checkpoint.hpp"
+
+namespace modubft {
+namespace {
+
+// ----------------------------------------------------------------- codec
+
+TEST(ClientWire, CommandIdPacksClientAndSeq) {
+  const std::uint64_t id = smr::make_client_cmd_id(7, 123456);
+  EXPECT_EQ(smr::client_of_cmd(id), 7u);
+  EXPECT_EQ(smr::seq_of_cmd(id), 123456u);
+  // Distinct clients and seqs never collide.
+  EXPECT_NE(smr::make_client_cmd_id(7, 8), smr::make_client_cmd_id(8, 7));
+}
+
+TEST(ClientWire, RequestRoundTrip) {
+  smr::ClientRequest req;
+  req.seq = 42;
+  req.op = smr::Command::Op::kPut;
+  req.key = "k3";
+  req.value = "v3_1";
+  const Bytes frame = smr::encode_control_request(req);
+  ASSERT_GE(frame.size(), 9u);
+  EXPECT_EQ(static_cast<smr::ControlKind>(frame[8]),
+            smr::ControlKind::kRequest);
+  Reader r(frame);
+  r.u64();
+  r.u8();
+  const smr::ClientRequest back = smr::decode_client_request(r);
+  EXPECT_EQ(back.seq, req.seq);
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.key, req.key);
+  EXPECT_EQ(back.value, req.value);
+}
+
+TEST(ClientWire, ReplyRoundTrip) {
+  smr::ClientReply reply;
+  reply.seq = 5;
+  reply.cmd_id = smr::make_client_cmd_id(4, 5);
+  reply.slot = 17;
+  reply.op = smr::Command::Op::kDel;
+  reply.key = "gone";
+  const Bytes frame = smr::encode_control_reply(reply);
+  EXPECT_EQ(static_cast<smr::ControlKind>(frame[8]), smr::ControlKind::kReply);
+  Reader r(frame);
+  r.u64();
+  r.u8();
+  const smr::ClientReply back = smr::decode_client_reply(r);
+  EXPECT_EQ(back.seq, reply.seq);
+  EXPECT_EQ(back.cmd_id, reply.cmd_id);
+  EXPECT_EQ(back.slot, reply.slot);
+  EXPECT_EQ(back.op, reply.op);
+  EXPECT_EQ(back.key, reply.key);
+  EXPECT_EQ(back.value, reply.value);
+}
+
+TEST(ClientWire, BusyRelayFetchDoneRoundTrips) {
+  const Bytes busy = smr::encode_control_busy({9, 64});
+  {
+    Reader r(busy);
+    r.u64();
+    ASSERT_EQ(static_cast<smr::ControlKind>(r.u8()), smr::ControlKind::kBusy);
+    const smr::BusyFrame back = smr::decode_busy(r);
+    EXPECT_EQ(back.seq, 9u);
+    EXPECT_EQ(back.queue_depth, 64u);
+  }
+  smr::CmdRelay relay;
+  relay.client = 6;
+  relay.seq = 3;
+  relay.op = smr::Command::Op::kPut;
+  relay.key = "k";
+  relay.value = "v";
+  const Bytes rel = smr::encode_control_relay(relay);
+  {
+    Reader r(rel);
+    r.u64();
+    ASSERT_EQ(static_cast<smr::ControlKind>(r.u8()),
+              smr::ControlKind::kCmdRelay);
+    const smr::CmdRelay back = smr::decode_cmd_relay(r);
+    EXPECT_EQ(back.client, relay.client);
+    EXPECT_EQ(back.seq, relay.seq);
+    EXPECT_EQ(back.key, relay.key);
+  }
+  const std::vector<std::uint64_t> ids = {smr::make_client_cmd_id(4, 1),
+                                          smr::make_client_cmd_id(5, 2)};
+  const Bytes fetch = smr::encode_control_fetch(ids);
+  {
+    Reader r(fetch);
+    r.u64();
+    ASSERT_EQ(static_cast<smr::ControlKind>(r.u8()),
+              smr::ControlKind::kCmdFetch);
+    EXPECT_EQ(smr::decode_cmd_fetch(r, smr::StateLimits{}), ids);
+  }
+  const Bytes done = smr::encode_control_client_done(8);
+  {
+    Reader r(done);
+    r.u64();
+    ASSERT_EQ(static_cast<smr::ControlKind>(r.u8()),
+              smr::ControlKind::kClientDone);
+    EXPECT_EQ(smr::decode_client_done(r), 8u);
+  }
+}
+
+TEST(ClientWire, SnapshotClientSectionRoundTripsAndEmptyIsByteIdentical) {
+  smr::Snapshot snap;
+  snap.slot = 8;
+  snap.applied = 12;
+  snap.data = {{"a", "1"}};
+  for (std::uint64_t id = 1; id <= 12; ++id) snap.committed_ids.insert(id);
+
+  // No client ever admitted: the encoding must be byte-identical to the
+  // pre-client format (no trailing section at all).
+  const Bytes bare = smr::encode_snapshot(snap);
+  const smr::Snapshot bare_back = smr::decode_snapshot(bare, {});
+  EXPECT_TRUE(bare_back.clients.empty());
+
+  smr::Snapshot with = snap;
+  with.clients[4][smr::make_client_cmd_id(4, 1)] = Bytes{0x01, 0x02};
+  with.clients[5][smr::make_client_cmd_id(5, 1)] = Bytes{0x03};
+  with.clients[5][smr::make_client_cmd_id(5, 2)] = Bytes{};
+  const Bytes full = smr::encode_snapshot(with);
+  EXPECT_GT(full.size(), bare.size());
+  ASSERT_EQ(Bytes(full.begin(), full.begin() + bare.size()), bare)
+      << "client section must be a pure suffix of the pre-client encoding";
+  const smr::Snapshot back = smr::decode_snapshot(full, {});
+  EXPECT_EQ(back.clients, with.clients);
+}
+
+// ------------------------------------------------------------ end to end
+
+faults::SmrScenarioConfig client_scenario(smr::Backend backend,
+                                          std::uint64_t seed) {
+  faults::SmrScenarioConfig sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.seed = seed;
+  sc.backend = backend;
+  sc.window = 4;
+  sc.batch = 2;
+  sc.checkpoint_interval = 4;
+  sc.clients = faults::ClientLoadConfig{};  // 2 clients × 8 ops, closed loop
+  // Closed-loop arrival commits thin batches and pipelined peers racing
+  // for the same ids burn no-op slots: budget two slots per op plus
+  // drain margin (see adversary/client_campaign.cpp).
+  sc.slots = 2 * 16 + 2 * sc.window;
+  return sc;
+}
+
+TEST(ClientService, ClosedLoopByzantineHappyPath) {
+  const faults::SmrScenarioResult r =
+      faults::run_smr_scenario(client_scenario(smr::Backend::kByzantine, 3));
+  EXPECT_TRUE(r.clean);
+  EXPECT_TRUE(r.all_committed);
+  EXPECT_TRUE(r.stores_agree);
+  EXPECT_EQ(r.clients_done.size(), 2u);
+  EXPECT_EQ(r.run_stats.client.accepted, 16u);
+  EXPECT_EQ(r.commit_log.size(), 16u);
+  EXPECT_EQ(r.commit_log_duplicates, 0u);
+  EXPECT_TRUE(adversary::audit_client_replies(r).empty());
+  EXPECT_GT(r.run_stats.client.p50_us, 0u);
+  EXPECT_GE(r.run_stats.client.p999_us, r.run_stats.client.p50_us);
+}
+
+TEST(ClientService, CrashBackendMajorityCertification) {
+  const faults::SmrScenarioResult r = faults::run_smr_scenario(
+      client_scenario(smr::Backend::kCrashHurfinRaynal, 5));
+  EXPECT_TRUE(r.clean);
+  EXPECT_TRUE(r.all_committed);
+  EXPECT_EQ(r.clients_done.size(), 2u);
+  EXPECT_EQ(r.run_stats.client.accepted, 16u);
+  EXPECT_TRUE(adversary::audit_client_replies(r).empty());
+}
+
+TEST(ClientService, AggressiveRetriesAreSuppressedNotReExecuted) {
+  faults::SmrScenarioConfig sc = client_scenario(smr::Backend::kByzantine, 7);
+  // Retry far faster than the commit latency: the contact sees the same
+  // seq again while the command is in flight (duplicate hit) and again
+  // after it committed (cached-reply replay).
+  sc.clients->retry_base = 300;
+  const faults::SmrScenarioResult r = faults::run_smr_scenario(sc);
+  EXPECT_TRUE(r.clean);
+  EXPECT_EQ(r.clients_done.size(), 2u);
+  EXPECT_GT(r.run_stats.client.retries, 0u);
+  EXPECT_GT(r.run_stats.client.duplicates + r.run_stats.client.replays, 0u);
+  // The dedup core: 16 operations were submitted (plus every retry), and
+  // exactly 16 commands were ever applied.
+  EXPECT_EQ(r.commit_log.size(), 16u);
+  EXPECT_EQ(r.commit_log_duplicates, 0u);
+  EXPECT_EQ(r.run_stats.client.accepted, 16u);
+  EXPECT_TRUE(adversary::audit_client_replies(r).empty());
+}
+
+TEST(ClientService, OverloadShedsWithBusyAndBoundsQueue) {
+  faults::SmrScenarioConfig sc = client_scenario(smr::Backend::kByzantine, 9);
+  sc.clients->open_loop = true;
+  sc.clients->interval = 200;
+  sc.clients->max_outstanding = 8;
+  sc.clients->ops_per_client = 12;
+  sc.clients->max_pending = 2;  // tiny admission bound: shedding guaranteed
+  sc.slots = 2 * 24 + 2 * sc.window;
+  const faults::SmrScenarioResult r = faults::run_smr_scenario(sc);
+  EXPECT_TRUE(r.clean);
+  EXPECT_EQ(r.clients_done.size(), 2u);
+  EXPECT_GT(r.run_stats.client.sheds, 0u);
+  EXPECT_GT(r.run_stats.client.busy, 0u);
+  // The pending set holds local admissions plus peer relays, so the
+  // enforced bound is n × max_pending (each replica admits ≤ max_pending
+  // of its own and mirrors at most that much from every peer).
+  EXPECT_LE(r.run_stats.client.queue_peak, 2u * sc.n);
+  // Overload degrades latency, never correctness.
+  EXPECT_EQ(r.run_stats.client.accepted, 24u);
+  EXPECT_EQ(r.commit_log_duplicates, 0u);
+  EXPECT_TRUE(adversary::audit_client_replies(r).empty());
+}
+
+TEST(ClientService, FailoverWhenContactDies) {
+  faults::SmrScenarioConfig sc = client_scenario(smr::Backend::kByzantine, 11);
+  // Client 0's contact is replica 0; kill it early with no restart.  The
+  // client must rotate to a live contact to finish its script.
+  sc.crashes.push_back({ProcessId{0}, 1'000, std::nullopt});
+  const faults::SmrScenarioResult r = faults::run_smr_scenario(sc);
+  EXPECT_TRUE(r.clean);
+  EXPECT_EQ(r.clients_done.size(), 2u);
+  EXPECT_GT(r.run_stats.client.failovers, 0u);
+  EXPECT_EQ(r.run_stats.client.accepted, 16u);
+  EXPECT_TRUE(adversary::audit_client_replies(r).empty());
+}
+
+TEST(ClientService, SameSeedIsBitIdentical) {
+  const faults::SmrScenarioConfig sc =
+      client_scenario(smr::Backend::kByzantine, 13);
+  const faults::SmrScenarioResult a = faults::run_smr_scenario(sc);
+  const faults::SmrScenarioResult b = faults::run_smr_scenario(sc);
+  EXPECT_TRUE(a.clean);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.commit_log, b.commit_log);
+  EXPECT_EQ(a.run_stats.client.accepted, b.run_stats.client.accepted);
+  EXPECT_EQ(a.run_stats.client.retries, b.run_stats.client.retries);
+  EXPECT_EQ(a.run_stats.client.p99_us, b.run_stats.client.p99_us);
+}
+
+TEST(ClientService, DisabledClientsLeaveAllCountersZero) {
+  // Pre-client configuration: preloaded workload, no client actors.  The
+  // whole client service must be inert — zero counters, empty client maps.
+  faults::SmrScenarioConfig sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.seed = 15;
+  sc.backend = smr::Backend::kByzantine;
+  sc.window = 4;
+  sc.batch = 2;
+  sc.checkpoint_interval = 4;
+  sc.workload = faults::sample_workload();
+  sc.slots = 5;
+  const faults::SmrScenarioResult r = faults::run_smr_scenario(sc);
+  EXPECT_TRUE(r.clean);
+  EXPECT_TRUE(r.all_committed);
+  EXPECT_EQ(r.run_stats.client.clients, 0u);
+  EXPECT_EQ(r.run_stats.client.requests, 0u);
+  EXPECT_EQ(r.run_stats.client.replies_sent, 0u);
+  EXPECT_EQ(r.run_stats.client.admitted, 0u);
+  EXPECT_EQ(r.run_stats.client.accepted, 0u);
+  EXPECT_TRUE(r.commit_log.empty());
+  EXPECT_TRUE(r.client_stats.empty());
+  EXPECT_TRUE(r.clients_done.empty());
+}
+
+}  // namespace
+}  // namespace modubft

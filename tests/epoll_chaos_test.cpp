@@ -16,7 +16,11 @@
 // sanitizer pass (`tcp` label).
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -252,6 +256,85 @@ TEST(EpollChaos, BurstArrivalsCoalesceIntoBatchDispatches) {
   EXPECT_EQ(view->delivered(), kCount);
   EXPECT_GE(view->max_batch(), 2u) << "no multi-frame batch ever formed";
   EXPECT_LE(view->max_batch(), cfg.max_batch);
+}
+
+// ------------------------------------------------------- signal storms
+
+// A stream of SIGUSR1s installed WITHOUT SA_RESTART lands while the node
+// loops sit in epoll_wait / accept / read / write, so those syscalls fail
+// with EINTR mid-drain.  Every loop must treat EINTR as "retry", never as
+// "link dead" or "backlog drained" — a dropped accept sweep or an
+// abandoned read batch shows up as a missing or duplicated frame in the
+// exactly-once audit.  Regression test for the accept/wake-drain EINTR
+// handling in the epoll loop.
+TEST(EpollChaos, SignalStormMidDrainKeepsFifoExactlyOnce) {
+  constexpr std::uint32_t kN = 3;
+  static constexpr int kCount = 200;
+
+  class Checker final : public sim::Actor {
+   public:
+    void on_message(sim::Context& ctx, ProcessId from,
+                    const Bytes& payload) override {
+      ASSERT_LT(from.value, 2u);
+      Reader r(payload);
+      ASSERT_EQ(r.u32(), static_cast<std::uint32_t>(next_[from.value]))
+          << "per-sender FIFO broken on p" << from.value + 1;
+      if (++next_[from.value] == kCount) {
+        ctx.send(from, Bytes{1});
+        if (++finished_ == 2) ctx.stop();
+      }
+    }
+
+    int finished() const { return finished_; }
+
+   private:
+    int next_[2] = {0, 0};
+    int finished_ = 0;
+  };
+
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: syscalls must see EINTR
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::atomic<bool> storm_on{true};
+  std::thread storm([&storm_on] {
+    while (storm_on.load()) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  TcpClusterConfig cfg;
+  cfg.n = kN;
+  cfg.seed = 53;
+  cfg.budget = std::chrono::milliseconds(30'000);
+  cfg.audit_deliveries = true;
+  // Link kills force reconnects, so the accept path runs under the storm
+  // too — not just the steady-state read path.
+  cfg.faults = chaos_plan(cfg.seed, 0.02);
+  TcpCluster cluster(cfg);
+
+  auto checker = std::make_unique<Checker>();
+  Checker* view = checker.get();
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    cluster.set_actor(ProcessId{i},
+                      std::make_unique<Pinger>(ProcessId{2}, kCount,
+                                               /*pad=*/i * 11 + 9));
+  }
+  cluster.set_actor(ProcessId{2}, std::move(checker));
+  const bool ran = cluster.run();
+
+  storm_on.store(false);
+  storm.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_TRUE(ran) << "unstopped: " << cluster.unstopped().size();
+  EXPECT_EQ(view->finished(), 2);
+  EXPECT_GE(cluster.link_stats().reconnects, 2u);
+  assert_fifo_exactly_once(cluster, kN);
 }
 
 }  // namespace

@@ -38,6 +38,8 @@ const char* client_attack_name(ClientAttackKind kind) {
     case ClientAttackKind::kDropReplies: return "drop-replies";
     case ClientAttackKind::kDelayReplies: return "delay-replies";
     case ClientAttackKind::kForgeReplies: return "forge-replies";
+    case ClientAttackKind::kForgeBodies: return "forge-bodies";
+    case ClientAttackKind::kPhantomIds: return "phantom-ids";
   }
   return "?";
 }
@@ -57,6 +59,19 @@ class ClientAttacker::AttackContext final : public sim::ForwardingContext {
     base_.send(to, std::move(payload));
   }
 
+  void broadcast(const Bytes& payload) override {
+    // Relay bodies leave via broadcast, so the body forgery must hook
+    // here too; every other attack targets unicast client-bound frames.
+    if (owner_.config_.kind == ClientAttackKind::kForgeBodies) {
+      Bytes copy = payload;
+      if (owner_.forge_body(copy)) {
+        base_.broadcast(copy);
+        return;
+      }
+    }
+    base_.broadcast(payload);
+  }
+
  private:
   ClientAttacker& owner_;
 };
@@ -68,9 +83,38 @@ ClientAttacker::ClientAttacker(std::unique_ptr<sim::Actor> inner,
   MODUBFT_EXPECTS(config_.n > 0);
 }
 
+bool ClientAttacker::forge_body(Bytes& payload) {
+  if (!is_control_frame(payload)) return false;
+  if (static_cast<smr::ControlKind>(payload[8]) !=
+      smr::ControlKind::kCmdRelay) {
+    return false;
+  }
+  try {
+    Reader r(payload);
+    r.u64();
+    r.u8();
+    smr::CmdRelay relay = smr::decode_cmd_relay(r);
+    // Corrupt the body, KEEP the client's signature: the receiver must
+    // notice the signature no longer covers the bytes.  Without the
+    // check (body-forgery negative control) this divergent body wins
+    // first-write-wins ingest and the real operation can never certify.
+    relay.value += "!forged";
+    payload = smr::encode_control_relay(relay);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // not a decodable relay: pass through
+  }
+}
+
 bool ClientAttacker::intercept(sim::Context& ctx, ProcessId to,
                                Bytes& payload) {
   if (config_.kind == ClientAttackKind::kNone) return false;
+  if (config_.kind == ClientAttackKind::kForgeBodies) {
+    // Replica-bound relays (fetch answers ride unicast) get the same
+    // treatment as broadcast ones; client traffic passes untouched.
+    if (to.value < config_.n) forge_body(payload);
+    return false;  // always send (possibly mutated)
+  }
   if (to.value < config_.n) return false;  // replica-bound: never touched
   if (!is_control_frame(payload)) return false;
   if (static_cast<smr::ControlKind>(payload[8]) != smr::ControlKind::kReply) {
@@ -99,6 +143,8 @@ bool ClientAttacker::intercept(sim::Context& ctx, ProcessId to,
         // through; the attack only ever weakens into honesty.
       }
       return false;  // send the (possibly forged) frame
+    case ClientAttackKind::kForgeBodies:  // handled above
+    case ClientAttackKind::kPhantomIds:   // no wire mutation at all
     case ClientAttackKind::kNone:
       break;
   }
@@ -199,7 +245,30 @@ faults::SmrScenarioConfig make_scenario(const ClientCellConfig& config) {
   faults::ClientLoadConfig load;
   load.count = config.clients;
   load.ops_per_client = config.ops_per_client;
+  load.open_loop = config.open_loop;
   sc.clients = load;
+
+  if (config.attack == ClientAttackKind::kPhantomIds) {
+    // The attacker replicas "know" bodies for fabricated client ids the
+    // rest of Π never saw — the model of a Byzantine proposer deciding
+    // phantom ids.  One id sits just past a real client's script (only
+    // the client's signed SEQ_BOUND / CLIENT_DONE can refute it) and one
+    // sits far beyond the eligibility window (skipped arithmetically).
+    MODUBFT_EXPECTS(config.clients >= 2);
+    smr::Command just_past;
+    just_past.id = smr::make_client_cmd_id(config.n, config.ops_per_client + 1);
+    just_past.op = smr::Command::Op::kPut;
+    just_past.key = "phantom";
+    just_past.value = "beyond-script";
+    smr::Command far_future;
+    far_future.id = smr::make_client_cmd_id(config.n + 1, 1000);
+    far_future.op = smr::Command::Op::kPut;
+    far_future.key = "phantom";
+    far_future.value = "beyond-window";
+    for (std::uint32_t a : config.attackers) {
+      sc.extra_workload[a] = {just_past, far_future};
+    }
+  }
 
   // Closed-loop arrival commits thin batches, and pipelined peers racing
   // for the same ids commit a no-op slot per concurrent op in the worst
@@ -246,6 +315,9 @@ void arm_attackers(faults::SmrScenarioConfig& sc,
                    const ClientCellConfig& config) {
   if (config.attack == ClientAttackKind::kNone || config.attackers.empty()) {
     return;
+  }
+  if (config.attack == ClientAttackKind::kPhantomIds) {
+    return;  // honest wire behavior; the attack is the preloaded workload
   }
   sc.wrap_actor = [config](ProcessId id, std::unique_ptr<sim::Actor> inner)
       -> std::unique_ptr<sim::Actor> {
@@ -324,6 +396,38 @@ ClientControlOutcome run_client_negative_control(std::uint64_t seed,
                               return v.kind ==
                                      ViolationKind::kClientReplyMismatch;
                             });
+  return out;
+}
+
+ClientBodyControlOutcome run_client_body_control(std::uint64_t seed,
+                                                 runtime::Backend substrate) {
+  // Broken configuration: one replica forges relay bodies and client
+  // authentication is forced OFF (a switch no correct Byzantine build
+  // sets).  The corrupted body then wins first-write-wins ingest on every
+  // honest replica, commits, and the owning client's content check can
+  // never assemble f+1 matching replies — so at least one client must
+  // fail to finish.  No crash: the wedge must be attributable to the
+  // forgery alone.
+  ClientCellConfig forged;
+  forged.attack = ClientAttackKind::kForgeBodies;
+  forged.substrate = substrate;
+  forged.seed = seed;
+
+  faults::SmrScenarioConfig sc = make_scenario(forged);
+  sc.crashes.clear();
+  sc.clients->authenticate = false;
+  // The run cannot end cleanly (the wedged client retries forever), so
+  // cap the clock well below the default to fail fast.
+  sc.max_time = 30'000'000;
+  arm_attackers(sc, forged);
+
+  const faults::SmrScenarioResult result = faults::run_smr_scenario(sc);
+
+  ClientBodyControlOutcome out;
+  out.clients = forged.clients;
+  out.clients_done = result.clients_done.size();
+  out.mismatched_replies = result.run_stats.client.mismatched_replies;
+  out.landed = out.clients_done < out.clients;
   return out;
 }
 

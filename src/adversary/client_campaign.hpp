@@ -19,6 +19,20 @@
 //                   The forgery is content-checked and tallied by the
 //                   client; it must never reach a certificate (the honest
 //                   replies disagree with it byte-for-byte).
+//   kForgeBodies    The attacker corrupts the VALUE of every CMD_RELAY it
+//                   emits (broadcast and fetch-served alike) while keeping
+//                   the client's signature.  Honest replicas must reject
+//                   the body (the signature no longer covers it) and
+//                   recover the genuine body through the fetch path — the
+//                   owning client re-serves a signed REQUEST — so every
+//                   operation still certifies against the real content.
+//   kPhantomIds     The attacker runs honest code but is preloaded with
+//                   command bodies for FABRICATED client ids: one just
+//                   past a real client's script (refutable only by the
+//                   client's signed SEQ_BOUND / CLIENT_DONE) and one far
+//                   beyond the eligibility window.  Honest replicas must
+//                   skip both deterministically instead of parking the
+//                   commit frontier on bodies that can never authenticate.
 //
 // Every cell also kills and restarts a victim replica mid-run (the
 // attacker is never the victim), so the client layer is exercised across
@@ -61,6 +75,8 @@ enum class ClientAttackKind : std::uint8_t {
   kDropReplies,
   kDelayReplies,
   kForgeReplies,
+  kForgeBodies,
+  kPhantomIds,
 };
 
 const char* client_attack_name(ClientAttackKind kind);
@@ -98,6 +114,10 @@ class ClientAttacker final : public sim::Actor {
   /// may be mutated in place (forgery).
   bool intercept(sim::Context& ctx, ProcessId to, Bytes& payload);
 
+  /// kForgeBodies: corrupt a CMD_RELAY's value in place, keeping the
+  /// client signature.  Returns true if the frame was mutated.
+  bool forge_body(Bytes& payload);
+
   /// kDelayReplies: release the oldest held reply, if any.
   void release_one(sim::Context& ctx);
 
@@ -117,6 +137,10 @@ struct ClientCellConfig {
   std::uint32_t f = 1;
   std::uint32_t clients = 2;
   std::uint32_t ops_per_client = 8;
+  /// Open-loop client arrival (kPhantomIds uses it: the wide eligibility
+  /// window lets the just-past-script phantom park the frontier, forcing
+  /// the SEQ_BOUND refutation path instead of a silent window skip).
+  bool open_loop = false;
   std::uint32_t window = 4;
   std::uint32_t batch = 2;
   std::uint64_t checkpoint_interval = 4;
@@ -170,6 +194,23 @@ struct ClientControlOutcome {
 /// replies and the clients trust the first reply without certification.
 /// audit_client_replies must flag the accepted forgeries.
 ClientControlOutcome run_client_negative_control(std::uint64_t seed,
+                                                 runtime::Backend substrate);
+
+struct ClientBodyControlOutcome {
+  /// The body forgery landed: some client could not finish its script
+  /// (the corrupted body committed and its replies can never certify).
+  bool landed = false;
+  std::uint64_t clients_done = 0;
+  std::uint64_t clients = 0;
+  std::uint64_t mismatched_replies = 0;
+};
+
+/// Negative control for body authentication: one replica forges relay
+/// bodies (kForgeBodies) with client authentication FORCED OFF.  The
+/// first-write-wins relay ingest then stores the corrupted body, commits
+/// it, and the owning client can never certify — proving the signature
+/// check is the load-bearing defence, not an accident of the harness.
+ClientBodyControlOutcome run_client_body_control(std::uint64_t seed,
                                                  runtime::Backend substrate);
 
 /// One-line JSON rendering for logs and campaign reports.

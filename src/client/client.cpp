@@ -55,14 +55,25 @@ void Client::submit_next(sim::Context& ctx) {
   }
 }
 
-void Client::send_request(sim::Context& ctx, std::uint64_t seq, Pending& p) {
-  const ClientOp& op = config_.ops[p.op_index];
+smr::ClientRequest Client::build_request(std::uint32_t self,
+                                         std::uint64_t seq) const {
+  const ClientOp& op = config_.ops[seq - 1];
   smr::ClientRequest req;
   req.seq = seq;
   req.op = op.op;
   req.key = op.key;
   req.value = op.value;
-  ctx.send(ProcessId{contact_}, smr::encode_control_request(req));
+  if (config_.signer != nullptr) {
+    req.sig = config_.signer->sign(smr::client_request_signing_bytes(
+        self, seq, req.op, req.key, req.value));
+  }
+  return req;
+}
+
+void Client::send_request(sim::Context& ctx, std::uint64_t seq, Pending& p) {
+  (void)p;
+  ctx.send(ProcessId{contact_},
+           smr::encode_control_request(build_request(ctx.id().value, seq)));
 }
 
 void Client::arm_retry(sim::Context& ctx, std::uint64_t seq, Pending& p) {
@@ -86,8 +97,11 @@ void Client::on_message(sim::Context& ctx, ProcessId from,
       case ControlKind::kBusy:
         handle_busy(ctx, from, r);
         return;
+      case ControlKind::kCmdFetch:
+        answer_fetch(ctx, from, r);
+        return;
       default:
-        return;  // relays, fetches, votes: replica-to-replica traffic
+        return;  // relays, votes: replica-to-replica traffic
     }
   } catch (const SerialError&) {
     // Malformed frame from a faulty replica: drop.
@@ -103,7 +117,9 @@ void Client::handle_reply(sim::Context& ctx, ProcessId from, Reader& r,
     ++stats_.duplicate_replies;  // already certified (or never submitted)
     return;
   }
-  consecutive_timeouts_ = 0;  // the service is alive
+  // Note: a mere reply frame does NOT reset the failover streak — only a
+  // certification (accept) does.  A Byzantine contact replaying stale
+  // frames must not be able to pin the client to itself.
 
   if (config_.trust_first_reply) {
     // Negative control: no certification, no content checks.  The chaos
@@ -134,15 +150,61 @@ void Client::handle_busy(sim::Context& ctx, ProcessId from, Reader& r) {
   const smr::BusyFrame busy = smr::decode_busy(r);
   auto it = pending_.find(busy.seq);
   if (it == pending_.end()) return;
-  consecutive_timeouts_ = 0;  // loaded, not dead
   ++stats_.busy;
   // The replica shed us: back off twice as hard instead of re-sending on
-  // the old schedule (which is what overloaded it).
+  // the old schedule (which is what overloaded it).  A shed is also an
+  // unproductive round — a contact whose queue a Byzantine peer keeps
+  // full (or that answers everything with BUSY) must count toward
+  // failover, or it pins the client forever while other replicas have
+  // capacity.
+  note_unresponsive(ctx);
   Pending& p = it->second;
   p.delay = std::min<SimTime>(retry_cap_, p.delay * 2);
   ctx.cancel_timer(p.timer);
   timers_.erase(p.timer);
   arm_retry(ctx, busy.seq, p);
+}
+
+void Client::answer_fetch(sim::Context& ctx, ProcessId from, Reader& r) {
+  // A replica parked on a decided command id is asking Π for the body.
+  // For our own ids we are the authority: any seq within the script has a
+  // statically-known body (the script is deterministic), so answer with
+  // the signed REQUEST even if we have not submitted that seq yet — an
+  // early commit is harmless, the reply cache replays it when we get
+  // there.  A seq beyond the script can never have a body: answer with a
+  // signed SEQ_BOUND so the fetcher can deterministically skip the id
+  // instead of re-fetching forever.
+  const std::vector<std::uint64_t> ids =
+      smr::decode_cmd_fetch(r, smr::StateLimits{});
+  const std::uint32_t self = ctx.id().value;
+  for (std::uint64_t id : ids) {
+    if (smr::client_of_cmd(id) != self) continue;
+    const std::uint64_t seq = smr::seq_of_cmd(id);
+    if (seq >= 1 && seq <= config_.ops.size()) {
+      ctx.send(from, smr::encode_control_request(build_request(self, seq)));
+      ++stats_.fetches_answered;
+    } else {
+      smr::SeqBound sb;
+      sb.client = self;
+      sb.bound = config_.ops.size();
+      if (config_.signer != nullptr) {
+        sb.sig = config_.signer->sign(
+            smr::seq_bound_signing_bytes(sb.client, sb.bound));
+      }
+      ctx.send(from, smr::encode_control_seq_bound(sb));
+      ++stats_.bounds_sent;
+    }
+  }
+}
+
+void Client::note_unresponsive(sim::Context& ctx) {
+  ++consecutive_timeouts_;
+  if (consecutive_timeouts_ >= config_.failover_after) {
+    contact_ = (contact_ + 1) % config_.n;
+    consecutive_timeouts_ = 0;
+    ++stats_.failovers;
+    log_debug("client ", ctx.id(), " fails over to replica ", contact_);
+  }
 }
 
 void Client::accept(sim::Context& ctx, std::uint64_t seq,
@@ -159,6 +221,7 @@ void Client::accept(sim::Context& ctx, std::uint64_t seq,
   stats_.latencies_us.push_back(acc.latency_us);
   accepted_.push_back(std::move(acc));
   ++stats_.accepted;
+  consecutive_timeouts_ = 0;  // real progress: the only streak reset
   ctx.cancel_timer(it->second.timer);
   timers_.erase(it->second.timer);
   pending_.erase(it);
@@ -174,7 +237,16 @@ void Client::maybe_finish(sim::Context& ctx) {
   finished_ = true;
   if (interval_timer_ != 0) ctx.cancel_timer(interval_timer_);
   // Tell Π the whole script certified; replicas drain the rest of the log.
-  ctx.broadcast(smr::encode_control_client_done(config_.ops.size()));
+  // Signed so replicas may re-serve it to each other after we stop — it
+  // doubles as the standing seq bound for this client.
+  smr::ClientDone done;
+  done.client = ctx.id().value;
+  done.final_seq = config_.ops.size();
+  if (config_.signer != nullptr) {
+    done.sig = config_.signer->sign(
+        smr::client_done_signing_bytes(done.client, done.final_seq));
+  }
+  ctx.broadcast(smr::encode_control_client_done(done));
   ctx.stop();
 }
 
@@ -200,13 +272,7 @@ void Client::on_timer(sim::Context& ctx, std::uint64_t timer_id) {
   // Timeout: the contact is dead, partitioned, or Byzantine-silent.
   ++stats_.retries;
   ++p.attempts;
-  ++consecutive_timeouts_;
-  if (consecutive_timeouts_ >= config_.failover_after) {
-    contact_ = (contact_ + 1) % config_.n;
-    consecutive_timeouts_ = 0;
-    ++stats_.failovers;
-    log_debug("client ", ctx.id(), " fails over to replica ", contact_);
-  }
+  note_unresponsive(ctx);
   p.delay = std::min<SimTime>(retry_cap_, p.delay * 2);
   send_request(ctx, seq, p);
   arm_retry(ctx, seq, p);

@@ -9,8 +9,12 @@
 //              (crash) of *distinct replicas* return byte-identical
 //              replies whose content matches what was submitted;
 //   retry    — on timeout, resend with capped exponential backoff plus
-//              jitter; after `failover_after` consecutive timeouts rotate
-//              the contact replica (failover);
+//              jitter; after `failover_after` consecutive unproductive
+//              rounds (timeouts or BUSY sheds) rotate the contact replica.
+//              The streak resets only when an operation actually
+//              certifies — a contact that keeps answering BUSY (or a
+//              Byzantine one feeding useless frames) still gets rotated
+//              away from, it cannot pin the client by staying "alive";
 //   back off — a BUSY frame (replica shedding load) doubles the current
 //              backoff instead of hammering the loaded replica.
 //
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/signature.hpp"
 #include "sim/actor.hpp"
 #include "smr/checkpoint.hpp"
 #include "smr/command.hpp"
@@ -78,6 +83,12 @@ struct ClientConfig {
   /// decodable reply for a pending seq without certification or content
   /// checks.  The forged-reply attack must land when this is on.
   bool trust_first_reply = false;
+
+  /// Authenticated mode: sign every REQUEST preimage, the final
+  /// CLIENT_DONE, and SEQ_BOUND refutations with this key (the client's
+  /// own slot in the scenario keyring).  nullptr = unauthenticated
+  /// (crash-model) runs; all sig fields stay empty.
+  const crypto::Signer* signer = nullptr;
 };
 
 /// One certified (or, under trust_first_reply, merely accepted) reply.
@@ -101,6 +112,8 @@ struct ClientStats {
   std::uint64_t duplicate_replies = 0;   ///< replies for settled seqs
   std::uint64_t mismatched_replies = 0;  ///< content contradicts submission
   std::uint64_t accepted = 0;    ///< operations certified
+  std::uint64_t fetches_answered = 0;  ///< CMD_FETCH ids answered with a body
+  std::uint64_t bounds_sent = 0;       ///< SEQ_BOUND refutations sent
   std::vector<SimTime> latencies_us;  ///< per-accepted-op latency
 };
 
@@ -135,11 +148,20 @@ class Client final : public sim::Actor {
 
   std::uint32_t quorum() const;
   void submit_next(sim::Context& ctx);
+  /// Builds the (signed, when a signer is configured) REQUEST frame for
+  /// `seq`.  Deterministic: usable both for submission and for answering
+  /// a replica's CMD_FETCH for a seq we have not submitted yet.
+  smr::ClientRequest build_request(std::uint32_t self,
+                                   std::uint64_t seq) const;
   void send_request(sim::Context& ctx, std::uint64_t seq, Pending& p);
   void arm_retry(sim::Context& ctx, std::uint64_t seq, Pending& p);
   void handle_reply(sim::Context& ctx, ProcessId from, Reader& r,
                     const Bytes& payload);
   void handle_busy(sim::Context& ctx, ProcessId from, Reader& r);
+  void answer_fetch(sim::Context& ctx, ProcessId from, Reader& r);
+  /// One unproductive round with the contact (timeout or BUSY): bump the
+  /// failover streak and rotate when it hits the threshold.
+  void note_unresponsive(sim::Context& ctx);
   void accept(sim::Context& ctx, std::uint64_t seq,
               const smr::ClientReply& reply);
   void maybe_finish(sim::Context& ctx);

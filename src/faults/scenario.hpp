@@ -231,6 +231,14 @@ struct ClientLoadConfig {
   bool trust_first_reply = false;
   /// Distinct keys the scripts touch.
   std::uint32_t keyspace = 8;
+  /// Client authentication: sign request bodies / DONE / SEQ_BOUND and
+  /// verify them replica-side.  Unset = on exactly when the backend is
+  /// Byzantine (forgery in the fault model), off for crash backends.
+  /// Explicit false under Byzantine is the body-forgery negative control.
+  std::optional<bool> authenticate;
+  /// Commit-eligibility window (smr::ClientServiceConfig::seq_window).
+  /// Unset = max_outstanding for open-loop runs, 1 for closed-loop.
+  std::optional<std::uint32_t> seq_window;
 };
 
 struct SmrScenarioConfig {
@@ -298,6 +306,12 @@ struct SmrScenarioConfig {
   /// (clients ARE the workload), size the log so the submitted commands
   /// fit: slots ≥ count × ops_per_client plus drain margin.
   std::optional<ClientLoadConfig> clients;
+  /// Extra preloaded commands appended to `workload` on SELECTED replicas
+  /// only (adversary harness): a replica that "knows" command bodies the
+  /// rest of Π never saw models a Byzantine proposer deciding fabricated
+  /// client ids.  A replica listed here must appear in `assume_faulty`
+  /// unless the extra commands are harmless.
+  std::map<std::uint32_t, std::vector<smr::Command>> extra_workload;
   /// kTcp: link faults injected below the framing layer.
   std::vector<LinkFaultSpec> link_faults;
 };

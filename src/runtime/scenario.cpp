@@ -438,9 +438,19 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       config.workload.empty() && !client_mode ? sample_workload()
                                               : config.workload;
   const bool checkpointing = config.checkpoint_interval > 0;
+  const std::uint32_t num_clients =
+      client_mode ? config.clients->count : 0u;
+  // Authenticated client mode defaults to the fault model: on when the
+  // backend admits forgery (Byzantine), off under crash faults.  The
+  // explicit-false override is the body-forgery negative control.
+  const bool client_auth =
+      client_mode && config.clients->authenticate.value_or(
+                         config.backend == smr::Backend::kByzantine);
 
+  // Clients hold the keyring slots after the replicas.  Key derivation is
+  // prefix-stable, so a pre-client run's replica keys are unchanged.
   crypto::SignatureSystem keys =
-      make_keys(config.scheme, config.n, config.seed);
+      make_keys(config.scheme, config.n + num_clients, config.seed);
 
   std::vector<std::optional<SimTime>> crash_times(config.n);
   std::vector<CrashSpec> crash_specs(config.n);
@@ -451,9 +461,6 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     crash_times[c.who.value] = c.at;
     crash_specs[c.who.value] = c;
   }
-
-  const std::uint32_t num_clients =
-      client_mode ? config.clients->count : 0u;
 
   runtime::SubstrateConfig world_cfg;
   world_cfg.backend = config.substrate;
@@ -563,6 +570,15 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       // Missing-body fetch retries pace like the recovery retries: both
       // re-ask peers for state that is known to exist somewhere.
       rcfg.client.fetch_retry_delay = retry_delay;
+      rcfg.client.authenticate = client_auth;
+      // The eligibility window must cover the client's outstanding span
+      // (or genuine decisions get deferred): the open-loop cap, or 1 for
+      // the strictly-in-order closed loop.
+      rcfg.client.seq_window = config.clients->seq_window.value_or(
+          config.clients->open_loop ? config.clients->max_outstanding : 1u);
+      if (client_auth && rcfg.verifier == nullptr) {
+        rcfg.verifier = keys.verifier;
+      }
     }
     return rcfg;
   };
@@ -599,6 +615,17 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     world->set_actor(id, std::move(actor));
   };
 
+  // Per-replica workload: the adversary harness may preload SELECTED
+  // replicas with extra command bodies (fabricated client ids the rest of
+  // Π never saw) to model a Byzantine proposer deciding phantoms.
+  auto workload_for = [&](std::uint32_t i) {
+    auto ew = config.extra_workload.find(i);
+    if (ew == config.extra_workload.end()) return workload;
+    std::vector<smr::Command> w = workload;
+    w.insert(w.end(), ew->second.begin(), ew->second.end());
+    return w;
+  };
+
   for (std::uint32_t i = 0; i < config.n; ++i) {
     const ProcessId id{i};
     if (config.backend == smr::Backend::kByzantine &&
@@ -608,16 +635,16 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
     }
 
     auto replica = std::make_unique<smr::Replica>(
-        make_rcfg(i, false), workload,
+        make_rcfg(i, false), workload_for(i),
         i == commit_ref ? log_commit : smr::CommitFn{});
     views[i] = replica.get();
     install(id, std::move(replica));
     if (crash_times[i].has_value()) {
       world->crash(crash_specs[i]);
       if (crash_specs[i].restart_at.has_value()) {
-        world->restart(crash_specs[i], [&, i, workload] {
+        world->restart(crash_specs[i], [&, i, w = workload_for(i)] {
           auto fresh = std::make_unique<smr::Replica>(
-              make_rcfg(i, /*recover=*/true), workload, smr::CommitFn{});
+              make_rcfg(i, /*recover=*/true), w, smr::CommitFn{});
           views[i] = fresh.get();
           std::unique_ptr<sim::Actor> actor = std::move(fresh);
           if (config.wrap_actor) {
@@ -651,6 +678,7 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       ccfg.failover_after = cl.failover_after;
       ccfg.contact = k % config.n;
       ccfg.trust_first_reply = cl.trust_first_reply;
+      if (client_auth) ccfg.signer = keys.signers[config.n + k].get();
       for (std::uint32_t o = 0; o < cl.ops_per_client; ++o) {
         client::ClientOp op;
         const std::uint32_t key = (k * 7 + o * 3) % cl.keyspace;
@@ -782,6 +810,8 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       cs.duplicate_replies += st.duplicate_replies;
       cs.mismatched_replies += st.mismatched_replies;
       cs.accepted += st.accepted;
+      cs.fetches_answered += st.fetches_answered;
+      cs.bounds_sent += st.bounds_sent;
       latencies.insert(latencies.end(), st.latencies_us.begin(),
                        st.latencies_us.end());
     }
@@ -813,6 +843,10 @@ SmrScenarioResult run_smr_scenario(const SmrScenarioConfig& config) {
       cs.parked_commits += rs.parked_commits;
       cs.rejects += rs.rejects;
       cs.queue_peak = std::max(cs.queue_peak, rs.queue_peak);
+      cs.auth_rejects += rs.auth_rejects;
+      cs.ineligible_skips += rs.ineligible_skips;
+      cs.origin_drops += rs.origin_drops;
+      cs.bounds_recorded += rs.bounds_recorded;
     }
   }
 

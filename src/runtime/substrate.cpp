@@ -329,7 +329,13 @@ std::string to_json(Backend backend, const RunStats& stats) {
      << ",\"client_replies_sent\":" << stats.client.replies_sent
      << ",\"client_parked_commits\":" << stats.client.parked_commits
      << ",\"client_rejects\":" << stats.client.rejects
-     << ",\"client_queue_peak\":" << stats.client.queue_peak << '}';
+     << ",\"client_queue_peak\":" << stats.client.queue_peak
+     << ",\"client_auth_rejects\":" << stats.client.auth_rejects
+     << ",\"client_ineligible_skips\":" << stats.client.ineligible_skips
+     << ",\"client_origin_drops\":" << stats.client.origin_drops
+     << ",\"client_bounds_recorded\":" << stats.client.bounds_recorded
+     << ",\"client_fetches_answered\":" << stats.client.fetches_answered
+     << ",\"client_bounds_sent\":" << stats.client.bounds_sent << '}';
   return os.str();
 }
 

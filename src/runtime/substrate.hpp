@@ -149,6 +149,8 @@ struct ClientSummary {
   std::uint64_t duplicate_replies = 0;
   std::uint64_t mismatched_replies = 0;
   std::uint64_t accepted = 0;
+  std::uint64_t fetches_answered = 0;  // CMD_FETCH ids answered with a body
+  std::uint64_t bounds_sent = 0;       // SEQ_BOUND refutations sent
   std::uint64_t p50_us = 0;   // merged reply-latency percentiles
   std::uint64_t p99_us = 0;
   std::uint64_t p999_us = 0;
@@ -167,6 +169,10 @@ struct ClientSummary {
   std::uint64_t parked_commits = 0;
   std::uint64_t rejects = 0;
   std::uint64_t queue_peak = 0;  // max over correct replicas
+  std::uint64_t auth_rejects = 0;      // bad client signatures rejected
+  std::uint64_t ineligible_skips = 0;  // decided ids outside window/bound
+  std::uint64_t origin_drops = 0;      // relays over the per-origin cap
+  std::uint64_t bounds_recorded = 0;   // verified seq bounds accepted
 };
 
 /// Unified counters, comparable across backends.  The core message

@@ -159,6 +159,7 @@ Bytes encode_control_request(const ClientRequest& req) {
   w.u8(static_cast<std::uint8_t>(req.op));
   w.str(req.key);
   w.str(req.value);
+  w.bytes(req.sig);
   return std::move(w).take();
 }
 
@@ -190,6 +191,7 @@ Bytes encode_control_relay(const CmdRelay& relay) {
   w.u8(static_cast<std::uint8_t>(relay.op));
   w.str(relay.key);
   w.str(relay.value);
+  w.bytes(relay.sig);
   return std::move(w).take();
 }
 
@@ -201,10 +203,51 @@ Bytes encode_control_fetch(const std::vector<std::uint64_t>& ids) {
   return std::move(w).take();
 }
 
-Bytes encode_control_client_done(std::uint64_t final_seq) {
+Bytes encode_control_client_done(const ClientDone& done) {
   Writer w;
   write_frame_header(w, ControlKind::kClientDone);
+  w.u32(done.client);
+  w.u64(done.final_seq);
+  w.bytes(done.sig);
+  return std::move(w).take();
+}
+
+Bytes encode_control_seq_bound(const SeqBound& bound) {
+  Writer w;
+  write_frame_header(w, ControlKind::kSeqBound);
+  w.u32(bound.client);
+  w.u64(bound.bound);
+  w.bytes(bound.sig);
+  return std::move(w).take();
+}
+
+Bytes client_request_signing_bytes(std::uint32_t client, std::uint64_t seq,
+                                   Command::Op op, const std::string& key,
+                                   const std::string& value) {
+  Writer w;
+  w.str("smr-client-request");
+  w.u32(client);
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  w.str(value);
+  return std::move(w).take();
+}
+
+Bytes client_done_signing_bytes(std::uint32_t client,
+                                std::uint64_t final_seq) {
+  Writer w;
+  w.str("smr-client-done");
+  w.u32(client);
   w.u64(final_seq);
+  return std::move(w).take();
+}
+
+Bytes seq_bound_signing_bytes(std::uint32_t client, std::uint64_t bound) {
+  Writer w;
+  w.str("smr-seq-bound");
+  w.u32(client);
+  w.u64(bound);
   return std::move(w).take();
 }
 
@@ -264,6 +307,7 @@ ClientRequest decode_client_request(Reader& r) {
   req.op = read_op(r);
   req.key = r.str();
   req.value = r.str();
+  req.sig = r.bytes();
   r.expect_end();
   return req;
 }
@@ -295,6 +339,7 @@ CmdRelay decode_cmd_relay(Reader& r) {
   relay.op = read_op(r);
   relay.key = r.str();
   relay.value = r.str();
+  relay.sig = r.bytes();
   r.expect_end();
   return relay;
 }
@@ -317,10 +362,22 @@ std::vector<std::uint64_t> decode_cmd_fetch(Reader& r,
   return ids;
 }
 
-std::uint64_t decode_client_done(Reader& r) {
-  const std::uint64_t final_seq = r.u64();
+ClientDone decode_client_done(Reader& r) {
+  ClientDone done;
+  done.client = r.u32();
+  done.final_seq = r.u64();
+  done.sig = r.bytes();
   r.expect_end();
-  return final_seq;
+  return done;
+}
+
+SeqBound decode_seq_bound(Reader& r) {
+  SeqBound bound;
+  bound.client = r.u32();
+  bound.bound = r.u64();
+  bound.sig = r.bytes();
+  r.expect_end();
+  return bound;
 }
 
 std::optional<StateResp> try_decode_state_resp(const Bytes& body,

@@ -14,12 +14,23 @@
 //     kind 3  STATE_RESP  — certificate + snapshot bytes + slot suffix
 //
 // The client/service layer (docs/CLIENT.md) rides the same reserved tag:
-//     kind 4  REQUEST     — client → replica: seq ‖ op ‖ key ‖ value
+//     kind 4  REQUEST     — client → replica: seq ‖ op ‖ key ‖ value ‖ sig
 //     kind 5  REPLY       — replica → client: committed command echo
 //     kind 6  BUSY        — replica → client: admission queue full, back off
-//     kind 7  CMD_RELAY   — replica ↔ replica: admitted command body
+//     kind 7  CMD_RELAY   — replica ↔ replica: admitted command body + sig
 //     kind 8  CMD_FETCH   — replica ↔ replica: "send me these bodies"
 //     kind 9  CLIENT_DONE — client → Π: whole script certified, drain
+//     kind 10 SEQ_BOUND   — client → Π: "I will never send seq > bound"
+//
+// REQUEST and CMD_RELAY carry the client's signature over the command
+// preimage (client_request_signing_bytes): replicas in authenticated mode
+// verify it before admitting a body, so a Byzantine replica can neither
+// forge a body for a real client's seq nor feed divergent bodies to
+// different peers — the body is bound to the decided id by the client's
+// key, not by whoever relayed it.  SEQ_BOUND is the matching liveness
+// tool: a signed, statically-true refutation ("my script has `bound`
+// operations") that lets replicas skip a decided id whose body can never
+// exist instead of fetching it forever.  CLIENT_DONE doubles as a bound.
 //
 // Snapshots use the canonical Writer encoding (fixed-width, sorted map
 // order), so every correct replica at the same commit frontier produces
@@ -59,6 +70,7 @@ enum class ControlKind : std::uint8_t {
   kCmdRelay = 7,
   kCmdFetch = 8,
   kClientDone = 9,
+  kSeqBound = 10,
 };
 
 /// Command identity for the client/service layer: the client's process id
@@ -150,12 +162,15 @@ struct StateResp {
 // sender), never a frame field, so a client cannot impersonate another.
 
 /// Client → contact replica.  The command id is derived, never carried:
-/// make_client_cmd_id(sender, seq).
+/// make_client_cmd_id(sender, seq).  `sig` is the client's signature over
+/// client_request_signing_bytes(sender, seq, op, key, value); empty in
+/// unauthenticated (crash-model) runs, where forgery is out of the model.
 struct ClientRequest {
   std::uint64_t seq = 0;  // per-client monotone, starts at 1
   Command::Op op = Command::Op::kPut;
   std::string key;
   std::string value;
+  Bytes sig;
 };
 
 /// Replica → client, sent by EVERY replica that commits the command.
@@ -178,14 +193,44 @@ struct BusyFrame {
 };
 
 /// Replica ↔ replica: the body of an admitted client command, broadcast
-/// on admission so every replica can propose/commit it.
+/// on admission so every replica can propose/commit it.  Carries the
+/// owning client's request signature, so the receiver can authenticate
+/// the body independently of the (possibly Byzantine) relaying replica.
 struct CmdRelay {
   std::uint32_t client = 0;
   std::uint64_t seq = 0;
   Command::Op op = Command::Op::kPut;
   std::string key;
   std::string value;
+  Bytes sig;
 };
+
+/// Client → Π: the whole script certified.  Signed so replicas may also
+/// accept it relayed/served by a peer; final_seq doubles as a seq bound
+/// (the client will never send seq > final_seq).
+struct ClientDone {
+  std::uint32_t client = 0;
+  std::uint64_t final_seq = 0;
+  Bytes sig;
+};
+
+/// Client → Π: a standing refutation — this client will never send any
+/// seq > bound (statically true: bound = script length).  Lets replicas
+/// deterministically skip fabricated decided ids beyond the bound instead
+/// of parking the frontier on a body that can never exist.
+struct SeqBound {
+  std::uint32_t client = 0;
+  std::uint64_t bound = 0;
+  Bytes sig;
+};
+
+/// Domain-tagged signing preimages for the client frames.  The tags keep
+/// the three signature kinds mutually unforgeable from each other.
+Bytes client_request_signing_bytes(std::uint32_t client, std::uint64_t seq,
+                                   Command::Op op, const std::string& key,
+                                   const std::string& value);
+Bytes client_done_signing_bytes(std::uint32_t client, std::uint64_t final_seq);
+Bytes seq_bound_signing_bytes(std::uint32_t client, std::uint64_t bound);
 
 /// Complete control frames, ready for Context::send / broadcast.
 Bytes encode_control_vote(const CheckpointVote& vote);
@@ -196,7 +241,8 @@ Bytes encode_control_reply(const ClientReply& reply);
 Bytes encode_control_busy(const BusyFrame& busy);
 Bytes encode_control_relay(const CmdRelay& relay);
 Bytes encode_control_fetch(const std::vector<std::uint64_t>& ids);
-Bytes encode_control_client_done(std::uint64_t final_seq);
+Bytes encode_control_client_done(const ClientDone& done);
+Bytes encode_control_seq_bound(const SeqBound& bound);
 
 /// Body decoders (input = the bytes after the kind octet).  All throw
 /// SerialError on malformed input.
@@ -209,7 +255,8 @@ BusyFrame decode_busy(Reader& r);
 CmdRelay decode_cmd_relay(Reader& r);
 std::vector<std::uint64_t> decode_cmd_fetch(Reader& r,
                                             const StateLimits& limits);
-std::uint64_t decode_client_done(Reader& r);
+ClientDone decode_client_done(Reader& r);
+SeqBound decode_seq_bound(Reader& r);
 
 /// Non-throwing STATE_RESP decode for the fuzz harness and the recovery
 /// path: malformed input yields nullopt, never UB and never an exception

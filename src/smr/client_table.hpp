@@ -47,6 +47,22 @@ struct ClientServiceConfig {
   /// whose decided command bodies have not arrived yet re-broadcasts
   /// CMD_FETCH at this cadence until the bodies land.
   SimTime fetch_retry_delay = 20'000;
+
+  /// Authenticated mode (Byzantine backend): REQUEST and CMD_RELAY bodies
+  /// must carry a valid client signature over the command preimage, and
+  /// CLIENT_DONE / SEQ_BOUND frames are accepted from any sender when
+  /// their signature verifies.  Off under the crash model, where forgery
+  /// is outside the fault model and clients carry no keys.
+  bool authenticate = false;
+
+  /// Commit-eligibility window: a decided client id (c, s) joins a batch
+  /// only when s ≤ committed-seq-count(c) + seq_window, evaluated against
+  /// the pre-slot committed state — a deterministic bound on how far
+  /// beyond a client's committed history a decided seq may run.  Must be
+  /// at least the client's outstanding window (or genuine commands get
+  /// deferred, which is safe but slow); it caps how many fabricated
+  /// future seqs per client a Byzantine proposer can park the frontier on.
+  std::uint32_t seq_window = 16;
 };
 
 /// Client-service observability, surfaced through
@@ -67,6 +83,10 @@ struct ClientServiceStats {
   std::uint64_t parked_commits = 0;    ///< frontier stalls awaiting bodies
   std::uint64_t rejects = 0;           ///< malformed/out-of-range frames
   std::uint64_t queue_peak = 0;        ///< max pending observed
+  std::uint64_t auth_rejects = 0;      ///< bodies/frames with bad client sig
+  std::uint64_t ineligible_skips = 0;  ///< decided ids outside window/bound
+  std::uint64_t origin_drops = 0;      ///< relays over the per-origin cap
+  std::uint64_t bounds_recorded = 0;   ///< verified seq bounds accepted
 };
 
 }  // namespace modubft::smr

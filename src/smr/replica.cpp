@@ -139,6 +139,11 @@ Replica::Replica(ReplicaConfig config, std::vector<Command> workload,
   if (client_mode()) {
     MODUBFT_EXPECTS(config_.client.reply_cache >= 1);
     MODUBFT_EXPECTS(config_.client.fetch_retry_delay > 0);
+    MODUBFT_EXPECTS(config_.client.seq_window >= 1);
+    // Authenticated mode needs client public keys: the shared verifier
+    // must cover process ids [n, n + num_clients).
+    MODUBFT_EXPECTS(!config_.client.authenticate ||
+                    config_.verifier != nullptr);
   }
 
   if (checkpointing()) {
@@ -303,16 +308,27 @@ bool Replica::commit_slot(sim::Context& ctx, Slot& st) {
   std::vector<std::uint64_t> batch;
   if (client_mode()) {
     // Client-mode commit rule: the batch is every decided entry that is
-    // not yet committed and names either a known command or a plausible
-    // client id, in increasing id order.  A pure function of (decision,
-    // committed set) — sound under dynamic arrival, where the static
-    // smallest-pending rule below would diverge across replicas that
-    // admitted different requests.
+    // not yet committed and names either a known preloaded command or an
+    // ELIGIBLE client id, in increasing id order.  A pure function of
+    // (decision, committed set, verified seq bounds) — sound under
+    // dynamic arrival, where the static smallest-pending rule below would
+    // diverge across replicas that admitted different requests.
     std::set<std::uint64_t> ids;
     auto consider = [&](std::uint64_t id) {
       if (id == 0 || committed_ids_.count(id) > 0) return;
-      if (commands_.count(id) == 0 && !plausible_client_id(id)) return;
-      ids.insert(id);
+      if (plausible_client_id(id)) {
+        // Eligibility is deliberately independent of local body
+        // knowledge: an ineligible id is skipped even when a body is
+        // present (an "apply if I happen to hold it" rule would fork the
+        // stores between replicas with different relay histories).
+        if (!client_eligible(id)) {
+          ++cstats_.ineligible_skips;
+          return;
+        }
+        ids.insert(id);
+        return;
+      }
+      if (commands_.count(id) > 0) ids.insert(id);  // preloaded workload
     };
     if (config_.backend == Backend::kCrashHurfinRaynal) {
       consider(st.crash_value);
@@ -326,10 +342,12 @@ bool Replica::commit_slot(sim::Context& ctx, Slot& st) {
       if (commands_.count(id) == 0) missing.push_back(id);
     }
     if (!missing.empty()) {
-      // Decided here but the bodies were relayed while we weren't
-      // listening: park the frontier and fetch.  Any peer that committed
-      // this slot holds the bodies (it could not have committed without
-      // them) and answers with CMD_RELAY.
+      // Decided but not locally held: park the frontier and fetch.  Every
+      // eligible id is resolvable — the admitting replica and the owning
+      // client can both serve the signed body (the client can serve ANY
+      // seq of its deterministic script), and a fabricated seq beyond the
+      // script is answered with a signed SEQ_BOUND that turns it
+      // ineligible, unparking the frontier without a body.
       ++cstats_.parked_commits;
       request_bodies(ctx, missing);
       return false;
@@ -393,6 +411,14 @@ void Replica::apply_committed_batch(sim::Context& ctx,
       // The cached frame also serves duplicate replay, so it must exist
       // before the send (the bytes are identical either way).
       pending_client_.erase(id);
+      ++committed_seq_count_[client_of_cmd(id)];
+      // Release the per-origin relay budget this admission held.
+      auto ro = relay_origin_.find(id);
+      if (ro != relay_origin_.end()) {
+        auto op = origin_pending_.find(ro->second);
+        if (op != origin_pending_.end() && op->second > 0) --op->second;
+        relay_origin_.erase(ro);
+      }
       const std::uint32_t client = client_of_cmd(id);
       const std::uint64_t seq = seq_of_cmd(id);
       ClientReply reply;
@@ -644,6 +670,17 @@ void Replica::advance_recovery(sim::Context& ctx) {
           pending_client_.insert(id);
         }
       }
+      // The eligibility anchor is derived state: rebuild it from the
+      // installed committed set.  Relay-origin budgets reset with the
+      // queue (the origins of pre-crash admissions are gone with it).
+      committed_seq_count_.clear();
+      for (std::uint64_t id : committed_ids_) {
+        if (is_client(client_of_cmd(id))) {
+          ++committed_seq_count_[client_of_cmd(id)];
+        }
+      }
+      relay_origin_.clear();
+      origin_pending_.clear();
     }
     next_commit_ = inst->snapshot.slot;
     next_start_ = std::max(next_start_, next_commit_);
@@ -671,6 +708,12 @@ void Replica::advance_recovery(sim::Context& ctx) {
       std::vector<std::uint64_t> missing;
       for (std::uint64_t id : *ids) {
         if (commands_.count(id) == 0 && plausible_client_id(id)) {
+          // A verified seq bound refutes the body's existence: no honest
+          // suffix carries such an id (commit requires the body, the body
+          // requires the client's signature), so fetching it would stall
+          // the replay forever; apply_committed_batch skips it instead.
+          const auto b = seq_bound_.find(client_of_cmd(id));
+          if (b != seq_bound_.end() && seq_of_cmd(id) > b->second) continue;
           missing.push_back(id);
         }
       }
@@ -771,6 +814,12 @@ void Replica::handle_control(sim::Context& ctx, ProcessId from,
         handle_client_done(ctx, from, r);
         return;
       }
+      case ControlKind::kSeqBound: {
+        if (!client_mode()) break;
+        Reader r(body);
+        handle_seq_bound(ctx, from, r);
+        return;
+      }
       case ControlKind::kReply:
       case ControlKind::kBusy:
         return;  // client-bound kinds; a replica receiving one ignores it
@@ -788,6 +837,14 @@ void Replica::handle_request(sim::Context& ctx, ProcessId from, Reader& r) {
   const ClientRequest req = decode_client_request(r);
   if (req.seq == 0 || req.seq > 0xffffffffULL) {
     ++cstats_.rejects;
+    return;
+  }
+  if (!verify_client_sig(from.value,
+                         client_request_signing_bytes(from.value, req.seq,
+                                                      req.op, req.key,
+                                                      req.value),
+                         req.sig)) {
+    ++cstats_.auth_rejects;
     return;
   }
   ++cstats_.requests;
@@ -813,9 +870,13 @@ void Replica::handle_request(sim::Context& ctx, ProcessId from, Reader& r) {
     ++cstats_.duplicates;
     return;
   }
-  if (pending_client_.size() >= config_.client.max_pending) {
+  if (pending_client_.size() >= config_.client.max_pending &&
+      !fetch_needs(id)) {
     // Deterministic load-shedding: the admission queue is full, tell the
-    // client to back off instead of queueing unboundedly.
+    // client to back off instead of queueing unboundedly.  A body the
+    // parked frontier is fetching is exempt: the park stops the queue
+    // from draining, so shedding it would starve the exact command
+    // progress depends on.
     ++cstats_.sheds;
     ctx.send(from, encode_control_busy(BusyFrame{
                        req.seq,
@@ -829,6 +890,7 @@ void Replica::handle_request(sim::Context& ctx, ProcessId from, Reader& r) {
   cmd.key = req.key;
   cmd.value = req.value;
   commands_.emplace(id, std::move(cmd));
+  if (!req.sig.empty()) cmd_sigs_[id] = req.sig;
   pending_client_.insert(id);
   cstats_.queue_peak = std::max<std::uint64_t>(cstats_.queue_peak,
                                                pending_client_.size());
@@ -839,6 +901,7 @@ void Replica::handle_request(sim::Context& ctx, ProcessId from, Reader& r) {
   relay.op = req.op;
   relay.key = req.key;
   relay.value = req.value;
+  relay.sig = req.sig;
   ctx.broadcast(encode_control_relay(relay));
   ++cstats_.relays_sent;
   if (!recovering_) pump(ctx);
@@ -855,22 +918,53 @@ void Replica::handle_relay(sim::Context& ctx, ProcessId from, Reader& r) {
     ++cstats_.rejects;
     return;
   }
-  ingest_relay(ctx, relay);
+  // The body is authenticated by the OWNING CLIENT's signature, never by
+  // the relaying replica: a Byzantine relayer can neither fabricate a
+  // body for a real client's seq nor feed divergent bodies to different
+  // peers, because no second validly-signed body exists for one id.
+  if (!verify_client_sig(relay.client,
+                         client_request_signing_bytes(relay.client, relay.seq,
+                                                      relay.op, relay.key,
+                                                      relay.value),
+                         relay.sig)) {
+    ++cstats_.auth_rejects;
+    return;
+  }
+  ingest_relay(ctx, from.value, relay);
 }
 
-void Replica::ingest_relay(sim::Context& ctx, const CmdRelay& relay) {
+bool Replica::fetch_needs(std::uint64_t id) const {
+  return std::find(last_fetch_.begin(), last_fetch_.end(), id) !=
+         last_fetch_.end();
+}
+
+void Replica::ingest_relay(sim::Context& ctx, std::uint32_t origin,
+                           const CmdRelay& relay) {
   const std::uint64_t id = make_client_cmd_id(relay.client, relay.seq);
   ++cstats_.relays_received;
   if (commands_.count(id) == 0) {
     const bool committed = committed_ids_.count(id) > 0;
-    if (!committed &&
-        pending_client_.size() >=
-            static_cast<std::size_t>(config_.client.max_pending) * config_.n) {
-      // Peers collectively admit at most n × max_pending; beyond that the
-      // relay is a flood and is dropped.  Safe — if the command commits,
-      // the frontier parks and CMD_FETCH re-acquires the body.
-      ++cstats_.relays_dropped;
-      return;
+    // Bodies the parked frontier is fetching bypass both capacity drops:
+    // progress depends on them, the fetch list is bounded by the batch
+    // size, and frontier progress releases them immediately.
+    const bool needed = fetch_needs(id);
+    if (!committed && !needed) {
+      if (pending_client_.size() >=
+          static_cast<std::size_t>(config_.client.max_pending) * config_.n) {
+        // Peers collectively admit at most n × max_pending; beyond that
+        // the relay is a flood and is dropped.
+        ++cstats_.relays_dropped;
+        return;
+      }
+      // Per-origin bound: ONE misbehaving relayer is capped at its own
+      // max_pending admissions instead of filling the whole collective
+      // budget and starving direct client admissions into BUSY.
+      const auto op = origin_pending_.find(origin);
+      if (op != origin_pending_.end() &&
+          op->second >= config_.client.max_pending) {
+        ++cstats_.origin_drops;
+        return;
+      }
     }
     Command cmd;
     cmd.id = id;
@@ -878,8 +972,11 @@ void Replica::ingest_relay(sim::Context& ctx, const CmdRelay& relay) {
     cmd.key = relay.key;
     cmd.value = relay.value;
     commands_.emplace(id, std::move(cmd));
+    if (!relay.sig.empty()) cmd_sigs_[id] = relay.sig;
     if (!committed) {
       pending_client_.insert(id);
+      relay_origin_[id] = origin;
+      ++origin_pending_[origin];
       cstats_.queue_peak = std::max<std::uint64_t>(cstats_.queue_peak,
                                                    pending_client_.size());
     }
@@ -903,33 +1000,128 @@ void Replica::handle_fetch(sim::Context& ctx, ProcessId from, Reader& r) {
   const std::vector<std::uint64_t> ids =
       decode_cmd_fetch(r, config_.checkpoint.limits);
   for (std::uint64_t id : ids) {
+    if (!is_client(client_of_cmd(id))) continue;
     auto it = commands_.find(id);
-    if (it == commands_.end() || !is_client(client_of_cmd(id))) continue;
-    CmdRelay relay;
-    relay.client = client_of_cmd(id);
-    relay.seq = seq_of_cmd(id);
-    relay.op = it->second.op;
-    relay.key = it->second.key;
-    relay.value = it->second.value;
-    ctx.send(from, encode_control_relay(relay));
-    ++cstats_.fetches_served;
+    auto sig = cmd_sigs_.find(id);
+    // Authenticated mode only serves bodies it can prove: a sig-less body
+    // (e.g. planted directly into a faulty replica's table) would be
+    // rejected by every honest receiver anyway.
+    if (it != commands_.end() &&
+        (!config_.client.authenticate || sig != cmd_sigs_.end())) {
+      CmdRelay relay;
+      relay.client = client_of_cmd(id);
+      relay.seq = seq_of_cmd(id);
+      relay.op = it->second.op;
+      relay.key = it->second.key;
+      relay.value = it->second.value;
+      if (sig != cmd_sigs_.end()) relay.sig = sig->second;
+      ctx.send(from, encode_control_relay(relay));
+      ++cstats_.fetches_served;
+      continue;
+    }
+    // No servable body — but a recorded seq bound refuting the id unparks
+    // the fetcher just as well: relay the signed bound frame.
+    const std::uint32_t client = client_of_cmd(id);
+    auto b = seq_bound_.find(client);
+    if (b != seq_bound_.end() && seq_of_cmd(id) > b->second) {
+      auto frame = bound_frames_.find(client);
+      if (frame != bound_frames_.end()) {
+        ctx.send(from, frame->second);
+        ++cstats_.fetches_served;
+      }
+    }
   }
 }
 
 void Replica::handle_client_done(sim::Context& ctx, ProcessId from,
                                  Reader& r) {
-  if (!is_client(from.value)) {
+  const ClientDone done = decode_client_done(r);
+  if (!is_client(done.client)) {
     ++cstats_.rejects;
     return;
   }
-  (void)decode_client_done(r);  // validated; the sender identity is enough
-  clients_done_.insert(from.value);
+  if (config_.client.authenticate) {
+    // Signed: acceptable from any sender (peers re-serve it to fetchers
+    // after the client stops).
+    if (!verify_client_sig(done.client,
+                           client_done_signing_bytes(done.client,
+                                                     done.final_seq),
+                           done.sig)) {
+      ++cstats_.auth_rejects;
+      return;
+    }
+  } else if (from.value != done.client && from.value >= config_.n) {
+    ++cstats_.rejects;  // unauthenticated mode trusts channels, not frames
+    return;
+  }
+  // DONE doubles as a seq bound: the client will never send beyond its
+  // final seq, so decided ids past it are fabrications to skip, not fetch.
+  record_seq_bound(ctx, done.client, done.final_seq,
+                   encode_control_client_done(done));
+  clients_done_.insert(done.client);
   if (!drain_ && clients_done_.size() >= config_.client.num_clients) {
     // Every client certified its whole script: run the rest of the log as
     // no-op slots so the PR 6 end-of-log machinery (final checkpoint,
     // await_done) applies unchanged.
     drain_ = true;
     if (!recovering_) pump(ctx);
+  }
+}
+
+void Replica::handle_seq_bound(sim::Context& ctx, ProcessId from, Reader& r) {
+  const SeqBound sb = decode_seq_bound(r);
+  if (!is_client(sb.client)) {
+    ++cstats_.rejects;
+    return;
+  }
+  if (config_.client.authenticate) {
+    if (!verify_client_sig(sb.client,
+                           seq_bound_signing_bytes(sb.client, sb.bound),
+                           sb.sig)) {
+      ++cstats_.auth_rejects;
+      return;
+    }
+  } else if (from.value != sb.client && from.value >= config_.n) {
+    ++cstats_.rejects;
+    return;
+  }
+  record_seq_bound(ctx, sb.client, sb.bound, encode_control_seq_bound(sb));
+}
+
+bool Replica::client_eligible(std::uint64_t id) const {
+  const std::uint32_t client = client_of_cmd(id);
+  const std::uint64_t seq = seq_of_cmd(id);
+  const auto b = seq_bound_.find(client);
+  if (b != seq_bound_.end() && seq > b->second) return false;  // refuted
+  const auto c = committed_seq_count_.find(client);
+  const std::uint64_t committed =
+      c == committed_seq_count_.end() ? 0 : c->second;
+  // Count-anchored (not max-anchored) window: under committed-seq gaps a
+  // max anchor could run ahead of what the client provably submitted,
+  // while the count never exceeds it.
+  return seq <= committed + config_.client.seq_window;
+}
+
+bool Replica::verify_client_sig(std::uint32_t client, const Bytes& preimage,
+                                const Bytes& sig) const {
+  if (!config_.client.authenticate) return true;
+  if (vcache_) return vcache_->verify(ProcessId{client}, preimage, sig);
+  return config_.verifier->verify(ProcessId{client}, preimage, sig);
+}
+
+void Replica::record_seq_bound(sim::Context& ctx, std::uint32_t client,
+                               std::uint64_t bound, const Bytes& frame) {
+  const auto it = seq_bound_.find(client);
+  if (it != seq_bound_.end() && it->second <= bound) return;  // no tighter
+  seq_bound_[client] = bound;
+  bound_frames_[client] = frame;
+  ++cstats_.bounds_recorded;
+  // Decided ids beyond the bound just became ineligible: a frontier (or a
+  // suffix replay) parked on one of them can commit without it now.
+  if (recovery_ != nullptr && !recovering_) {
+    advance_recovery(ctx);
+  } else if (!recovering_) {
+    pump(ctx);
   }
 }
 

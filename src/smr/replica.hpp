@@ -349,14 +349,39 @@ class Replica final : public sim::Actor {
     const std::uint64_t seq = seq_of_cmd(id);
     return is_client(client_of_cmd(id)) && seq >= 1;
   }
+  /// Commit-eligibility of a plausible client id, INDEPENDENT of local
+  /// body knowledge (a body-dependent rule would diverge across replicas):
+  /// the seq must sit within seq_window of the client's committed-seq
+  /// count and must not be refuted by a verified seq bound.  Both inputs
+  /// are either replicated state (the committed set) or stable verified
+  /// facts that CMD_FETCH equalises across replicas, so every correct
+  /// replica converges on the same verdict for every decided entry.
+  bool client_eligible(std::uint64_t id) const;
+  /// Verifies a client signature (through the shared verify cache when
+  /// present).  True unconditionally when authentication is off.
+  bool verify_client_sig(std::uint32_t client, const Bytes& preimage,
+                         const Bytes& sig) const;
+  /// Records a verified "never beyond `bound`" fact for a client and
+  /// re-pumps: a frontier parked on a now-refuted id becomes committable.
+  void record_seq_bound(sim::Context& ctx, std::uint32_t client,
+                        std::uint64_t bound, const Bytes& frame);
   bool has_proposable() const;
   void handle_request(sim::Context& ctx, ProcessId from, Reader& r);
   void handle_relay(sim::Context& ctx, ProcessId from, Reader& r);
   void handle_fetch(sim::Context& ctx, ProcessId from, Reader& r);
   void handle_client_done(sim::Context& ctx, ProcessId from, Reader& r);
+  void handle_seq_bound(sim::Context& ctx, ProcessId from, Reader& r);
   /// Ingests one relayed command body (CMD_RELAY broadcast or a CMD_FETCH
-  /// answer — same frame) and resumes any parked commit or suffix replay.
-  void ingest_relay(sim::Context& ctx, const CmdRelay& relay);
+  /// answer — same frame) from replica `origin` and resumes any parked
+  /// commit or suffix replay.  Authenticates the body and enforces the
+  /// per-origin admission bound before storing anything.
+  void ingest_relay(sim::Context& ctx, std::uint32_t origin,
+                    const CmdRelay& relay);
+  /// True iff `id` is needed to advance the frontier right now (listed in
+  /// the in-flight fetch) — such ids are exempt from capacity drops and
+  /// admission sheds, because progress depends on them and their number
+  /// is bounded by the batch size.
+  bool fetch_needs(std::uint64_t id) const;
   /// Broadcasts CMD_FETCH for missing frontier bodies (deduplicated
   /// against the in-flight fetch) and arms the retry timer.
   void request_bodies(sim::Context& ctx,
@@ -443,6 +468,22 @@ class Replica final : public sim::Actor {
   /// Missing-body fetch in flight (frontier or suffix replay stall).
   std::vector<std::uint64_t> last_fetch_;
   std::uint64_t fetch_timer_ = 0;
+  /// Client signatures of admitted command bodies (id → sig): what lets
+  /// this replica serve authenticated CMD_RELAY answers to fetchers.
+  std::map<std::uint64_t, Bytes> cmd_sigs_;
+  /// Committed seqs per client — |{committed ids of c}|, the deterministic
+  /// anchor of the commit-eligibility window.  Derived from committed_ids_
+  /// (maintained incrementally; rebuilt on snapshot install).
+  std::map<std::uint32_t, std::uint64_t> committed_seq_count_;
+  /// Verified seq bounds (client → bound) and the signed frames proving
+  /// them, re-served to fetchers parked on refuted ids.
+  std::map<std::uint32_t, std::uint64_t> seq_bound_;
+  std::map<std::uint32_t, Bytes> bound_frames_;
+  /// Per-origin relay accounting: pending id → relaying replica, and the
+  /// live count per origin.  One Byzantine relayer is capped at
+  /// max_pending admissions instead of the whole n × max_pending budget.
+  std::map<std::uint64_t, std::uint32_t> relay_origin_;
+  std::map<std::uint32_t, std::uint64_t> origin_pending_;
   ClientServiceStats cstats_;
 };
 

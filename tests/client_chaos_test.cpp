@@ -59,6 +59,41 @@ TEST(ClientChaos, SimForgedRepliesNeverCertify) {
   EXPECT_GT(out.result.run_stats.client.mismatched_replies, 0u);
 }
 
+TEST(ClientChaos, SimForgedBodiesRejectedAndRecoveredViaFetch) {
+  // The attacker corrupts every relay body it emits while keeping the
+  // client's signature.  Honest replicas must refuse the body (the
+  // signature check) and recover the genuine bytes through the fetch
+  // path, so every operation still certifies against the real content.
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kForgeBodies, runtime::Backend::kSim, 21));
+  EXPECT_TRUE(out.pass) << out.detail;
+  EXPECT_GT(out.result.run_stats.client.auth_rejects, 0u)
+      << "no forged body was ever rejected — the attack did not bite";
+  // The genuine bodies came back through the fetch path: parked replicas
+  // asked Π and the owning clients re-served signed REQUESTs.
+  EXPECT_GT(out.result.run_stats.client.fetches_answered, 0u);
+}
+
+TEST(ClientChaos, SimPhantomIdsAreSkippedNotParkedOn) {
+  // The attacker proposes fabricated client ids it alone has bodies for.
+  // Honest replicas must skip them deterministically — by the eligibility
+  // window for the far-future id, by the client's signed SEQ_BOUND /
+  // CLIENT_DONE for the one just past the script — instead of parking the
+  // commit frontier on a fetch that can never be answered.
+  ClientCellConfig config =
+      cell(ClientAttackKind::kPhantomIds, runtime::Backend::kSim, 23);
+  config.open_loop = true;  // wide window: the just-past phantom is
+                            // eligible early, forcing the refutation path
+  const ClientCellOutcome out = run_client_cell(config);
+  EXPECT_TRUE(out.pass) << out.detail;
+  const runtime::ClientSummary& cs = out.result.run_stats.client;
+  EXPECT_GT(cs.ineligible_skips, 0u)
+      << "no decided id was ever skipped — the phantoms never decided";
+  EXPECT_GT(cs.bounds_recorded, 0u);
+  EXPECT_GT(cs.bounds_sent, 0u)
+      << "no client ever refuted a fetch — the park/refute path idled";
+}
+
 TEST(ClientChaos, SimDeterministicRerun) {
   const ClientCellConfig config =
       cell(ClientAttackKind::kDropReplies, runtime::Backend::kSim, 11);
@@ -83,6 +118,20 @@ TEST(ClientChaos, NegativeControlFlagsAcceptedForgeries) {
          "client audit cannot catch the violation it exists for";
 }
 
+TEST(ClientChaos, BodyAuthNegativeControl) {
+  // Same body forgery with authentication forced off: the corrupted body
+  // wins first-write-wins ingest, commits, and the owning client can
+  // never certify.  If this configuration still passed, the signature
+  // check above would be decoration, not defence.
+  const ClientBodyControlOutcome out =
+      run_client_body_control(25, runtime::Backend::kSim);
+  EXPECT_TRUE(out.landed)
+      << "unauthenticated body forgery did not wedge any client ("
+      << out.clients_done << "/" << out.clients
+      << " finished) — the auth check is not load-bearing";
+  EXPECT_GT(out.mismatched_replies, 0u);
+}
+
 // ------------------------------------------------- wall-clock substrates
 
 TEST(ClientChaos, ThreadsDroppedReplies) {
@@ -94,6 +143,12 @@ TEST(ClientChaos, ThreadsDroppedReplies) {
 TEST(ClientChaos, ThreadsForgedReplies) {
   const ClientCellOutcome out = run_client_cell(
       cell(ClientAttackKind::kForgeReplies, runtime::Backend::kThreads, 15));
+  EXPECT_TRUE(out.pass) << out.detail;
+}
+
+TEST(ClientChaos, ThreadsForgedBodies) {
+  const ClientCellOutcome out = run_client_cell(
+      cell(ClientAttackKind::kForgeBodies, runtime::Backend::kThreads, 27));
   EXPECT_TRUE(out.pass) << out.detail;
 }
 
